@@ -1,0 +1,77 @@
+"""E8 — Motivation: the paper's algorithms vs classical greedy policies.
+
+Runs identical ``(rho, sigma)``-bounded workloads against PTS/PPTS and all six
+greedy baselines, reporting worst-case occupancy (the paper's metric) together
+with delivery statistics (where greedy, being work-conserving, naturally
+shines).  Expected shape: PPTS never exceeds its ``1 + d + sigma`` guarantee,
+while the greedy policies have no such guarantee and exceed it on at least one
+of the adversarial workloads.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.baselines.greedy import GreedyForwarding
+from repro.baselines.policies import ALL_POLICIES
+from repro.core.bounds import ppts_upper_bound
+from repro.core.ppts import ParallelPeakToSink
+from repro.experiments.workloads import multi_destination_workload
+from repro.network.simulator import run_simulation
+
+SIGMA = 2
+SCENARIOS = [
+    ("round_robin d=8", 8, "round_robin"),
+    ("round_robin d=32", 32, "round_robin"),
+    ("nested d=8", 8, "nested"),
+    ("random d=8", 8, "random"),
+]
+
+
+def _build_table():
+    rows = []
+    for name, d, kind in SCENARIOS:
+        workload = multi_destination_workload(
+            64, d, rho=1.0, sigma=SIGMA, num_rounds=250, kind=kind, seed=d
+        )
+        bound = ppts_upper_bound(d, SIGMA)
+        algorithms = {"PPTS": ParallelPeakToSink(workload.topology)}
+        for policy in ALL_POLICIES:
+            algorithms[f"Greedy-{policy.name}"] = GreedyForwarding(
+                workload.topology, policy
+            )
+        for label, algorithm in algorithms.items():
+            result = run_simulation(workload.topology, algorithm, workload.pattern)
+            rows.append(
+                {
+                    "workload": name,
+                    "algorithm": label,
+                    "max_occupancy": result.max_occupancy,
+                    "ppts_bound": bound,
+                    "within_ppts_bound": result.max_occupancy <= bound,
+                    "delivered": result.packets_delivered,
+                    "injected": result.packets_injected,
+                }
+            )
+    return rows
+
+
+def test_e8_baseline_comparison(run_once):
+    rows = run_once(_build_table)
+    print()
+    print(
+        format_table(
+            rows,
+            title="E8  PTS-family vs greedy baselines on identical bounded workloads",
+        )
+    )
+    # PPTS always meets its guarantee; this is the property greedy lacks.
+    ppts_rows = [row for row in rows if row["algorithm"] == "PPTS"]
+    assert all(row["within_ppts_bound"] for row in ppts_rows)
+    # Honest finding (recorded in EXPERIMENTS.md): on single-source line
+    # workloads the work-conserving greedy baselines also stay low — their
+    # weakness is the *absence of a guarantee*, exhibited by the Section 5
+    # adversary in E5, not by these stress patterns.  Here we only require
+    # that every baseline simulated cleanly and delivered all its traffic.
+    greedy_rows = [row for row in rows if row["algorithm"] != "PPTS"]
+    assert all(row["delivered"] == row["injected"] for row in greedy_rows)
+    assert len(greedy_rows) == len(SCENARIOS) * len(ALL_POLICIES)

@@ -1,0 +1,105 @@
+"""EXT-3 — Extension: adaptive adversaries vs the paper's algorithms.
+
+The upper-bound theorems quantify over *all* ``(rho, sigma)``-bounded
+adversaries, including adaptive ones that watch the buffers and aim at
+whatever is already congested.  The oblivious stress patterns used in E1-E4
+cannot rule out that adaptivity breaks the algorithms in practice; this
+extension benchmark runs the configuration-aware Hotspot and Blocking
+adversaries against PTS, PPTS and HPTS and records the measured occupancy
+against each algorithm's bound, plus the audited burstiness of what the
+adversary actually injected.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.adaptive import BlockingAdversary, HotspotAdversary
+from repro.adversary.bounded import tightest_sigma
+from repro.analysis.tables import format_table
+from repro.core.bounds import hpts_upper_bound, ppts_upper_bound, pts_upper_bound
+from repro.core.hpts import HierarchicalPeakToSink
+from repro.core.ppts import ParallelPeakToSink
+from repro.core.pts import PeakToSink
+from repro.network.simulator import run_simulation
+from repro.network.topology import LineTopology
+
+SIGMA = 2
+ROUNDS = 200
+
+
+def _scenarios():
+    # (label, line, adversary factory, algorithm factory, bound)
+    line32 = LineTopology(32)
+    line48 = LineTopology(48)
+    line16 = LineTopology(16)
+    return [
+        (
+            "PTS vs Hotspot",
+            line32,
+            lambda: HotspotAdversary(line32, 1.0, SIGMA, ROUNDS, seed=1),
+            lambda: PeakToSink(line32),
+            pts_upper_bound(SIGMA),
+        ),
+        (
+            "PTS vs Blocking",
+            line32,
+            lambda: BlockingAdversary(line32, 1.0, SIGMA, ROUNDS),
+            lambda: PeakToSink(line32),
+            pts_upper_bound(SIGMA),
+        ),
+        (
+            "PPTS vs Hotspot (d=4)",
+            line48,
+            lambda: HotspotAdversary(
+                line48, 1.0, SIGMA, ROUNDS, destinations=[12, 24, 36, 47], seed=2
+            ),
+            lambda: ParallelPeakToSink(line48),
+            ppts_upper_bound(4, SIGMA),
+        ),
+        (
+            "HPTS vs Hotspot (ell=2)",
+            line16,
+            lambda: HotspotAdversary(
+                line16, 0.5, SIGMA, ROUNDS, destinations=[5, 9, 13, 15], seed=3
+            ),
+            lambda: HierarchicalPeakToSink(line16, 2, 4, rho=0.5),
+            hpts_upper_bound(16, 2, SIGMA),
+        ),
+    ]
+
+
+def _build_table():
+    rows = []
+    for label, line, adversary_factory, algorithm_factory, bound in _scenarios():
+        adversary = adversary_factory()
+        result = run_simulation(
+            line, algorithm_factory(), adversary, num_rounds=ROUNDS
+        )
+        realized = adversary.realized_pattern()
+        rows.append(
+            {
+                "scenario": label,
+                "n": line.num_nodes,
+                "packets": len(realized),
+                "audited_sigma": round(tightest_sigma(realized, line, adversary.rho), 2),
+                "max_occupancy": result.max_occupancy,
+                "bound": round(bound, 2),
+                "within_bound": result.max_occupancy <= bound,
+            }
+        )
+    return rows
+
+
+def test_ext_adaptive_adversaries(run_once):
+    rows = run_once(_build_table)
+    print()
+    print(
+        format_table(
+            rows,
+            title="EXT-3  Adaptive (configuration-aware) adversaries vs PTS/PPTS/HPTS",
+        )
+    )
+    # The bounds hold even under adaptive pressure, and every adversary stayed
+    # within its declared burst budget (audited independently).
+    assert all(row["within_bound"] for row in rows)
+    assert all(row["audited_sigma"] <= SIGMA + 1e-9 for row in rows)
+    assert all(row["packets"] > 0 for row in rows)

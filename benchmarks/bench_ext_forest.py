@@ -1,0 +1,89 @@
+"""EXT-2 — Extension: tree algorithms on unions of trees (forests).
+
+The paper's conclusion singles out the union-of-trees topology ("the output of
+many routing algorithms") as an important next step.  Because forest
+components are node-disjoint, the tree algorithms and their ``1 + d' + sigma``
+guarantee apply component-wise with ``d'`` the maximum component destination
+depth — this benchmark validates exactly that on forests assembled from the
+tree families used in E3.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.stress import tree_convergecast_stress
+from repro.analysis.tables import format_table
+from repro.core.bounds import tree_ppts_upper_bound
+from repro.core.tree import TreeParallelPeakToSink
+from repro.network.forest import ForestTopology
+from repro.network.simulator import run_simulation
+from repro.network.topology import TreeTopology, binary_tree, caterpillar_tree, star_tree
+
+SIGMA = 2
+
+
+def _relabel(tree: TreeTopology, offset: int) -> TreeTopology:
+    """Shift every node id by ``offset`` so components stay disjoint."""
+    return TreeTopology(
+        {
+            node + offset: (None if tree.parent(node) is None else tree.parent(node) + offset)
+            for node in tree.nodes
+        }
+    )
+
+
+def _scenarios():
+    small_forest = ForestTopology(
+        [caterpillar_tree(4, 1), _relabel(star_tree(8), 100)]
+    )
+    mixed_forest = ForestTopology(
+        [
+            caterpillar_tree(6, 2),
+            _relabel(binary_tree(3), 200),
+            _relabel(star_tree(12), 400),
+        ]
+    )
+    return [
+        ("caterpillar + star", small_forest),
+        ("caterpillar + binary + star", mixed_forest),
+    ]
+
+
+def _build_table():
+    rows = []
+    for name, forest in _scenarios():
+        destinations = []
+        for tree in forest.trees:
+            internal = [v for v in tree.nodes if tree.children(v)]
+            destinations.extend(internal[:3])
+        pattern = tree_convergecast_stress(forest, 1.0, SIGMA, 150, destinations)
+        algorithm = TreeParallelPeakToSink(forest, destinations=destinations)
+        result = run_simulation(forest, algorithm, pattern)
+        d_prime = forest.destination_depth(destinations)
+        bound = tree_ppts_upper_bound(d_prime, SIGMA)
+        rows.append(
+            {
+                "forest": name,
+                "components": forest.num_components,
+                "n": forest.num_nodes,
+                "destinations": len(destinations),
+                "d_prime": d_prime,
+                "max_occupancy": result.max_occupancy,
+                "bound": bound,
+                "within_bound": result.max_occupancy <= bound,
+                "packets": result.packets_injected,
+            }
+        )
+    return rows
+
+
+def test_ext_forest_union_of_trees(run_once):
+    rows = run_once(_build_table)
+    print()
+    print(
+        format_table(
+            rows,
+            title="EXT-2  Tree PPTS on unions of trees (sigma = 2)",
+        )
+    )
+    assert all(row["within_bound"] for row in rows)
+    assert all(row["components"] >= 2 for row in rows)

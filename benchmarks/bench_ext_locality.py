@@ -1,0 +1,98 @@
+"""EXT-1 — Extension: buffer space vs. locality radius (the paper's open problem).
+
+The paper's algorithms are centralized; its conclusion names decentralized
+(local) forwarding as the main open problem, with prior/concurrent work
+showing a ``Theta(rho * ceil(log n / r) + sigma)`` space requirement for
+locality ``r`` on the single-destination line.
+
+This extension benchmark measures how the occupancy achieved by the
+locality-``r`` threshold rule (``repro.core.local``) decays as ``r`` grows
+from 0 (purely local) to ``n`` (which provably recovers PTS and its
+``2 + sigma`` bound), alongside the fully-local Downhill baseline.  No bound
+from the paper is claimed for intermediate radii; the table records the
+empirical tradeoff.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.generators import single_destination_adversary
+from repro.adversary.stress import pts_burst_stress
+from repro.analysis.tables import format_table
+from repro.core.bounds import pts_upper_bound
+from repro.core.local import DownhillForwarding, LocalThresholdForwarding
+from repro.core.pts import PeakToSink
+from repro.network.simulator import run_simulation
+from repro.network.topology import LineTopology
+
+NUM_NODES = 128
+SIGMA = 4
+RADII = [0, 1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def _build_table():
+    line = LineTopology(NUM_NODES)
+    workloads = {
+        "burst-stress": pts_burst_stress(line, 1.0, SIGMA, 300),
+        "random": single_destination_adversary(line, 1.0, SIGMA, 300, seed=13),
+    }
+    rows = []
+    for workload_name, pattern in workloads.items():
+        for radius in RADII:
+            algorithm = LocalThresholdForwarding(line, locality=radius)
+            result = run_simulation(line, algorithm, pattern)
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "algorithm": algorithm.name,
+                    "radius": radius,
+                    "max_occupancy": result.max_occupancy,
+                    "pts_bound": pts_upper_bound(SIGMA),
+                    "delivered": result.packets_delivered,
+                }
+            )
+        for name, algorithm in (
+            ("Downhill", DownhillForwarding(line)),
+            ("PTS", PeakToSink(line)),
+        ):
+            result = run_simulation(line, algorithm, pattern)
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "algorithm": name,
+                    "radius": NUM_NODES if name == "PTS" else 1,
+                    "max_occupancy": result.max_occupancy,
+                    "pts_bound": pts_upper_bound(SIGMA),
+                    "delivered": result.packets_delivered,
+                }
+            )
+    return rows
+
+
+def test_ext_locality_tradeoff(run_once):
+    rows = run_once(_build_table)
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                "EXT-1  Occupancy vs locality radius on the single-destination line "
+                f"(n = {NUM_NODES}, sigma = {SIGMA})"
+            ),
+        )
+    )
+    # The r = n rule equals PTS and therefore meets the 2 + sigma bound.
+    full_view = [row for row in rows if row["radius"] == NUM_NODES and row["algorithm"].startswith("Local")]
+    assert all(row["max_occupancy"] <= row["pts_bound"] for row in full_view)
+    pts_rows = {row["workload"]: row for row in rows if row["algorithm"] == "PTS"}
+    for row in full_view:
+        assert row["max_occupancy"] == pts_rows[row["workload"]]["max_occupancy"]
+    # Coarse trend: widening the view from r = 0 to r = n never makes the
+    # worst-case occupancy worse (individual intermediate radii may wobble on
+    # random workloads, which the table records).
+    for workload in {row["workload"] for row in rows}:
+        series = [
+            row["max_occupancy"]
+            for row in rows
+            if row["workload"] == workload and row["algorithm"].startswith("Local")
+        ]
+        assert series[-1] <= series[0]

@@ -1,0 +1,41 @@
+"""E6 — Figure 1: the hierarchical partition and virtual trajectories.
+
+Regenerates the structural content of Figure 1 (n = 16, m = 2, ell = 4): the
+nested interval boxes, the base-m labels of the buffers, and the segment
+decomposition of a sample packet route, rendered as ASCII art plus a table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.hierarchy import HierarchicalPartition
+from repro.experiments.figures import figure1_data, render_figure1, trajectory_table
+
+
+def _build_figure():
+    data = figure1_data(branching=2, levels=4)
+    art = render_figure1(2, 4, trajectory=(2, 13))
+    segments = trajectory_table(2, 4, source=2, destination=13)
+    return data, art, segments
+
+
+def test_e6_figure1_partition_and_trajectory(run_once):
+    data, art, segments = run_once(_build_figure)
+    print()
+    print("E6  Figure 1 — hierarchical partition (n = 16, m = 2, ell = 4)")
+    print(art)
+    print()
+    print(format_table(segments, title="Virtual trajectory of a packet 2 -> 13"))
+
+    partition: HierarchicalPartition = data["partition"]
+    # Structural assertions mirroring the figure:
+    assert data["num_nodes"] == 16
+    assert partition.level_partition(3) == [(0, 15)]
+    assert partition.level_partition(0)[0] == (0, 1)
+    # Every buffer has a 4-digit binary label.
+    assert all(len(label) == 4 for label in data["labels"])
+    # The sample trajectory descends through strictly decreasing levels and
+    # ends at its destination, exactly as drawn in the paper.
+    levels = [row["level"] for row in segments]
+    assert levels == sorted(levels, reverse=True)
+    assert segments[-1]["end"] == 13

@@ -1,0 +1,49 @@
+"""E2 — Proposition 3.2: PPTS keeps every buffer below 1 + d + sigma.
+
+Regenerates the multi-destination result: sweep the number of destinations
+(and the burst budget), run PPTS on the round-robin stress that forces the
+``+ d`` term, and report measured occupancy against ``1 + d + sigma``.  The
+series should grow linearly in ``d`` — matching both the upper bound and the
+Omega(d) lower bound (for rho > 1/2) cited in the introduction.
+"""
+
+from __future__ import annotations
+
+from repro.core.ppts import ParallelPeakToSink
+from repro.experiments.harness import rows_to_table, run_workload
+from repro.experiments.workloads import multi_destination_workload
+
+NUM_NODES = 128
+DESTINATIONS = [1, 2, 4, 8, 16, 32, 64]
+SIGMAS = [0, 2, 4]
+
+COLUMNS = ["d", "sigma", "kind", "max_occupancy", "bound", "within_bound", "packets"]
+
+
+def _build_table():
+    rows = []
+    for sigma in SIGMAS:
+        for d in DESTINATIONS:
+            workload = multi_destination_workload(
+                NUM_NODES, d, rho=1.0, sigma=sigma, num_rounds=300, kind="round_robin"
+            )
+            row = run_workload(workload, lambda w: ParallelPeakToSink(w.topology))
+            row.params.update({"sigma": sigma})
+            rows.append(row)
+    return rows
+
+
+def test_e2_ppts_destination_sweep_table(run_once):
+    rows = run_once(_build_table)
+    print()
+    print(
+        rows_to_table(
+            rows, COLUMNS, title="E2  Proposition 3.2 — PPTS, d destinations (n = 128)"
+        )
+    )
+    assert all(row.within_bound for row in rows)
+    # Shape check: measured occupancy grows (roughly linearly) with d.
+    for sigma in SIGMAS:
+        series = [row.max_occupancy for row in rows if row.params["sigma"] == sigma]
+        assert series == sorted(series)
+        assert series[-1] >= max(4 * series[0], DESTINATIONS[-1] // 2)

@@ -1,0 +1,82 @@
+"""E5 — Theorem 5.1: the adversary that forces Omega(n^(1/ell)) buffers.
+
+Regenerates the lower-bound result: build the Section 5 construction for a
+grid of (m, ell, rho), run several very different forwarding protocols
+(the paper's PPTS plus greedy baselines) against it, and report the largest
+buffer occupancy each protocol was forced into, next to the theoretical floor
+``((ell+1) rho - 1) / (2 ell) * n^(1/ell)``.
+
+Expected shape: every protocol's measured occupancy is at least the floor, and
+the forced occupancy grows with ``n^(1/ell)`` as the construction scales.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.bounded import tightest_sigma
+from repro.baselines.greedy import GreedyForwarding
+from repro.baselines.policies import fifo, longest_in_system, nearest_to_go
+from repro.core.ppts import ParallelPeakToSink
+from repro.experiments.workloads import lower_bound_workload
+from repro.analysis.tables import format_table
+from repro.network.simulator import run_simulation
+
+#: (branching m, levels ell, rho) grid; rho > 1/(ell+1) keeps the bound positive.
+GRID = [
+    (3, 2, 0.5),
+    (4, 2, 0.5),
+    (6, 2, 0.5),
+    (4, 2, 0.75),
+    (3, 3, 0.5),
+]
+
+PROTOCOLS = {
+    "PPTS": lambda topology: ParallelPeakToSink(topology),
+    "Greedy-FIFO": lambda topology: GreedyForwarding(topology, fifo),
+    "Greedy-LIS": lambda topology: GreedyForwarding(topology, longest_in_system),
+    "Greedy-NTG": lambda topology: GreedyForwarding(topology, nearest_to_go),
+}
+
+
+def _build_table():
+    rows = []
+    for branching, levels, rho in GRID:
+        workload = lower_bound_workload(branching, levels, rho)
+        topology = workload.topology
+        floor = workload.params["theoretical_bound"]
+        sigma = tightest_sigma(workload.pattern, topology, rho)
+        for name, factory in PROTOCOLS.items():
+            result = run_simulation(topology, factory(topology), workload.pattern, drain=False)
+            rows.append(
+                {
+                    "m": branching,
+                    "ell": levels,
+                    "rho": rho,
+                    "n": workload.params["n"],
+                    "sigma_measured": round(sigma, 2),
+                    "protocol": name,
+                    "max_occupancy": result.max_occupancy,
+                    "theoretical_floor": round(floor, 2),
+                    "above_floor": result.max_occupancy >= floor - 1e-9,
+                }
+            )
+    return rows
+
+
+def test_e5_lower_bound_forces_all_protocols(run_once):
+    rows = run_once(_build_table)
+    print()
+    print(
+        format_table(
+            rows,
+            title="E5  Theorem 5.1 — forced occupancy under the Section 5 adversary",
+        )
+    )
+    assert all(row["above_floor"] for row in rows)
+    # Shape check: at fixed (ell, rho) the forced occupancy grows with m
+    # (i.e. with n^(1/ell)) for the greedy baseline.
+    fifo_by_m = {
+        row["m"]: row["max_occupancy"]
+        for row in rows
+        if row["protocol"] == "Greedy-FIFO" and row["ell"] == 2 and row["rho"] == 0.5
+    }
+    assert fifo_by_m[3] <= fifo_by_m[4] <= fifo_by_m[6]

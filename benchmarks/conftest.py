@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's results (see DESIGN.md's
+per-experiment index) and prints a measured-vs-bound table.  pytest-benchmark
+records the wall-clock cost of regenerating each table; ``run_once`` wraps
+``benchmark.pedantic`` so each table is built exactly once per benchmark run
+(the tables are deterministic, so repeated timing rounds add no information).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a zero-argument callable exactly once under the benchmark timer."""
+
+    def _run(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Scenario: how HPTS sees the line — the Figure 1 hierarchy, in ASCII.
+
+Figure 1 of the paper draws the hierarchical partition for n = 16, m = 2,
+ell = 4 and the virtual trajectory of a packet: at every moment a packet
+"lives" at the level of its current segment, and hops down one level each
+time it reaches an intermediate destination.
+
+This example renders the same picture in the terminal, prints the segment
+table for a sample route, and shows how many pseudo-buffers each node needs
+(``ell * m = ell * n^(1/ell)`` — the space term of Theorem 4.1).
+
+Run with::
+
+    python examples/hierarchy_visualisation.py
+"""
+
+from __future__ import annotations
+
+from repro import HierarchicalPartition, format_table
+from repro.experiments.figures import render_figure1, trajectory_table
+
+
+def main() -> None:
+    branching, levels = 2, 4
+    source, destination = 2, 13
+
+    print("The Figure 1 partition (n = 16, m = 2, ell = 4):\n")
+    print(render_figure1(branching, levels, trajectory=(source, destination)))
+    print()
+
+    rows = trajectory_table(branching, levels, source, destination)
+    print(
+        format_table(
+            rows,
+            title=f"Segment decomposition of the route {source} -> {destination}",
+        )
+    )
+
+    partition = HierarchicalPartition(branching**levels, levels, branching)
+    print(
+        f"\nEach buffer is split into ell * m = {levels} * {branching} = "
+        f"{levels * branching} pseudo-buffers,\nwhich is why the Theorem 4.1 space "
+        f"bound is ell * n^(1/ell) + sigma + 1 = "
+        f"{levels * branching} + sigma + 1."
+    )
+
+    print("\nLarger example (n = 81, m = 3, ell = 4), route 5 -> 77:")
+    print(format_table(trajectory_table(3, 4, 5, 77)))
+
+
+if __name__ == "__main__":
+    main()

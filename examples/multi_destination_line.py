@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Scenario: a store-and-forward line card serving many egress ports.
+
+The paper's motivating setting: packets travel along a line of routers toward
+``d`` distinct destinations, with per-link demand bounded by ``(rho, sigma)``.
+The question a system designer asks is *how much SRAM per router* is enough to
+guarantee zero drops.
+
+This example sweeps the number of destinations and compares three designs on
+identical traffic:
+
+* **PPTS** — the paper's algorithm, guaranteed ``1 + d + sigma`` buffers,
+* **HPTS** — the hierarchical algorithm at reduced per-level rate, guaranteed
+  ``ell * n^(1/ell) + sigma + 1`` buffers,
+* **Greedy FIFO** — the classical work-conserving baseline, with no guarantee.
+
+Run with::
+
+    python examples/multi_destination_line.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GreedyForwarding,
+    HierarchicalPeakToSink,
+    LineTopology,
+    ParallelPeakToSink,
+    bounds,
+    format_table,
+    run_simulation,
+)
+from repro.adversary import round_robin_destination_stress
+from repro.baselines import fifo
+
+
+def run_sweep(num_nodes: int = 64, sigma: int = 2, num_rounds: int = 300) -> list:
+    line = LineTopology(num_nodes)
+    levels = 2
+    branching = int(round(num_nodes ** (1.0 / levels)))
+    rows = []
+    for d in (2, 4, 8, 16, 32):
+        # Full-rate traffic for PPTS and the greedy baseline.
+        pattern = round_robin_destination_stress(line, 1.0, sigma, num_rounds, d)
+        ppts = run_simulation(line, ParallelPeakToSink(line), pattern)
+        greedy = run_simulation(line, GreedyForwarding(line, fifo), pattern)
+
+        # Half-rate traffic for HPTS (the ell = 2 hierarchy needs rho <= 1/2;
+        # in deployment terms: double the link bandwidth).
+        hpts_pattern = round_robin_destination_stress(
+            line, 1.0 / levels, sigma, num_rounds, d
+        )
+        hpts = run_simulation(
+            line,
+            HierarchicalPeakToSink(line, levels, branching, rho=1.0 / levels),
+            hpts_pattern,
+        )
+
+        rows.append(
+            {
+                "destinations": d,
+                "ppts_measured": ppts.max_occupancy,
+                "ppts_bound": bounds.ppts_upper_bound(d, sigma),
+                "hpts_measured": hpts.max_occupancy,
+                "hpts_bound": round(
+                    bounds.hpts_upper_bound(num_nodes, levels, sigma), 1
+                ),
+                "greedy_fifo": greedy.max_occupancy,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    rows = run_sweep()
+    print(
+        format_table(
+            rows,
+            title=(
+                "Buffer space needed as the number of destinations grows "
+                "(line of 64 routers, sigma = 2)"
+            ),
+        )
+    )
+    print(
+        "\nReading the table: the PPTS guarantee (and its measured usage) grows "
+        "linearly with d,\nwhile the HPTS guarantee stays flat at "
+        "ell * n^(1/ell) + sigma + 1 in exchange for running\nat half rate — "
+        "the space-bandwidth tradeoff in the paper's title."
+    )
+
+
+if __name__ == "__main__":
+    main()

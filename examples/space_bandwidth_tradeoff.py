@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Scenario: provisioning — pay with buffers or pay with bandwidth?
+
+The paper's headline interpretation (Section 1, "Implications"): if the number
+of distinct destinations served by a line grows by a factor ``alpha`` while
+the offered load per link stays fixed, a designer can avoid drops by either
+
+* multiplying every buffer by ``alpha`` (keep PPTS, keep link speed), or
+* multiplying buffers *and* link bandwidth by only ``O(log alpha)``
+  (switch to HPTS with ``ceil(log2 alpha)`` levels).
+
+This example prints the analytic tradeoff curve from the bounds and then
+validates two points of it empirically with simulations.
+
+Run with::
+
+    python examples/space_bandwidth_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro import format_table
+from repro.analysis.tradeoff import analytic_tradeoff_curve, empirical_tradeoff_point
+from repro.core import bounds
+
+
+def analytic_table() -> None:
+    base_destinations = 4
+    sigma, rho = 2, 0.5
+    points = analytic_tradeoff_curve(
+        base_destinations, scale_factors=[2, 4, 8, 16, 32, 64], sigma=sigma, rho=rho
+    )
+    rows = [
+        {
+            "alpha": point.scale_factor,
+            "destinations": point.destinations,
+            "space_only_buffers": point.space_only_buffers,
+            "log_alpha_levels": point.bandwidth_multiplier,
+            "space+bw buffers": round(point.space_bandwidth_buffers, 1),
+            "space saving": round(point.space_saving, 2),
+        }
+        for point in points
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                "Analytic tradeoff: scale destinations by alpha starting from "
+                f"d = {base_destinations} (sigma = {sigma})"
+            ),
+        )
+    )
+
+
+def empirical_points() -> None:
+    rows = []
+    for d in (8, 32):
+        rows.append(
+            empirical_tradeoff_point(
+                num_nodes=64, num_destinations=d, rho=1.0, sigma=1, num_rounds=250
+            )
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            title="Empirical check: measured occupancy on round-robin traffic",
+        )
+    )
+
+
+def threshold_note() -> None:
+    d = 1024
+    threshold = bounds.log_destination_threshold_rate(d)
+    space = bounds.destination_upper_bound(d, threshold, 0)
+    print(
+        f"\nAt rate rho <= 1/log2(d) = {threshold:.3f}, even d = {d} destinations "
+        f"need only ~{space:.0f} buffers\n(the O(log d) regime highlighted in the "
+        "introduction)."
+    )
+
+
+def main() -> None:
+    analytic_table()
+    empirical_points()
+    threshold_note()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools predates PEP 660 wheel-less editable support
+(``pip install -e .`` falls back to ``setup.py develop`` there).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""Adversaries: injection patterns, boundedness checking and generators."""
+
+from .adaptive import AdaptiveAdversary, BlockingAdversary, HotspotAdversary
+from .base import Adversary, InjectionPattern
+from .bounded import (
+    BoundednessReport,
+    TokenBucket,
+    assert_bounded,
+    check_bounded,
+    tightest_bound,
+    tightest_sigma,
+)
+from .generators import (
+    bursty_adversary,
+    random_line_adversary,
+    random_tree_adversary,
+    saturating_line_adversary,
+    single_destination_adversary,
+)
+from .io import (
+    load_pattern,
+    pattern_from_dict,
+    pattern_to_dict,
+    result_to_dict,
+    save_pattern,
+    save_result,
+)
+from .lower_bound import (
+    LowerBoundConstruction,
+    front_position,
+    injection_site,
+    lower_bound_network_size,
+)
+from .reduction import compressed_reduction, ell_reduction, phase_of_round, phase_start
+from .stress import (
+    evenly_spaced_destinations,
+    hierarchy_stress,
+    nested_route_stress,
+    pts_burst_stress,
+    round_robin_destination_stress,
+    tree_convergecast_stress,
+)
+
+__all__ = [
+    "AdaptiveAdversary",
+    "BlockingAdversary",
+    "HotspotAdversary",
+    "Adversary",
+    "InjectionPattern",
+    "BoundednessReport",
+    "TokenBucket",
+    "assert_bounded",
+    "check_bounded",
+    "tightest_bound",
+    "tightest_sigma",
+    "bursty_adversary",
+    "random_line_adversary",
+    "random_tree_adversary",
+    "saturating_line_adversary",
+    "single_destination_adversary",
+    "load_pattern",
+    "pattern_from_dict",
+    "pattern_to_dict",
+    "result_to_dict",
+    "save_pattern",
+    "save_result",
+    "LowerBoundConstruction",
+    "front_position",
+    "injection_site",
+    "lower_bound_network_size",
+    "compressed_reduction",
+    "ell_reduction",
+    "phase_of_round",
+    "phase_start",
+    "evenly_spaced_destinations",
+    "hierarchy_stress",
+    "nested_route_stress",
+    "pts_burst_stress",
+    "round_robin_destination_stress",
+    "tree_convergecast_stress",
+]

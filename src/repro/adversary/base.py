@@ -1,0 +1,192 @@
+"""Adversaries and injection patterns.
+
+An *adversary* (Section 2) is simply a set of packets, each a triple
+``(round, source, destination)``.  The simulator asks the adversary which
+packets arrive in each round; analyses ask for the whole pattern at once.
+:class:`InjectionPattern` is the concrete finite representation used
+throughout the library; :class:`Adversary` is the minimal interface so that
+programmatic adversaries (random generators with an unbounded horizon) can be
+plugged into the simulator without materialising every round up front.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..core.packet import Injection, make_injection
+from ..network.topology import Topology
+
+__all__ = ["Adversary", "InjectionPattern"]
+
+
+class Adversary(ABC):
+    """Interface between an injection process and the simulator."""
+
+    #: Declared average rate; ``None`` means "unknown / unchecked".
+    rho: Optional[float] = None
+    #: Declared burstiness; ``None`` means "unknown / unchecked".
+    sigma: Optional[float] = None
+
+    @abstractmethod
+    def injections_for_round(self, round_number: int) -> List[Injection]:
+        """Packets injected during the given round."""
+
+    @property
+    @abstractmethod
+    def horizon(self) -> int:
+        """Number of rounds over which this adversary injects packets.
+
+        The simulator keeps running past the horizon until all packets drain
+        (unless told otherwise), so the horizon is a property of the pattern,
+        not of the execution length.
+        """
+
+    def all_injections(self) -> List[Injection]:
+        """Every injection up to the horizon, in round order."""
+        result: List[Injection] = []
+        for t in range(self.horizon):
+            result.extend(self.injections_for_round(t))
+        return result
+
+    @property
+    def total_packets(self) -> int:
+        """Total number of packets injected up to the horizon."""
+        return len(self.all_injections())
+
+
+class InjectionPattern(Adversary):
+    """A finite, explicit adversary: a list of injections grouped by round.
+
+    Parameters
+    ----------
+    injections:
+        The packets, in any order.  Packet ids are preserved if present
+        (non-negative) and assigned fresh otherwise.
+    rho, sigma:
+        The declared ``(rho, sigma)`` bound, if known.  Use
+        :func:`repro.adversary.bounded.check_bounded` to verify the claim or
+        :func:`repro.adversary.bounded.tightest_bound` to measure it.
+    """
+
+    def __init__(
+        self,
+        injections: Iterable[Injection],
+        *,
+        rho: Optional[float] = None,
+        sigma: Optional[float] = None,
+    ) -> None:
+        self._by_round: Dict[int, List[Injection]] = defaultdict(list)
+        self._all: List[Injection] = []
+        for injection in injections:
+            if injection.packet_id < 0:
+                injection = make_injection(
+                    injection.round, injection.source, injection.destination
+                )
+            self._by_round[injection.round].append(injection)
+            self._all.append(injection)
+        self._all.sort(key=lambda p: (p.round, p.source, p.destination, p.packet_id))
+        self.rho = rho
+        self.sigma = sigma
+
+    # -- Adversary interface -----------------------------------------------------
+
+    def injections_for_round(self, round_number: int) -> List[Injection]:
+        return list(self._by_round.get(round_number, []))
+
+    @property
+    def horizon(self) -> int:
+        if not self._by_round:
+            return 0
+        return max(self._by_round) + 1
+
+    def all_injections(self) -> List[Injection]:
+        return list(self._all)
+
+    # -- container conveniences -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self) -> Iterator[Injection]:
+        return iter(self._all)
+
+    def __contains__(self, injection: Injection) -> bool:
+        return injection in self._all
+
+    # -- derived views -----------------------------------------------------------
+
+    def destinations(self) -> List[int]:
+        """The distinct destinations, sorted ascending (the set ``W``)."""
+        return sorted({p.destination for p in self._all})
+
+    def sources(self) -> List[int]:
+        """The distinct injection sites, sorted ascending."""
+        return sorted({p.source for p in self._all})
+
+    @property
+    def num_destinations(self) -> int:
+        """``d = |W|`` — the parameter in the Prop. 3.2 bound."""
+        return len(self.destinations())
+
+    def crossings_per_round(
+        self, topology: Topology, num_rounds: Optional[int] = None
+    ) -> List[Dict[int, int]]:
+        """``N_{t}(v)`` for every round and buffer.
+
+        Element ``t`` of the returned list maps each buffer ``v`` to the
+        number of packets injected in round ``t`` whose path contains ``v``.
+        This is the raw material for both excess tracking and the
+        ``(rho, sigma)``-boundedness check.
+        """
+        horizon = num_rounds if num_rounds is not None else self.horizon
+        result: List[Dict[int, int]] = [dict() for _ in range(horizon)]
+        for injection in self._all:
+            if injection.round >= horizon:
+                continue
+            counts = result[injection.round]
+            for v in topology.path(injection.source, injection.destination)[:-1]:
+                counts[v] = counts.get(v, 0) + 1
+        return result
+
+    def restricted_to_rounds(self, first: int, last: int) -> "InjectionPattern":
+        """The sub-pattern of injections with ``first <= round <= last``."""
+        return InjectionPattern(
+            [p for p in self._all if first <= p.round <= last],
+            rho=self.rho,
+            sigma=self.sigma,
+        )
+
+    def shifted(self, offset: int) -> "InjectionPattern":
+        """The same pattern with every injection round shifted by ``offset``."""
+        return InjectionPattern(
+            [
+                Injection(p.round + offset, p.source, p.destination, p.packet_id)
+                for p in self._all
+            ],
+            rho=self.rho,
+            sigma=self.sigma,
+        )
+
+    def merged_with(self, other: "InjectionPattern") -> "InjectionPattern":
+        """The union of two patterns (rho/sigma of the result are unknown)."""
+        return InjectionPattern(list(self._all) + list(other.all_injections()))
+
+    @classmethod
+    def from_tuples(
+        cls,
+        tuples: Sequence[tuple],
+        *,
+        rho: Optional[float] = None,
+        sigma: Optional[float] = None,
+    ) -> "InjectionPattern":
+        """Build a pattern from ``(round, source, destination)`` tuples."""
+        injections = [make_injection(t, src, dst) for (t, src, dst) in tuples]
+        return cls(injections, rho=rho, sigma=sigma)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InjectionPattern(packets={len(self._all)}, horizon={self.horizon}, "
+            f"destinations={self.num_destinations}, rho={self.rho}, sigma={self.sigma})"
+        )

@@ -1,0 +1,268 @@
+"""Randomised (rho, sigma)-bounded adversary generators.
+
+The paper's upper bounds are quantified over *all* ``(rho, sigma)``-bounded
+adversaries, so the test-suite and benchmarks exercise the algorithms on a
+family of randomly generated bounded patterns in addition to the deterministic
+stress constructions of :mod:`repro.adversary.stress`.
+
+Every generator here guarantees boundedness *by construction*: injections are
+admitted through a per-buffer :class:`~repro.adversary.bounded.TokenBucket`,
+so the returned :class:`~repro.adversary.base.InjectionPattern` always passes
+:func:`~repro.adversary.bounded.check_bounded` for the declared parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..core.packet import Injection, make_injection
+from ..network.errors import ConfigurationError
+from ..network.topology import LineTopology, Topology, TreeTopology
+from .base import InjectionPattern
+from .bounded import TokenBucket
+
+__all__ = [
+    "random_line_adversary",
+    "saturating_line_adversary",
+    "single_destination_adversary",
+    "random_tree_adversary",
+    "bursty_adversary",
+]
+
+
+def _pick_destinations(
+    topology: LineTopology,
+    num_destinations: int,
+    rng: random.Random,
+) -> List[int]:
+    """Pick ``d`` distinct destination nodes (always including the last node)."""
+    n = topology.num_nodes
+    if num_destinations < 1:
+        raise ConfigurationError("num_destinations must be >= 1")
+    if num_destinations > n - 1:
+        raise ConfigurationError(
+            f"cannot place {num_destinations} destinations on a line with {n} nodes"
+        )
+    candidates = list(range(1, n))
+    rng.shuffle(candidates)
+    chosen = set(candidates[: num_destinations - 1])
+    chosen.add(n - 1)
+    while len(chosen) < num_destinations:
+        chosen.add(candidates[len(chosen)])
+    return sorted(chosen)
+
+
+def random_line_adversary(
+    topology: LineTopology,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    num_destinations: int = 1,
+    *,
+    seed: Optional[int] = None,
+    intensity: float = 1.0,
+) -> InjectionPattern:
+    """A random bounded adversary on a line.
+
+    Each round the generator proposes random ``(source, destination)`` pairs
+    (destinations drawn from a fixed set of ``num_destinations`` nodes) and
+    admits each proposal only if the token bucket allows it.  ``intensity``
+    in ``(0, 1]`` scales how aggressively the generator tries to exhaust its
+    budget: 1.0 keeps proposing until the bucket is empty, smaller values
+    leave slack.
+
+    Returns an :class:`InjectionPattern` that is ``(rho, sigma)``-bounded by
+    construction.
+    """
+    if not (0 < rho <= 1):
+        raise ConfigurationError(f"rho must be in (0, 1], got {rho}")
+    if sigma < 0:
+        raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+    if not (0 < intensity <= 1):
+        raise ConfigurationError(f"intensity must be in (0, 1], got {intensity}")
+    rng = random.Random(seed)
+    destinations = _pick_destinations(topology, num_destinations, rng)
+    bucket = TokenBucket(topology.num_nodes, rho, sigma)
+    injections: List[Injection] = []
+    # Proposal budget per round: generous enough to use up the bucket when
+    # intensity is 1 but bounded so generation stays linear in num_rounds.
+    proposals_per_round = max(4, int(2 * (rho + sigma) * len(destinations)) + 4)
+    for t in range(num_rounds):
+        bucket.start_round()
+        for _ in range(proposals_per_round):
+            if rng.random() > intensity:
+                continue
+            destination = rng.choice(destinations)
+            source = rng.randrange(0, destination)
+            crossed = list(range(source, destination))
+            if bucket.can_inject(crossed):
+                bucket.inject(crossed)
+                injections.append(make_injection(t, source, destination))
+    return InjectionPattern(injections, rho=rho, sigma=sigma)
+
+
+def saturating_line_adversary(
+    topology: LineTopology,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    num_destinations: int = 1,
+    *,
+    seed: Optional[int] = None,
+) -> InjectionPattern:
+    """A bounded adversary that front-loads its burst budget.
+
+    In every round the generator injects as many packets as the token bucket
+    allows, always routing them over long paths (source 0 or as far left as
+    admissible) so that every buffer's budget is consumed.  This produces the
+    harshest *feasible* load within the declared bound and is the default
+    workload for validating the upper-bound propositions.
+    """
+    rng = random.Random(seed)
+    destinations = _pick_destinations(topology, num_destinations, rng)
+    bucket = TokenBucket(topology.num_nodes, rho, sigma)
+    injections: List[Injection] = []
+    for t in range(num_rounds):
+        bucket.start_round()
+        progress = True
+        while progress:
+            progress = False
+            for destination in destinations:
+                # Longest admissible route into this destination.
+                crossed_full = list(range(0, destination))
+                if bucket.can_inject(crossed_full):
+                    bucket.inject(crossed_full)
+                    injections.append(make_injection(t, 0, destination))
+                    progress = True
+                    continue
+                # Otherwise try a shorter route starting after the first
+                # exhausted buffer.
+                exhausted = [v for v in crossed_full if bucket.available(v) < 1.0]
+                if not exhausted:
+                    continue
+                start = max(exhausted) + 1
+                if start >= destination:
+                    continue
+                crossed = list(range(start, destination))
+                if crossed and bucket.can_inject(crossed):
+                    bucket.inject(crossed)
+                    injections.append(make_injection(t, start, destination))
+                    progress = True
+    return InjectionPattern(injections, rho=rho, sigma=sigma)
+
+
+def single_destination_adversary(
+    topology: LineTopology,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    *,
+    destination: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> InjectionPattern:
+    """A random bounded adversary whose packets all share one destination.
+
+    This is the PTS setting (Proposition 3.1).  The destination defaults to
+    the right end of the line.
+    """
+    destination = destination if destination is not None else topology.num_nodes - 1
+    rng = random.Random(seed)
+    bucket = TokenBucket(topology.num_nodes, rho, sigma)
+    injections: List[Injection] = []
+    for t in range(num_rounds):
+        bucket.start_round()
+        attempts = max(4, int(rho + sigma) + 4)
+        for _ in range(attempts):
+            source = rng.randrange(0, destination)
+            crossed = list(range(source, destination))
+            if bucket.can_inject(crossed):
+                bucket.inject(crossed)
+                injections.append(make_injection(t, source, destination))
+    return InjectionPattern(injections, rho=rho, sigma=sigma)
+
+
+def bursty_adversary(
+    topology: LineTopology,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    num_destinations: int = 1,
+    *,
+    burst_period: int = 16,
+    seed: Optional[int] = None,
+) -> InjectionPattern:
+    """A bounded adversary that alternates silence with maximal bursts.
+
+    For ``burst_period - 1`` rounds nothing is injected (the token buckets
+    refill toward ``sigma``), then one round injects as much as the budget
+    allows.  This exercises the ``+ sigma`` term of every bound.
+    """
+    if burst_period < 1:
+        raise ConfigurationError(f"burst_period must be >= 1, got {burst_period}")
+    rng = random.Random(seed)
+    destinations = _pick_destinations(topology, num_destinations, rng)
+    bucket = TokenBucket(topology.num_nodes, rho, sigma)
+    injections: List[Injection] = []
+    for t in range(num_rounds):
+        bucket.start_round()
+        if t % burst_period != burst_period - 1:
+            continue
+        progress = True
+        while progress:
+            progress = False
+            for destination in destinations:
+                source = rng.randrange(0, destination)
+                crossed = list(range(source, destination))
+                if bucket.can_inject(crossed):
+                    bucket.inject(crossed)
+                    injections.append(make_injection(t, source, destination))
+                    progress = True
+    return InjectionPattern(injections, rho=rho, sigma=sigma)
+
+
+def random_tree_adversary(
+    tree: TreeTopology,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    destinations: Optional[Sequence[int]] = None,
+    *,
+    seed: Optional[int] = None,
+) -> InjectionPattern:
+    """A random bounded adversary on a directed in-tree.
+
+    Sources are drawn uniformly from the strict descendants of a uniformly
+    chosen destination (defaulting to the destination set ``{root}``), and
+    admissions go through a token bucket keyed by node (each packet crossing
+    node ``v`` consumes a token at ``v``).
+    """
+    if destinations is None:
+        destinations = [tree.root]
+    destinations = list(destinations)
+    for w in destinations:
+        if w not in set(tree.nodes):
+            raise ConfigurationError(f"destination {w} not in the tree")
+    rng = random.Random(seed)
+    node_index = {v: idx for idx, v in enumerate(tree.nodes)}
+    bucket = TokenBucket(len(tree.nodes), rho, sigma)
+    injections: List[Injection] = []
+    # Precompute, for every destination, the nodes that can send to it.
+    eligible_sources = {
+        w: [u for u in tree.nodes if u != w and tree.is_upstream(u, w)]
+        for w in destinations
+    }
+    usable_destinations = [w for w in destinations if eligible_sources[w]]
+    if not usable_destinations:
+        return InjectionPattern([], rho=rho, sigma=sigma)
+    attempts = max(4, int(rho + sigma) * len(usable_destinations) + 4)
+    for t in range(num_rounds):
+        bucket.start_round()
+        for _ in range(attempts):
+            destination = rng.choice(usable_destinations)
+            source = rng.choice(eligible_sources[destination])
+            crossed = [node_index[v] for v in tree.path(source, destination)[:-1]]
+            if bucket.can_inject(crossed):
+                bucket.inject(crossed)
+                injections.append(make_injection(t, source, destination))
+    return InjectionPattern(injections, rho=rho, sigma=sigma)

@@ -1,0 +1,131 @@
+"""Serialization of injection patterns and simulation results.
+
+Long adversarial traces are expensive to regenerate and useful to share
+(e.g. a counterexample trace attached to a bug report, or a fixed workload
+pinned for regression benchmarking).  This module writes and reads them as
+plain JSON with a small versioned envelope, so traces survive library
+upgrades and can be inspected with standard tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.packet import Injection
+from ..network.errors import ConfigurationError
+from ..network.events import SimulationResult
+from .base import InjectionPattern
+
+__all__ = [
+    "pattern_to_dict",
+    "pattern_from_dict",
+    "save_pattern",
+    "load_pattern",
+    "result_to_dict",
+    "save_result",
+]
+
+#: Format version written into every file; bump on breaking changes.
+FORMAT_VERSION = 1
+
+
+def pattern_to_dict(pattern: InjectionPattern) -> Dict[str, object]:
+    """Convert a pattern to a JSON-serialisable dict (the trace format)."""
+    return {
+        "format": "repro.injection_pattern",
+        "version": FORMAT_VERSION,
+        "rho": pattern.rho,
+        "sigma": pattern.sigma,
+        "packets": [
+            {
+                "round": injection.round,
+                "source": injection.source,
+                "destination": injection.destination,
+                "id": injection.packet_id,
+            }
+            for injection in pattern.all_injections()
+        ],
+    }
+
+
+def pattern_from_dict(data: Dict[str, object]) -> InjectionPattern:
+    """Rebuild a pattern from :func:`pattern_to_dict` output."""
+    if data.get("format") != "repro.injection_pattern":
+        raise ConfigurationError(
+            f"not an injection-pattern document (format={data.get('format')!r})"
+        )
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported trace version {version!r} (this build reads {FORMAT_VERSION})"
+        )
+    packets: List[Injection] = []
+    for entry in data.get("packets", []):  # type: ignore[union-attr]
+        packets.append(
+            Injection(
+                round=int(entry["round"]),
+                source=int(entry["source"]),
+                destination=int(entry["destination"]),
+                packet_id=int(entry.get("id", -1)),
+            )
+        )
+    rho = data.get("rho")
+    sigma = data.get("sigma")
+    return InjectionPattern(
+        packets,
+        rho=None if rho is None else float(rho),  # type: ignore[arg-type]
+        sigma=None if sigma is None else float(sigma),  # type: ignore[arg-type]
+    )
+
+
+def save_pattern(pattern: InjectionPattern, path: Union[str, Path]) -> Path:
+    """Write a pattern to a JSON file; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(pattern_to_dict(pattern), indent=2) + "\n")
+    return path
+
+
+def load_pattern(path: Union[str, Path]) -> InjectionPattern:
+    """Read a pattern previously written by :func:`save_pattern`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"{path} is not valid JSON: {error}") from error
+    return pattern_from_dict(data)
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    """Convert a simulation result summary (not per-round history) to a dict."""
+    return {
+        "format": "repro.simulation_result",
+        "version": FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "num_nodes": result.num_nodes,
+        "rounds_executed": result.rounds_executed,
+        "max_occupancy": result.max_occupancy,
+        "max_occupancy_per_node": {
+            str(node): load for node, load in sorted(result.max_occupancy_per_node.items())
+        },
+        "max_staged": result.max_staged,
+        "packets_injected": result.packets_injected,
+        "packets_delivered": result.packets_delivered,
+        "packets_undelivered": result.packets_undelivered,
+        "max_latency": result.max_latency,
+        "mean_latency": result.mean_latency,
+        "drained": result.drained,
+    }
+
+
+def save_result(
+    result: SimulationResult, path: Union[str, Path], *, extra: Optional[Dict[str, object]] = None
+) -> Path:
+    """Write a result summary to a JSON file (optionally with extra metadata)."""
+    payload = result_to_dict(result)
+    if extra:
+        payload["extra"] = extra
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -1,0 +1,89 @@
+"""The ell-reduction of an adversary (Definition 2.4, Lemma 2.5).
+
+Given an adversary ``A`` and a positive integer ``ell``, the ``ell``-reduction
+``A_ell`` re-times every packet injected during rounds
+``(k-1) ell + 1, ..., k ell`` to round ``k``.  If ``A`` is ``(rho, sigma)``-
+bounded then ``A_ell`` is ``(ell rho, sigma)``-bounded (Lemma 2.5).
+
+HPTS uses the reduction implicitly — it accepts a phase's injections only at
+the start of the next phase — but having the reduction as a standalone
+transformation lets the tests verify Lemma 2.5 directly and lets benchmarks
+compare "reduced" and "unreduced" executions.
+
+Round-numbering convention.  The paper numbers rounds from 1 inside the
+definition (``floor((t-1)/ell) + 1``); the library numbers rounds from 0, so
+the reduction maps a round ``t`` (0-based) to phase index ``floor(t / ell)``
+and re-times the packet to the *first round of the following phase*,
+``(floor(t / ell) + 1) * ell``, matching the HPTS acceptance rule in
+Algorithm 3 (Lines 3-5).  A second, "compressed" mapping to round
+``floor(t / ell)`` is also provided for analyses that want the literal
+Definition 2.4 object on a compressed time axis.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.packet import Injection
+from ..network.errors import ConfigurationError
+from .base import InjectionPattern
+
+__all__ = ["ell_reduction", "compressed_reduction", "phase_of_round", "phase_start"]
+
+
+def phase_of_round(round_number: int, ell: int) -> int:
+    """Which phase (0-based) the given round belongs to."""
+    if ell < 1:
+        raise ConfigurationError(f"ell must be >= 1, got {ell}")
+    if round_number < 0:
+        raise ConfigurationError(f"round must be >= 0, got {round_number}")
+    return round_number // ell
+
+
+def phase_start(phase: int, ell: int) -> int:
+    """First round of the given phase."""
+    if ell < 1:
+        raise ConfigurationError(f"ell must be >= 1, got {ell}")
+    return phase * ell
+
+
+def ell_reduction(pattern: InjectionPattern, ell: int) -> InjectionPattern:
+    """Re-time each packet to the first round of the phase after its injection.
+
+    This is the acceptance schedule HPTS actually uses: packets injected in
+    phase ``phi`` become visible to the algorithm at round
+    ``(phi + 1) * ell``.  On the original time axis the resulting pattern is
+    ``(ell rho, sigma)``-bounded *per phase-start round* (all of a phase's
+    packets land on one round), which is the form Lemma 2.5 is used in during
+    the proof of Theorem 4.1.
+    """
+    if ell < 1:
+        raise ConfigurationError(f"ell must be >= 1, got {ell}")
+    retimed: List[Injection] = []
+    for injection in pattern.all_injections():
+        phase = phase_of_round(injection.round, ell)
+        new_round = phase_start(phase + 1, ell)
+        retimed.append(
+            Injection(new_round, injection.source, injection.destination, injection.packet_id)
+        )
+    new_rho = None if pattern.rho is None else pattern.rho * ell
+    return InjectionPattern(retimed, rho=new_rho, sigma=pattern.sigma)
+
+
+def compressed_reduction(pattern: InjectionPattern, ell: int) -> InjectionPattern:
+    """The literal Definition 2.4 object: round ``t`` maps to ``floor(t / ell)``.
+
+    The compressed pattern lives on a time axis where one "round" represents a
+    whole phase; Lemma 2.5 states it is ``(ell rho, sigma)``-bounded, which
+    :func:`repro.adversary.bounded.check_bounded` verifies in the tests.
+    """
+    if ell < 1:
+        raise ConfigurationError(f"ell must be >= 1, got {ell}")
+    retimed: List[Injection] = []
+    for injection in pattern.all_injections():
+        phase = phase_of_round(injection.round, ell)
+        retimed.append(
+            Injection(phase, injection.source, injection.destination, injection.packet_id)
+        )
+    new_rho = None if pattern.rho is None else pattern.rho * ell
+    return InjectionPattern(retimed, rho=new_rho, sigma=pattern.sigma)

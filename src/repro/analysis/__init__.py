@@ -1,0 +1,56 @@
+"""Analysis utilities: metrics, tables, invariants, statistics and the tradeoff."""
+
+from .invariants import (
+    InvariantMonitor,
+    InvariantReport,
+    InvariantViolation,
+    check_invariants,
+)
+from .latency import (
+    LatencyBreakdown,
+    delivery_rate,
+    latency_breakdown,
+    latency_by_distance,
+    stretch_summary,
+)
+from .metrics import (
+    BoundCheck,
+    check_against_bound,
+    comparison_table,
+    occupancy_profile,
+    relative_gap,
+)
+from .report import build_report, report_sections
+from .statistics import SeriesSummary, aggregate_rows, group_by, linear_fit, summarise
+from .tables import format_kv, format_table, render_series
+from .tradeoff import TradeoffPoint, analytic_tradeoff_curve, empirical_tradeoff_point
+
+__all__ = [
+    "InvariantMonitor",
+    "InvariantReport",
+    "InvariantViolation",
+    "check_invariants",
+    "LatencyBreakdown",
+    "delivery_rate",
+    "latency_breakdown",
+    "latency_by_distance",
+    "stretch_summary",
+    "BoundCheck",
+    "check_against_bound",
+    "comparison_table",
+    "occupancy_profile",
+    "relative_gap",
+    "build_report",
+    "report_sections",
+    "SeriesSummary",
+    "aggregate_rows",
+    "group_by",
+    "linear_fit",
+    "summarise",
+    "format_kv",
+    "format_table",
+    "render_series",
+    "TradeoffPoint",
+    "analytic_tradeoff_curve",
+    "empirical_tradeoff_point",
+]

@@ -1,0 +1,165 @@
+"""Round-by-round invariant checking for the paper's potential arguments.
+
+The correctness proofs of PTS and PPTS rest on two invariants relating
+*badness* (packets sitting at position >= 2 of a pseudo-buffer, counted with
+everything upstream) to *excess* (how much of the adversary's burst budget is
+currently outstanding, Definition 2.2):
+
+* after the injection step:   ``B^t(i)   <= xi_t(i) + 1``
+* after the forwarding step:  ``B^{t+}(i) <= xi_t(i)``
+* and forwarding never increases badness; it strictly decreases it wherever
+  it was positive (Lemma 3.4 / the key step of Prop. 3.2).
+
+:class:`InvariantMonitor` wraps any line algorithm whose pseudo-buffers are
+keyed by destination (PTS, PPTS) and records these quantities every round, so
+users can check the invariants on their own workloads — the same machinery
+the integration tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..adversary.base import InjectionPattern
+from ..core.badness import line_total_badness
+from ..core.excess import ExcessTracker
+from ..core.scheduler import Activation, ForwardingAlgorithm
+from ..network.simulator import Simulator
+from ..network.topology import LineTopology
+
+__all__ = ["InvariantViolation", "InvariantReport", "InvariantMonitor", "check_invariants"]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One (round, buffer) pair where an invariant failed."""
+
+    round: int
+    buffer: int
+    #: Which invariant failed: "post-injection", "post-forwarding",
+    #: "monotonicity" or "strict-decrease".
+    kind: str
+    badness: float
+    excess: float
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of an invariant-checked execution."""
+
+    rounds_checked: int
+    violations: List[InvariantViolation] = field(default_factory=list)
+    #: max over rounds and buffers of B^t(i) - xi_t(i) (should be <= 1).
+    max_badness_minus_excess: float = float("-inf")
+
+    @property
+    def ok(self) -> bool:
+        """Whether every invariant held on every checked round."""
+        return not self.violations
+
+
+class InvariantMonitor:
+    """Wraps a line algorithm to record badness around every forwarding step.
+
+    The wrapped algorithm must key its pseudo-buffers by destination node
+    (true for PTS and PPTS).  The monitor itself never changes behaviour: it
+    only snapshots ``line_total_badness`` before and after forwarding.
+    """
+
+    def __init__(self, algorithm: ForwardingAlgorithm, destinations: Sequence[int]) -> None:
+        self.algorithm = algorithm
+        self.destinations = list(destinations)
+        self.pre_forwarding: List[Dict[int, int]] = []
+        self.post_forwarding: List[Dict[int, int]] = []
+        self._install()
+
+    def _install(self) -> None:
+        original_select = self.algorithm.select_activations
+        original_round_end = self.algorithm.on_round_end
+        monitor = self
+
+        def wrapped_select(round_number: int) -> List[Activation]:
+            monitor.pre_forwarding.append(
+                line_total_badness(monitor.algorithm.buffers, monitor.destinations)
+            )
+            return original_select(round_number)
+
+        def wrapped_round_end(round_number: int) -> None:
+            monitor.post_forwarding.append(
+                line_total_badness(monitor.algorithm.buffers, monitor.destinations)
+            )
+            original_round_end(round_number)
+
+        self.algorithm.select_activations = wrapped_select  # type: ignore[method-assign]
+        self.algorithm.on_round_end = wrapped_round_end  # type: ignore[method-assign]
+
+
+def check_invariants(
+    topology: LineTopology,
+    algorithm: ForwardingAlgorithm,
+    pattern: InjectionPattern,
+    rho: float,
+    *,
+    destinations: Optional[Sequence[int]] = None,
+    num_rounds: Optional[int] = None,
+) -> InvariantReport:
+    """Run the algorithm against the pattern and check the potential invariants.
+
+    Parameters
+    ----------
+    topology, algorithm, pattern:
+        The usual simulation ingredients (line topologies only).
+    rho:
+        The adversary's rate, needed to compute the excess.
+    destinations:
+        Destination set used for badness accounting; defaults to the pattern's
+        destination set.
+    num_rounds:
+        How many injection rounds to check; defaults to the pattern horizon
+        (drain rounds are not checked — the invariants concern loaded rounds).
+
+    Returns
+    -------
+    InvariantReport
+        With one :class:`InvariantViolation` per failed (round, buffer) pair.
+    """
+    destinations = list(destinations) if destinations is not None else pattern.destinations()
+    monitor = InvariantMonitor(algorithm, destinations)
+    horizon = num_rounds if num_rounds is not None else pattern.horizon
+
+    simulator = Simulator(topology, algorithm, pattern)
+    simulator.run(num_rounds=horizon, drain=False)
+
+    crossings = pattern.crossings_per_round(topology, horizon)
+    tracker = ExcessTracker(topology.num_nodes, rho)
+    report = InvariantReport(rounds_checked=min(horizon, len(monitor.pre_forwarding)))
+
+    for t in range(report.rounds_checked):
+        tracker.observe_round(crossings[t] if t < len(crossings) else {})
+        before = monitor.pre_forwarding[t]
+        after = monitor.post_forwarding[t]
+        for buffer in topology.nodes:
+            excess = tracker.excess(buffer)
+            badness_before = before.get(buffer, 0)
+            badness_after = after.get(buffer, 0)
+            report.max_badness_minus_excess = max(
+                report.max_badness_minus_excess, badness_before - excess
+            )
+            if badness_before > excess + 1 + 1e-9:
+                report.violations.append(
+                    InvariantViolation(t, buffer, "post-injection", badness_before, excess)
+                )
+            if badness_after > excess + 1e-9:
+                report.violations.append(
+                    InvariantViolation(t, buffer, "post-forwarding", badness_after, excess)
+                )
+            if badness_after > badness_before:
+                report.violations.append(
+                    InvariantViolation(t, buffer, "monotonicity", badness_after, excess)
+                )
+            if badness_before > 0 and badness_after > badness_before - 1:
+                report.violations.append(
+                    InvariantViolation(t, buffer, "strict-decrease", badness_after, excess)
+                )
+    return report

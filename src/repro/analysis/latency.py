@@ -1,0 +1,132 @@
+"""Per-packet latency analysis.
+
+The paper's metric is buffer space, but the classical AQT literature it builds
+on (Andrews et al.'s ``O(distance + 1/session-rate)`` per-packet delay, the
+greedy-protocol delay results) is about latency, and the PTS family trades
+latency away deliberately: a packet that never becomes "bad" may sit in a
+buffer forever.  These helpers quantify that trade so the E8-style comparisons
+can report it honestly.
+
+All functions operate on a finished :class:`~repro.network.simulator.Simulator`
+(which retains every :class:`~repro.core.packet.Packet` it created), not on the
+summary result, because latency needs per-packet data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.packet import PacketState
+from ..network.simulator import Simulator
+from .statistics import SeriesSummary, summarise
+
+__all__ = [
+    "LatencyBreakdown",
+    "latency_breakdown",
+    "latency_by_distance",
+    "stretch_summary",
+    "delivery_rate",
+]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Latency statistics of one finished simulation."""
+
+    delivered: int
+    undelivered: int
+    latency: SeriesSummary
+    #: Latency minus the packet's hop distance (queueing delay only).
+    queueing_delay: SeriesSummary
+    #: latency / max(distance, 1): the per-packet "stretch".
+    stretch: SeriesSummary
+
+
+def _delivered_packets(simulator: Simulator):
+    return [
+        packet
+        for packet in simulator.packets.values()
+        if packet.state is PacketState.DELIVERED and packet.latency is not None
+    ]
+
+
+def latency_breakdown(simulator: Simulator) -> LatencyBreakdown:
+    """Latency, queueing delay and stretch over all delivered packets."""
+    delivered = _delivered_packets(simulator)
+    undelivered = len(simulator.packets) - len(delivered)
+    latencies = [packet.latency for packet in delivered]
+    distances = [abs(packet.destination - packet.source) for packet in delivered]
+    # A packet moving every round from its injection round onward arrives
+    # after distance - 1 full rounds (it moves in its injection round too), so
+    # the queueing delay is latency - (distance - 1).
+    queueing = [
+        max(0, latency - max(0, distance - 1))
+        for latency, distance in zip(latencies, distances)
+    ]
+    stretch = [
+        latency / max(1, distance - 1) if distance > 1 else float(latency + 1)
+        for latency, distance in zip(latencies, distances)
+    ]
+    return LatencyBreakdown(
+        delivered=len(delivered),
+        undelivered=undelivered,
+        latency=summarise(latencies),
+        queueing_delay=summarise(queueing),
+        stretch=summarise(stretch),
+    )
+
+
+def latency_by_distance(
+    simulator: Simulator, *, num_buckets: int = 5
+) -> List[Dict[str, object]]:
+    """Mean/max latency grouped into distance buckets (rows for a table).
+
+    Useful for eyeballing the ``O(distance + ...)`` shape: with a
+    work-conserving algorithm the mean latency should grow roughly linearly
+    with the route length.
+    """
+    delivered = _delivered_packets(simulator)
+    if not delivered:
+        return []
+    distances = [abs(packet.destination - packet.source) for packet in delivered]
+    max_distance = max(distances)
+    bucket_width = max(1, (max_distance + num_buckets - 1) // num_buckets)
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for packet, distance in zip(delivered, distances):
+        low = ((distance - 1) // bucket_width) * bucket_width + 1
+        key = (low, low + bucket_width - 1)
+        buckets.setdefault(key, []).append(packet.latency)
+    rows = []
+    for (low, high), values in sorted(buckets.items()):
+        summary = summarise(values)
+        rows.append(
+            {
+                "distance": f"{low}-{high}",
+                "packets": summary.count,
+                "mean_latency": round(summary.mean, 1),
+                "max_latency": int(summary.maximum),
+            }
+        )
+    return rows
+
+
+def stretch_summary(simulator: Simulator) -> Optional[float]:
+    """The mean stretch (latency / shortest possible), or ``None`` if nothing delivered."""
+    breakdown = latency_breakdown(simulator)
+    if breakdown.delivered == 0:
+        return None
+    return breakdown.stretch.mean
+
+
+def delivery_rate(simulator: Simulator) -> float:
+    """Fraction of injected packets that were delivered (1.0 for drained runs)."""
+    total = len(simulator.packets)
+    if total == 0:
+        return 1.0
+    delivered = sum(
+        1
+        for packet in simulator.packets.values()
+        if packet.state is PacketState.DELIVERED
+    )
+    return delivered / total

@@ -1,0 +1,116 @@
+"""Derived metrics over simulation results.
+
+These helpers turn :class:`~repro.network.events.SimulationResult` objects
+into the numbers the benchmarks report: bound slack, occupancy profiles,
+latency statistics and cross-algorithm comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..network.events import SimulationResult
+
+__all__ = [
+    "BoundCheck",
+    "check_against_bound",
+    "occupancy_profile",
+    "comparison_table",
+    "relative_gap",
+]
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """The measured max occupancy next to a theoretical bound."""
+
+    measured: int
+    bound: float
+    #: ``measured <= bound`` (with a tiny tolerance for float bounds).
+    satisfied: bool
+    #: ``bound - measured``: unused headroom (negative means violation).
+    slack: float
+    #: ``measured / bound``: how much of the bound the workload actually used.
+    utilisation: float
+
+
+def check_against_bound(result: SimulationResult, bound: Optional[float]) -> BoundCheck:
+    """Compare a run's max occupancy against a closed-form bound.
+
+    ``bound`` may be ``None`` (no bound applies, e.g. greedy baselines); the
+    check is then trivially "satisfied" with zero utilisation so tables still
+    have something to print.
+    """
+    measured = result.max_occupancy
+    if bound is None:
+        return BoundCheck(
+            measured=measured, bound=float("inf"), satisfied=True, slack=float("inf"),
+            utilisation=0.0,
+        )
+    return BoundCheck(
+        measured=measured,
+        bound=float(bound),
+        satisfied=measured <= bound + 1e-9,
+        slack=float(bound) - measured,
+        utilisation=measured / bound if bound > 0 else 0.0,
+    )
+
+
+def occupancy_profile(result: SimulationResult, num_buckets: int = 10) -> List[int]:
+    """Max occupancy per time bucket (coarse trajectory for reports).
+
+    Requires the result to carry history; returns an empty list otherwise.
+    """
+    timeline = result.occupancy_timeline()
+    if not timeline or num_buckets <= 0:
+        return []
+    bucket_size = max(1, len(timeline) // num_buckets)
+    profile = []
+    for start in range(0, len(timeline), bucket_size):
+        profile.append(max(timeline[start : start + bucket_size]))
+    return profile
+
+
+def relative_gap(baseline: SimulationResult, candidate: SimulationResult) -> float:
+    """``baseline.max_occupancy / candidate.max_occupancy`` (>1 means candidate wins).
+
+    Returns ``inf`` when the candidate held no packets at all (degenerate runs).
+    """
+    if candidate.max_occupancy == 0:
+        return float("inf")
+    return baseline.max_occupancy / candidate.max_occupancy
+
+
+def comparison_table(
+    results: Iterable[SimulationResult],
+    bounds: Optional[Dict[str, Optional[float]]] = None,
+) -> List[Dict[str, object]]:
+    """Rows comparing several algorithms on the same workload.
+
+    ``bounds`` optionally maps algorithm name to its theoretical bound so the
+    table can show bound columns alongside the measurements.
+    """
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        bound = (bounds or {}).get(result.algorithm)
+        check = check_against_bound(result, bound)
+        rows.append(
+            {
+                "algorithm": result.algorithm,
+                "max_occupancy": result.max_occupancy,
+                "bound": None if bound is None else round(float(bound), 2),
+                "within_bound": check.satisfied,
+                "delivered": result.packets_delivered,
+                "max_latency": result.max_latency,
+                "mean_latency": None
+                if result.mean_latency is None
+                else round(result.mean_latency, 1),
+            }
+        )
+    return rows
+
+
+def max_occupancy_series(results: Sequence[SimulationResult]) -> List[int]:
+    """The max-occupancy column of a sweep (convenience for plotting/benchmarks)."""
+    return [result.max_occupancy for result in results]

@@ -1,0 +1,108 @@
+"""One-stop text reports for a simulation run.
+
+``build_report`` assembles everything a user typically wants to see after one
+execution — the headline occupancy vs. the applicable bound, per-node maxima,
+delivery and latency statistics, and (when history was recorded) a compact
+occupancy trajectory — into a single printable string.  The CLI and the
+examples use it; tests treat it as the canonical "human-readable summary" of a
+run so its structure stays stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.scheduler import ForwardingAlgorithm
+from ..network.events import SimulationResult
+from ..network.simulator import Simulator
+from .latency import latency_breakdown, latency_by_distance
+from .metrics import check_against_bound, occupancy_profile
+from .tables import format_kv, format_table, render_series
+
+__all__ = ["build_report", "report_sections"]
+
+
+def report_sections(
+    simulator: Simulator,
+    result: SimulationResult,
+    *,
+    sigma: Optional[float] = None,
+) -> Dict[str, str]:
+    """The individual sections of the report, keyed by heading.
+
+    Separated from :func:`build_report` so callers can pick the pieces they
+    need (e.g. only the summary block in a tight loop).
+    """
+    algorithm: ForwardingAlgorithm = simulator.algorithm
+    bound = algorithm.theoretical_bound(sigma) if sigma is not None else None
+    check = check_against_bound(result, bound)
+
+    summary = format_kv(
+        {
+            "algorithm": result.algorithm,
+            "nodes": result.num_nodes,
+            "rounds executed": result.rounds_executed,
+            "packets injected": result.packets_injected,
+            "packets delivered": result.packets_delivered,
+            "packets undelivered": result.packets_undelivered,
+            "drained": result.drained,
+            "max occupancy": result.max_occupancy,
+            "bound": None if bound is None else round(float(bound), 2),
+            "within bound": check.satisfied if bound is not None else None,
+            "max staged": result.max_staged,
+        },
+        title="Summary",
+    )
+
+    top_nodes = sorted(
+        result.max_occupancy_per_node.items(), key=lambda item: -item[1]
+    )[:8]
+    hotspots = format_table(
+        [{"node": node, "max_occupancy": load} for node, load in top_nodes],
+        title="Most loaded buffers",
+    )
+
+    breakdown = latency_breakdown(simulator)
+    latency = format_kv(
+        {
+            "delivered": breakdown.delivered,
+            "undelivered": breakdown.undelivered,
+            "mean latency": round(breakdown.latency.mean, 2),
+            "max latency": breakdown.latency.maximum,
+            "mean queueing delay": round(breakdown.queueing_delay.mean, 2),
+            "mean stretch": round(breakdown.stretch.mean, 2),
+        },
+        title="Latency",
+    )
+    by_distance = format_table(
+        latency_by_distance(simulator), title="Latency by route length"
+    )
+
+    sections: Dict[str, str] = {
+        "summary": summary,
+        "hotspots": hotspots,
+        "latency": latency,
+        "latency_by_distance": by_distance,
+    }
+    profile = occupancy_profile(result, num_buckets=40)
+    if profile:
+        sections["trajectory"] = render_series(profile, label="max occupancy over time ")
+    return sections
+
+
+def build_report(
+    simulator: Simulator,
+    result: SimulationResult,
+    *,
+    sigma: Optional[float] = None,
+    title: str = "Simulation report",
+) -> str:
+    """A complete multi-section text report for one finished run."""
+    sections = report_sections(simulator, result, sigma=sigma)
+    parts = [title, "=" * len(title), ""]
+    order = ["summary", "trajectory", "hotspots", "latency", "latency_by_distance"]
+    for key in order:
+        if key in sections:
+            parts.append(sections[key])
+            parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

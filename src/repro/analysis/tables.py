@@ -1,0 +1,91 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The benchmarks print the same rows/series the paper's results state, so the
+formatter favours alignment and stable column order over fancy styling.  Only
+the standard library is used; output renders identically in CI logs and
+terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_kv", "render_series"]
+
+
+def _stringify(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        One dict per row.  Missing keys render as ``-``.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional heading printed above the table.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    column_names = list(columns) if columns is not None else list(rows[0].keys())
+    header = [str(name) for name in column_names]
+    body = [[_stringify(row.get(name)) for name in column_names] for row in rows]
+    widths = [
+        max(len(header[idx]), *(len(line[idx]) for line in body))
+        for idx in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(header[idx].ljust(widths[idx]) for idx in range(len(header))))
+    lines.append(separator)
+    for line in body:
+        lines.append(" | ".join(line[idx].ljust(widths[idx]) for idx in range(len(header))))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Dict[str, object], *, title: Optional[str] = None) -> str:
+    """Render a key/value mapping as aligned ``key: value`` lines."""
+    if not pairs:
+        return (title + "\n" if title else "") + "(empty)"
+    width = max(len(str(key)) for key in pairs)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for key, value in pairs.items():
+        lines.append(f"{str(key).ljust(width)} : {_stringify(value)}")
+    return "\n".join(lines)
+
+
+def render_series(values: Iterable[float], *, width: int = 40, label: str = "") -> str:
+    """A one-line sparkline-style bar rendering of a numeric series.
+
+    Handy for showing occupancy trajectories in text output without plotting
+    dependencies.
+    """
+    values = list(values)
+    if not values:
+        return f"{label}(empty)"
+    peak = max(values) or 1
+    blocks = " .:-=+*#%@"
+    scaled = [blocks[min(len(blocks) - 1, int(v / peak * (len(blocks) - 1)))] for v in values]
+    if len(scaled) > width:
+        stride = len(scaled) / width
+        scaled = [scaled[int(i * stride)] for i in range(width)]
+    return f"{label}[{''.join(scaled)}] peak={peak}"

@@ -1,0 +1,125 @@
+"""Space-bandwidth tradeoff analysis (Section 1 "Implications", experiment E7).
+
+The paper's headline interpretation: if the number of distinct destinations in
+a line system grows by a factor ``alpha`` at unchanged per-link load, a system
+designer can either
+
+* multiply every buffer by ``alpha`` (stick with PPTS), or
+* multiply both buffer space *and* link bandwidth by ``O(log alpha)``
+  (run HPTS with ``ceil(log2 alpha)`` levels, whose time-division multiplexing
+  needs that many "virtual links" per physical link at the original rate).
+
+This module computes both sides of the tradeoff analytically (from the bounds)
+and empirically (by simulating PPTS vs HPTS on scaled destination sets), and
+produces the crossover summary the E7 benchmark prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..adversary.stress import round_robin_destination_stress
+from ..core import bounds
+from ..core.hpts import HierarchicalPeakToSink
+from ..core.ppts import ParallelPeakToSink
+from ..network.simulator import run_simulation
+from ..network.topology import LineTopology
+
+__all__ = ["TradeoffPoint", "analytic_tradeoff_curve", "empirical_tradeoff_point"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One row of the space-bandwidth tradeoff table."""
+
+    scale_factor: float
+    destinations: int
+    space_only_buffers: float
+    space_bandwidth_buffers: float
+    bandwidth_multiplier: int
+    #: Ratio of the two buffer costs (> 1 means the bandwidth route is cheaper in space).
+    space_saving: float
+
+
+def analytic_tradeoff_curve(
+    base_destinations: int,
+    scale_factors: List[float],
+    sigma: float,
+    rho: float,
+) -> List[TradeoffPoint]:
+    """The tradeoff computed purely from the paper's bounds."""
+    points: List[TradeoffPoint] = []
+    for alpha in scale_factors:
+        row = bounds.bandwidth_space_tradeoff(base_destinations, alpha, sigma, rho)
+        space_only = float(row["space_only_buffers"])
+        space_bandwidth = float(row["space_bandwidth_buffers"])
+        points.append(
+            TradeoffPoint(
+                scale_factor=alpha,
+                destinations=int(row["scaled_destinations"]),
+                space_only_buffers=space_only,
+                space_bandwidth_buffers=space_bandwidth,
+                bandwidth_multiplier=int(row["bandwidth_multiplier"]),
+                space_saving=space_only / space_bandwidth if space_bandwidth else 0.0,
+            )
+        )
+    return points
+
+
+def empirical_tradeoff_point(
+    num_nodes: int,
+    num_destinations: int,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    *,
+    levels: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Measure the tradeoff on a concrete workload.
+
+    Runs the round-robin destination stress (the workload that forces the
+    ``+ d`` term) against PPTS at full rate, and against HPTS at the reduced
+    per-level rate ``rho / ell`` (modelling the ``ell``-fold bandwidth
+    expansion as an ``ell``-fold rate reduction on each virtual link).
+
+    Returns a dict row with the measured occupancies and the matching bounds.
+    """
+    if levels is None:
+        levels = max(1, math.ceil(math.log2(max(2, num_destinations))))
+    # Choose an HPTS-compatible line length: smallest m with m**levels >= n.
+    branching = max(2, math.ceil(num_nodes ** (1.0 / levels)))
+    hpts_nodes = branching**levels
+
+    # PPTS at the original rate on the original line.
+    ppts_line = LineTopology(num_nodes)
+    ppts_pattern = round_robin_destination_stress(
+        ppts_line, rho, sigma, num_rounds, num_destinations
+    )
+    ppts_result = run_simulation(
+        ppts_line, ParallelPeakToSink(ppts_line), ppts_pattern
+    )
+
+    # HPTS with ell levels: each level's time slice sees rate rho / ell.
+    hpts_line = LineTopology(hpts_nodes)
+    hpts_rho = min(1.0 / levels, rho)
+    hpts_pattern = round_robin_destination_stress(
+        hpts_line, hpts_rho, sigma, num_rounds, num_destinations
+    )
+    hpts_result = run_simulation(
+        hpts_line,
+        HierarchicalPeakToSink(hpts_line, levels, branching, rho=hpts_rho),
+        hpts_pattern,
+    )
+
+    return {
+        "destinations": num_destinations,
+        "levels": levels,
+        "ppts_measured": ppts_result.max_occupancy,
+        "ppts_bound": bounds.ppts_upper_bound(num_destinations, sigma),
+        "hpts_measured": hpts_result.max_occupancy,
+        "hpts_bound": bounds.hpts_upper_bound(hpts_nodes, levels, sigma),
+        "bandwidth_multiplier": levels,
+    }

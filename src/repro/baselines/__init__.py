@@ -1,0 +1,27 @@
+"""Baseline (greedy) forwarding algorithms used for comparison experiments."""
+
+from .greedy import GreedyForwarding
+from .policies import (
+    ALL_POLICIES,
+    GreedyPolicy,
+    fifo,
+    furthest_to_go,
+    lifo,
+    longest_in_system,
+    nearest_to_go,
+    policy_by_name,
+    shortest_in_system,
+)
+
+__all__ = [
+    "GreedyForwarding",
+    "ALL_POLICIES",
+    "GreedyPolicy",
+    "fifo",
+    "furthest_to_go",
+    "lifo",
+    "longest_in_system",
+    "nearest_to_go",
+    "policy_by_name",
+    "shortest_in_system",
+]

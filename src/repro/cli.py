@@ -1,0 +1,271 @@
+"""Command-line interface: run simulations and reproduce experiments from a shell.
+
+Installed as ``python -m repro`` (see ``__main__.py``).  Sub-commands:
+
+``experiments``
+    List the E1-E9 registry (paper item, claim, benchmark file).
+
+``experiment <id>``
+    Show the full metadata of one experiment.
+
+``simulate``
+    Build a workload + algorithm from command-line options, run it, and print
+    the measured-vs-bound row.  This is the quickest way to poke at the system
+    without writing a script.
+
+``bounds``
+    Print every closed-form bound for a given ``(n, d, d', ell, rho, sigma)``.
+
+``figure1``
+    Render the Figure 1 hierarchy (optionally with a sample trajectory).
+
+Examples
+--------
+::
+
+    python -m repro experiments
+    python -m repro simulate --algorithm ppts --nodes 64 --destinations 12 \
+        --rho 1.0 --sigma 2 --rounds 300
+    python -m repro simulate --algorithm hpts --levels 3 --nodes 64 --rho 0.33
+    python -m repro bounds --nodes 64 --destinations 12 --rho 0.5 --sigma 2
+    python -m repro figure1 --branching 2 --levels 4 --source 2 --destination 13
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.tables import format_kv, format_table
+from .baselines.greedy import GreedyForwarding
+from .baselines.policies import policy_by_name
+from .core import bounds
+from .core.hpts import HierarchicalPeakToSink
+from .core.local import DownhillForwarding, LocalThresholdForwarding
+from .core.ppts import ParallelPeakToSink
+from .core.pts import PeakToSink
+from .experiments.figures import render_figure1, trajectory_table
+from .experiments.harness import rows_to_table, run_workload
+from .experiments.registry import get_experiment, list_experiments
+from .experiments.workloads import (
+    hierarchical_workload,
+    multi_destination_workload,
+    single_destination_workload,
+)
+from .network.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+#: Algorithms selectable from the command line, with the workload family each
+#: one is paired with by default.
+ALGORITHMS = ("pts", "ppts", "hpts", "local", "downhill", "greedy")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AQT buffer-space reproduction: simulations, bounds and experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("experiments", help="list the E1-E9 experiment registry")
+
+    show = subparsers.add_parser("experiment", help="show one experiment's metadata")
+    show.add_argument("id", help="experiment id, e.g. E4")
+
+    simulate = subparsers.add_parser("simulate", help="run one workload/algorithm pair")
+    simulate.add_argument("--algorithm", choices=ALGORITHMS, default="ppts")
+    simulate.add_argument("--nodes", type=int, default=64, help="line length n")
+    simulate.add_argument("--destinations", type=int, default=8, help="number of destinations d")
+    simulate.add_argument("--rho", type=float, default=1.0)
+    simulate.add_argument("--sigma", type=float, default=2.0)
+    simulate.add_argument("--rounds", type=int, default=200)
+    simulate.add_argument("--levels", type=int, default=2, help="HPTS hierarchy levels")
+    simulate.add_argument("--locality", type=int, default=2, help="radius for --algorithm local")
+    simulate.add_argument("--policy", default="FIFO", help="greedy policy name")
+    simulate.add_argument(
+        "--workload",
+        choices=("stress", "round_robin", "nested", "random", "hierarchy"),
+        default=None,
+        help="workload kind (defaults to the natural one for the algorithm)",
+    )
+    simulate.add_argument("--seed", type=int, default=None)
+
+    bounds_cmd = subparsers.add_parser("bounds", help="print the closed-form bounds")
+    bounds_cmd.add_argument("--nodes", type=int, default=64)
+    bounds_cmd.add_argument("--destinations", type=int, default=8)
+    bounds_cmd.add_argument("--destination-depth", type=int, default=4)
+    bounds_cmd.add_argument("--levels", type=int, default=None)
+    bounds_cmd.add_argument("--rho", type=float, default=0.5)
+    bounds_cmd.add_argument("--sigma", type=float, default=2.0)
+
+    figure = subparsers.add_parser("figure1", help="render the Figure 1 hierarchy")
+    figure.add_argument("--branching", type=int, default=2)
+    figure.add_argument("--levels", type=int, default=4)
+    figure.add_argument("--source", type=int, default=None)
+    figure.add_argument("--destination", type=int, default=None)
+
+    return parser
+
+
+def _command_experiments() -> int:
+    rows = [
+        {
+            "id": experiment.id,
+            "paper item": experiment.paper_item,
+            "claim": experiment.claim,
+            "benchmark": experiment.benchmark,
+        }
+        for experiment in list_experiments()
+    ]
+    print(format_table(rows, title="Reproduced experiments"))
+    return 0
+
+
+def _command_experiment(experiment_id: str) -> int:
+    experiment = get_experiment(experiment_id)
+    print(
+        format_kv(
+            {
+                "id": experiment.id,
+                "paper item": experiment.paper_item,
+                "claim": experiment.claim,
+                "workload": experiment.workload,
+                "modules": ", ".join(experiment.modules),
+                "benchmark": experiment.benchmark,
+            },
+            title=f"Experiment {experiment.id}",
+        )
+    )
+    return 0
+
+
+def _build_workload(args: argparse.Namespace):
+    if args.algorithm == "hpts":
+        branching = round(args.nodes ** (1.0 / args.levels))
+        kind = args.workload or "hierarchy"
+        if kind not in ("hierarchy", "random"):
+            kind = "hierarchy"
+        return hierarchical_workload(
+            max(2, branching), args.levels, args.rho, args.sigma, args.rounds,
+            kind=kind, seed=args.seed,
+        )
+    if args.algorithm in ("pts", "local", "downhill"):
+        kind = args.workload or "stress"
+        if kind not in ("stress", "random"):
+            kind = "stress"
+        return single_destination_workload(
+            args.nodes, args.rho, args.sigma, args.rounds, kind=kind, seed=args.seed
+        )
+    kind = args.workload or "round_robin"
+    if kind not in ("round_robin", "nested", "random"):
+        kind = "round_robin"
+    return multi_destination_workload(
+        args.nodes, args.destinations, args.rho, args.sigma, args.rounds,
+        kind=kind, seed=args.seed,
+    )
+
+
+def _build_algorithm_factory(args: argparse.Namespace):
+    if args.algorithm == "pts":
+        return lambda workload: PeakToSink(workload.topology)
+    if args.algorithm == "ppts":
+        return lambda workload: ParallelPeakToSink(workload.topology)
+    if args.algorithm == "hpts":
+        return lambda workload: HierarchicalPeakToSink(
+            workload.topology,
+            workload.params["ell"],
+            workload.params["m"],
+            rho=workload.rho,
+        )
+    if args.algorithm == "local":
+        return lambda workload: LocalThresholdForwarding(
+            workload.topology, locality=args.locality
+        )
+    if args.algorithm == "downhill":
+        return lambda workload: DownhillForwarding(workload.topology)
+    if args.algorithm == "greedy":
+        policy = policy_by_name(args.policy)
+        return lambda workload: GreedyForwarding(workload.topology, policy)
+    raise ReproError(f"unknown algorithm {args.algorithm!r}")
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    workload = _build_workload(args)
+    factory = _build_algorithm_factory(args)
+    row = run_workload(workload, factory)
+    print(rows_to_table([row], title="Simulation result"))
+    return 0
+
+
+def _command_bounds(args: argparse.Namespace) -> int:
+    levels = args.levels if args.levels is not None else bounds.optimal_levels(args.rho)
+    values = {
+        "PTS (Prop 3.1)": bounds.pts_upper_bound(args.sigma),
+        "PPTS (Prop 3.2)": bounds.ppts_upper_bound(args.destinations, args.sigma),
+        "tree PPTS (Prop 3.5)": bounds.tree_ppts_upper_bound(
+            args.destination_depth, args.sigma
+        ),
+        f"HPTS, ell={levels} (Thm 4.1)": round(
+            bounds.hpts_upper_bound(args.nodes, levels, args.sigma), 2
+        ),
+        f"lower bound, ell={levels} (Thm 5.1)": round(
+            bounds.lower_bound(args.nodes, levels, args.rho), 2
+        ),
+        "destination form upper O(k d^(1/k))": round(
+            bounds.destination_upper_bound(args.destinations, args.rho, args.sigma), 2
+        ),
+        "destination form lower": round(
+            bounds.destination_lower_bound(args.destinations, args.rho), 2
+        ),
+    }
+    print(
+        format_kv(
+            values,
+            title=(
+                f"Bounds for n={args.nodes}, d={args.destinations}, "
+                f"d'={args.destination_depth}, rho={args.rho}, sigma={args.sigma}"
+            ),
+        )
+    )
+    return 0
+
+
+def _command_figure1(args: argparse.Namespace) -> int:
+    trajectory = None
+    if args.source is not None and args.destination is not None:
+        trajectory = (args.source, args.destination)
+    print(render_figure1(args.branching, args.levels, trajectory=trajectory))
+    if trajectory is not None:
+        print()
+        print(
+            format_table(
+                trajectory_table(args.branching, args.levels, *trajectory),
+                title=f"Segments of {trajectory[0]} -> {trajectory[1]}",
+            )
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        if args.command == "experiments":
+            return _command_experiments()
+        if args.command == "experiment":
+            return _command_experiment(args.id)
+        if args.command == "simulate":
+            return _command_simulate(args)
+        if args.command == "bounds":
+            return _command_bounds(args)
+        if args.command == "figure1":
+            return _command_figure1(args)
+        parser.error(f"unknown command {args.command!r}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0

@@ -1,0 +1,50 @@
+"""Core contribution: the paper's forwarding algorithms and their analysis toolkit."""
+
+from . import badness, bounds
+from .excess import ExcessTracker, excess_brute_force
+from .hierarchy import (
+    HierarchicalPartition,
+    Segment,
+    base_m_digits,
+    digits_to_index,
+    factor_as_power,
+    is_perfect_power,
+)
+from .hpts import HierarchicalPeakToSink
+from .local import DownhillForwarding, LocalThresholdForwarding
+from .packet import Injection, Packet, PacketState, make_injection, reset_packet_ids
+from .ppts import ParallelPeakToSink
+from .pseudobuffer import NodeBuffer, PseudoBuffer, QueueDiscipline
+from .pts import PeakToSink
+from .scheduler import Activation, ForwardingAlgorithm
+from .tree import TreeParallelPeakToSink, TreePeakToSink
+
+__all__ = [
+    "badness",
+    "bounds",
+    "ExcessTracker",
+    "excess_brute_force",
+    "HierarchicalPartition",
+    "Segment",
+    "base_m_digits",
+    "digits_to_index",
+    "factor_as_power",
+    "is_perfect_power",
+    "HierarchicalPeakToSink",
+    "DownhillForwarding",
+    "LocalThresholdForwarding",
+    "Injection",
+    "Packet",
+    "PacketState",
+    "make_injection",
+    "reset_packet_ids",
+    "ParallelPeakToSink",
+    "NodeBuffer",
+    "PseudoBuffer",
+    "QueueDiscipline",
+    "PeakToSink",
+    "Activation",
+    "ForwardingAlgorithm",
+    "TreeParallelPeakToSink",
+    "TreePeakToSink",
+]

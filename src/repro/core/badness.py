@@ -1,0 +1,234 @@
+"""Badness accounting (Definitions 3.3, 4.4, 4.5 and B.4).
+
+The paper's analysis of PTS / PPTS / HPTS revolves around *badness*: a packet
+is bad if it sits at position >= 2 inside its pseudo-buffer, and the badness
+``B_k(i)`` of a buffer ``i`` with respect to destination ``w_k`` counts the
+bad ``k``-packets in buffers ``i' <= i`` (i.e. also upstream of ``i``).  The
+key invariants are
+
+* PPTS (Prop. 3.2):    ``B^t(i) <= xi_t(i) + 1`` and ``B^{t+}(i) <= xi_t(i)``,
+* HPTS (Thm. 4.1):     the same per phase, with badness refined by level.
+
+These functions compute badness directly from a buffer configuration so the
+test suite can check the invariants independently of the algorithms'
+internal bookkeeping, and so the benchmarks can report badness trajectories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from ..network.topology import TreeTopology
+from .pseudobuffer import NodeBuffer
+
+__all__ = [
+    "pseudo_buffer_badness",
+    "line_badness_by_destination",
+    "line_total_badness",
+    "line_badness_single_destination",
+    "hpts_level_badness",
+    "hpts_total_badness",
+    "tree_badness",
+    "tree_badness_by_destination",
+]
+
+
+def pseudo_buffer_badness(load: int) -> int:
+    """``beta`` for a pseudo-buffer with the given load: ``max(load - 1, 0)``."""
+    return max(load - 1, 0)
+
+
+# ---------------------------------------------------------------------------
+# Line topology (Sections 3.1-3.2)
+# ---------------------------------------------------------------------------
+
+
+def line_badness_single_destination(
+    buffers: Mapping[int, NodeBuffer],
+    destination: int,
+) -> Dict[int, int]:
+    """Single-destination badness ``B^t(i)`` for PTS (proof of Prop. 3.1).
+
+    With one destination ``w``, the badness of the network is the total number
+    of packets stored at position >= 2 in any buffer to the left of ``w``.
+    The returned mapping gives, for every buffer ``i``, the number of bad
+    packets in buffers ``i' <= i`` — the prefix sums used in the proof.
+    """
+    prefix = 0
+    result: Dict[int, int] = {}
+    for i in sorted(buffers):
+        node_buffer = buffers[i]
+        if i < destination:
+            prefix += pseudo_buffer_badness(node_buffer.load)
+        result[i] = prefix
+    return result
+
+
+def line_badness_by_destination(
+    buffers: Mapping[int, NodeBuffer],
+    destinations: Sequence[int],
+) -> Dict[Tuple[int, int], int]:
+    """Per-destination badness ``B^t_k(i)`` for PPTS (Definition 3.3).
+
+    ``B^t_k(i)`` is the number of ``k``-bad packets (packets at position >= 2
+    in a ``k``-pseudo-buffer) stored in buffers ``i' <= i``, counted only when
+    the destination ``w_k`` lies strictly to the right of ``i``.
+
+    Parameters
+    ----------
+    buffers:
+        Mapping from node index to its :class:`NodeBuffer`; pseudo-buffer keys
+        are destination node indices (the PPTS convention).
+    destinations:
+        The destination set ``W`` in increasing order.
+
+    Returns
+    -------
+    dict
+        ``{(i, w_k): B_k(i)}`` for every buffer ``i`` and destination ``w_k``.
+    """
+    sorted_nodes = sorted(buffers)
+    result: Dict[Tuple[int, int], int] = {}
+    for w in destinations:
+        prefix = 0
+        for i in sorted_nodes:
+            if i < w:
+                prefix += pseudo_buffer_badness(buffers[i].load_of(w))
+            result[(i, w)] = prefix if w > i else 0
+    return result
+
+
+def line_total_badness(
+    buffers: Mapping[int, NodeBuffer],
+    destinations: Sequence[int],
+) -> Dict[int, int]:
+    """Total badness ``B^t(i) = sum_k B^t_k(i)`` over destinations ``w_k > i``.
+
+    This is the quantity bounded by ``xi_t(i) + 1`` in Proposition 3.2.
+    """
+    per_destination = line_badness_by_destination(buffers, destinations)
+    result: Dict[int, int] = {}
+    for i in buffers:
+        result[i] = sum(
+            per_destination[(i, w)] for w in destinations if w > i
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# HPTS level badness (Definitions 4.4-4.5)
+# ---------------------------------------------------------------------------
+
+
+def hpts_level_badness(
+    buffers: Mapping[int, NodeBuffer],
+    level_intervals: Mapping[int, Sequence[Tuple[int, int]]],
+) -> Dict[Tuple[int, int, Hashable], int]:
+    """Per-(level, intermediate destination) badness ``B^t_{j,k}(i)``.
+
+    For HPTS a pseudo-buffer key is a pair ``(level, intermediate_destination)``.
+    The ``(j, k)``-badness of buffer ``i`` sums bad packets over buffers
+    ``i' in [a, i]`` where ``[a, b]`` is the level-``j`` interval containing
+    ``i`` — the prefix restarts at every interval boundary, unlike the PPTS
+    case where it spans the whole line.
+
+    Parameters
+    ----------
+    buffers:
+        Node buffers keyed by ``(level, intermediate_destination)``.
+    level_intervals:
+        ``{level: [(a_0, b_0), (a_1, b_1), ...]}``, the level-``j`` partition
+        of the line into intervals (inclusive endpoints).
+
+    Returns
+    -------
+    dict
+        ``{(i, level, intermediate_destination): B_{j,k}(i)}``.
+    """
+    result: Dict[Tuple[int, int, Hashable], int] = {}
+    for level, intervals in level_intervals.items():
+        for (a, b) in intervals:
+            # Collect the (level, w) keys present anywhere in this interval.
+            keys = set()
+            for i in range(a, b + 1):
+                node_buffer = buffers.get(i)
+                if node_buffer is None:
+                    continue
+                for key in node_buffer.keys():
+                    if isinstance(key, tuple) and len(key) == 2 and key[0] == level:
+                        keys.add(key)
+            for key in keys:
+                prefix = 0
+                for i in range(a, b + 1):
+                    node_buffer = buffers.get(i)
+                    if node_buffer is not None:
+                        prefix += pseudo_buffer_badness(node_buffer.load_of(key))
+                    result[(i, level, key[1])] = prefix
+    return result
+
+
+def hpts_total_badness(
+    buffers: Mapping[int, NodeBuffer],
+    level_intervals: Mapping[int, Sequence[Tuple[int, int]]],
+) -> Dict[int, int]:
+    """Total badness ``B^t(i) = sum_j sum_k B^t_{j,k}(i)`` (Definition 4.5)."""
+    per_key = hpts_level_badness(buffers, level_intervals)
+    result: Dict[int, int] = {i: 0 for i in buffers}
+    for (i, _level, _w), value in per_key.items():
+        if i in result:
+            result[i] += value
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Directed trees (Appendix B.2, Definition B.4)
+# ---------------------------------------------------------------------------
+
+
+def tree_badness(
+    buffers: Mapping[int, NodeBuffer],
+    tree: TreeTopology,
+) -> Dict[int, int]:
+    """Single-destination tree badness ``B^t(v) = sum_{u <= v} beta(u)``.
+
+    ``beta(u)`` is the number of bad packets at node ``u`` (counting the whole
+    node buffer, since there is a single destination — the root) and the sum
+    ranges over the subtree rooted at ``v`` (all nodes upstream of ``v``).
+    """
+    result: Dict[int, int] = {}
+    for v in tree.nodes:
+        total = 0
+        for u in tree.subtree(v):
+            node_buffer = buffers.get(u)
+            if node_buffer is not None:
+                total += pseudo_buffer_badness(node_buffer.load)
+        result[v] = total
+    return result
+
+
+def tree_badness_by_destination(
+    buffers: Mapping[int, NodeBuffer],
+    tree: TreeTopology,
+    destinations: Iterable[int],
+) -> Dict[Tuple[int, int], int]:
+    """Per-destination tree badness ``B^t_k(v)`` for the tree variant of PPTS.
+
+    ``B^t_k(v)`` counts bad packets destined for ``w_k`` in the subtree rooted
+    at ``v``, but only when ``w_k`` is a strict ancestor of ``v`` (otherwise
+    those packets never cross ``v``).
+    """
+    result: Dict[Tuple[int, int], int] = {}
+    destination_list = list(destinations)
+    subtree_cache: Dict[int, List[int]] = {v: tree.subtree(v) for v in tree.nodes}
+    for w in destination_list:
+        for v in tree.nodes:
+            if v == w or not tree.is_upstream(v, w):
+                result[(v, w)] = 0
+                continue
+            total = 0
+            for u in subtree_cache[v]:
+                node_buffer = buffers.get(u)
+                if node_buffer is not None:
+                    total += pseudo_buffer_badness(node_buffer.load_of(w))
+            result[(v, w)] = total
+    return result

@@ -1,0 +1,232 @@
+"""Closed-form buffer-space bounds stated in the paper.
+
+Each function returns the bound exactly as stated in the corresponding
+proposition or theorem, so benchmarks can print "measured vs. bound" columns
+and tests can assert ``measured <= bound``.
+
+Summary of the bounds (line topology unless noted):
+
+===========  ==========================================================
+Paper item   Bound
+===========  ==========================================================
+Prop. 3.1    PTS, single destination:           ``2 + sigma``
+Prop. 3.2    PPTS, ``d`` destinations:          ``1 + d + sigma``
+Prop. 3.5    tree PPTS, destination depth d':   ``1 + d' + sigma``
+Thm. 4.1     HPTS with ``ell`` levels:          ``ell * n**(1/ell) + sigma + 1``
+Thm. 5.1     lower bound (any protocol):        ``((ell+1)rho - 1) / (2 ell) * n**(1/ell)``
+Abstract     destinations form, k = floor(1/rho): ``O(k d**(1/k))`` upper,
+             ``Omega(d**(1/k) / k)`` lower
+===========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..network.errors import ConfigurationError
+
+__all__ = [
+    "pts_upper_bound",
+    "ppts_upper_bound",
+    "tree_ppts_upper_bound",
+    "hpts_upper_bound",
+    "lower_bound",
+    "destination_upper_bound",
+    "destination_lower_bound",
+    "optimal_levels",
+    "max_levels_for_rate",
+    "log_destination_threshold_rate",
+    "bandwidth_space_tradeoff",
+]
+
+
+def _check_sigma(sigma: float) -> None:
+    if sigma < 0:
+        raise ConfigurationError(f"sigma must be non-negative, got {sigma}")
+
+
+def _check_rho(rho: float) -> None:
+    if not (0 < rho <= 1):
+        raise ConfigurationError(f"rho must satisfy 0 < rho <= 1, got {rho}")
+
+
+def pts_upper_bound(sigma: float) -> float:
+    """Proposition 3.1: PTS keeps every buffer at most ``2 + sigma``."""
+    _check_sigma(sigma)
+    return 2 + sigma
+
+
+def ppts_upper_bound(num_destinations: int, sigma: float) -> float:
+    """Proposition 3.2: PPTS with ``d`` destinations uses at most ``1 + d + sigma``."""
+    _check_sigma(sigma)
+    if num_destinations < 1:
+        raise ConfigurationError(
+            f"num_destinations must be >= 1, got {num_destinations}"
+        )
+    return 1 + num_destinations + sigma
+
+
+def tree_ppts_upper_bound(destination_depth: int, sigma: float) -> float:
+    """Proposition 3.5: tree PPTS uses at most ``1 + d' + sigma``.
+
+    ``destination_depth`` is ``d'``, the maximum number of destinations on any
+    leaf-root path.
+    """
+    _check_sigma(sigma)
+    if destination_depth < 0:
+        raise ConfigurationError(
+            f"destination_depth must be >= 0, got {destination_depth}"
+        )
+    return 1 + destination_depth + sigma
+
+
+def hpts_upper_bound(num_nodes: int, levels: int, sigma: float) -> float:
+    """Theorem 4.1: HPTS with ``ell`` levels uses at most ``ell * n**(1/ell) + sigma + 1``.
+
+    Requires ``rho * ell <= 1`` for the theorem to apply; that precondition is
+    checked by the algorithm, not here, since the bound itself is just a
+    formula in ``n``, ``ell`` and ``sigma``.
+    """
+    _check_sigma(sigma)
+    if num_nodes < 2:
+        raise ConfigurationError(f"num_nodes must be >= 2, got {num_nodes}")
+    if levels < 1:
+        raise ConfigurationError(f"levels must be >= 1, got {levels}")
+    return levels * num_nodes ** (1.0 / levels) + sigma + 1
+
+
+def lower_bound(num_nodes: int, levels: int, rho: float) -> float:
+    """Theorem 5.1: any protocol needs ``((ell+1)rho - 1) / (2 ell) * n**(1/ell)`` space.
+
+    Valid for ``rho > 1 / (ell + 1)``; returns 0 when the premise fails (the
+    theorem gives no information there).
+    """
+    _check_rho(rho)
+    if num_nodes < 2:
+        raise ConfigurationError(f"num_nodes must be >= 2, got {num_nodes}")
+    if levels < 1:
+        raise ConfigurationError(f"levels must be >= 1, got {levels}")
+    coefficient = (levels + 1) * rho - 1
+    if coefficient <= 0:
+        return 0.0
+    return coefficient / (2.0 * levels) * num_nodes ** (1.0 / levels)
+
+
+def optimal_levels(rho: float) -> int:
+    """The hierarchy depth ``k = floor(1 / rho)`` used by the headline result.
+
+    The abstract's ``O(k d**(1/k))`` bound picks ``k = floor(1/rho)``, the
+    deepest hierarchy whose time-division multiplexing still fits in the
+    available bandwidth (``rho * k <= 1``).
+    """
+    _check_rho(rho)
+    return max(1, math.floor(1.0 / rho))
+
+
+def max_levels_for_rate(rho: float) -> int:
+    """Largest ``ell`` with ``rho * ell <= 1`` (identical to :func:`optimal_levels`)."""
+    return optimal_levels(rho)
+
+
+def destination_upper_bound(
+    num_destinations: int,
+    rho: float,
+    sigma: float,
+    levels: Optional[int] = None,
+) -> float:
+    """The headline upper bound ``O(k d**(1/k) + sigma)`` with ``k = floor(1/rho)``.
+
+    This is the destination-parameterised form from the abstract and the
+    introduction: run HPTS over the ``d`` distinct destinations (rather than
+    the ``n`` nodes), giving ``k * d**(1/k) + sigma + 1`` space.
+    """
+    _check_rho(rho)
+    _check_sigma(sigma)
+    if num_destinations < 1:
+        raise ConfigurationError(
+            f"num_destinations must be >= 1, got {num_destinations}"
+        )
+    k = levels if levels is not None else optimal_levels(rho)
+    if k < 1:
+        raise ConfigurationError(f"levels must be >= 1, got {k}")
+    return k * num_destinations ** (1.0 / k) + sigma + 1
+
+
+def destination_lower_bound(
+    num_destinations: int,
+    rho: float,
+    levels: Optional[int] = None,
+) -> float:
+    """The headline lower bound ``Omega(d**(1/k) / k)``.
+
+    Stated in the abstract as ``Omega(1/k * d**(1/k))`` with ``k = floor(1/rho)``;
+    the constant is the one from Theorem 5.1 applied with ``n ~ d``.
+    """
+    _check_rho(rho)
+    if num_destinations < 1:
+        raise ConfigurationError(
+            f"num_destinations must be >= 1, got {num_destinations}"
+        )
+    k = levels if levels is not None else optimal_levels(rho)
+    coefficient = (k + 1) * rho - 1
+    if coefficient <= 0:
+        return 0.0
+    return coefficient / (2.0 * k) * num_destinations ** (1.0 / k)
+
+
+def log_destination_threshold_rate(num_destinations: int) -> float:
+    """The rate ``rho = 1 / log2(d)`` below which ``O(log d)`` buffers suffice.
+
+    The introduction notes that when ``rho <= 1 / log d``, picking
+    ``k = log d`` levels gives ``k * d**(1/k) = O(log d)`` space.
+    """
+    if num_destinations < 2:
+        raise ConfigurationError(
+            f"need at least 2 destinations for a meaningful threshold, "
+            f"got {num_destinations}"
+        )
+    return 1.0 / math.log2(num_destinations)
+
+
+def bandwidth_space_tradeoff(
+    num_destinations: int,
+    scale_factor: float,
+    sigma: float,
+    rho: float,
+) -> dict:
+    """The Section 1 "implications" tradeoff, made concrete.
+
+    Suppose a line system handles ``d`` destinations within some buffer
+    budget, and the number of destinations is increased by a factor
+    ``alpha = scale_factor`` at unchanged per-link load.  Two remedies are
+    compared:
+
+    * **space-only** — keep bandwidth, multiply buffers by ``alpha``
+      (PPTS bound goes from ``1 + d + sigma`` to ``1 + alpha d + sigma``);
+    * **space+bandwidth** — multiply both buffer space and link bandwidth by
+      ``O(log alpha)`` (run HPTS with ``k = ceil(log2 alpha)`` levels, which
+      needs ``k``-fold time-division of the link, i.e. ``k``-fold bandwidth
+      at the original rate).
+
+    Returns a dictionary with both costs, used by the E7 benchmark.
+    """
+    _check_sigma(sigma)
+    _check_rho(rho)
+    if scale_factor < 1:
+        raise ConfigurationError(f"scale_factor must be >= 1, got {scale_factor}")
+    scaled_destinations = max(1, int(round(num_destinations * scale_factor)))
+    space_only_buffers = ppts_upper_bound(scaled_destinations, sigma)
+    levels = max(1, math.ceil(math.log2(scale_factor))) if scale_factor > 1 else 1
+    space_bandwidth_buffers = destination_upper_bound(
+        scaled_destinations, rho, sigma, levels=levels
+    )
+    return {
+        "destinations": num_destinations,
+        "scale_factor": scale_factor,
+        "scaled_destinations": scaled_destinations,
+        "space_only_buffers": space_only_buffers,
+        "space_bandwidth_levels": levels,
+        "space_bandwidth_buffers": space_bandwidth_buffers,
+        "bandwidth_multiplier": levels,
+    }

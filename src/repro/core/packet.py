@@ -1,0 +1,181 @@
+"""Packet model for the Adversarial Queuing Theory (AQT) simulator.
+
+A packet in the paper (Section 2) is a triple ``(t, i_P, w_P)``: the round in
+which it is injected, its injection site, and its destination.  For the
+simulator we additionally carry a unique identifier (so multisets of packets
+injected at the same place and time remain distinguishable), and mutable
+bookkeeping used by the engine and by the lower-bound analysis (current
+location, delivery round, fresh/stale status).
+
+The immutable "injection record" lives in :class:`Injection`; the mutable
+in-flight object is :class:`Packet`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = [
+    "Injection",
+    "Packet",
+    "PacketState",
+    "packet_id_counter",
+]
+
+#: Process-wide counter used to assign unique packet ids when the caller does
+#: not supply one.  Tests may reset it via :func:`reset_packet_ids`.
+packet_id_counter = itertools.count()
+
+
+def reset_packet_ids() -> None:
+    """Reset the global packet-id counter (useful for deterministic tests)."""
+    global packet_id_counter
+    packet_id_counter = itertools.count()
+
+
+class PacketState(Enum):
+    """Lifecycle of a packet inside the simulator."""
+
+    #: Created by an adversary but not yet accepted by the algorithm
+    #: (relevant for HPTS, which batches injections per phase).
+    STAGED = "staged"
+    #: Stored in some buffer and awaiting forwarding.
+    IN_TRANSIT = "in_transit"
+    #: Absorbed at its destination.
+    DELIVERED = "delivered"
+
+
+@dataclass(frozen=True, order=True)
+class Injection:
+    """An immutable injection record ``(round, source, destination)``.
+
+    This mirrors the paper's packet triple ``P = (t, i_P, w_P)``.  Ordering is
+    lexicographic on ``(round, source, destination, packet_id)`` which makes
+    injection patterns sortable and hashable for set-based reasoning in tests.
+    """
+
+    round: int
+    source: int
+    destination: int
+    packet_id: int = field(default=-1, compare=True)
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ValueError(f"injection round must be non-negative, got {self.round}")
+
+    @property
+    def path_length(self) -> int:
+        """Number of edges the packet must traverse on a line topology."""
+        return abs(self.destination - self.source)
+
+    def with_round(self, new_round: int) -> "Injection":
+        """Return a copy of this injection re-timed to ``new_round``.
+
+        Used by the :math:`\\ell`-reduction (Definition 2.4), which re-times
+        packets to phase boundaries without changing source or destination.
+        """
+        return Injection(new_round, self.source, self.destination, self.packet_id)
+
+
+@dataclass
+class Packet:
+    """A mutable in-flight packet tracked by the simulation engine.
+
+    Attributes
+    ----------
+    injection:
+        The immutable injection record.
+    location:
+        The node currently storing this packet (meaningful only while the
+        packet is ``IN_TRANSIT``).
+    state:
+        Lifecycle state.
+    accepted_round:
+        Round in which the algorithm accepted the packet into a buffer.  For
+        most algorithms this equals ``injection.round``; for HPTS it is the
+        first round of the following phase.
+    delivered_round:
+        Round in which the packet reached its destination, or ``None``.
+    hops:
+        Number of forwarding steps the packet has taken so far.
+    """
+
+    injection: Injection
+    location: int
+    state: PacketState = PacketState.IN_TRANSIT
+    accepted_round: Optional[int] = None
+    delivered_round: Optional[int] = None
+    hops: int = 0
+
+    @classmethod
+    def from_injection(cls, injection: Injection, *, staged: bool = False) -> "Packet":
+        """Create an in-flight packet at its injection site."""
+        state = PacketState.STAGED if staged else PacketState.IN_TRANSIT
+        return cls(injection=injection, location=injection.source, state=state)
+
+    # -- convenience accessors ------------------------------------------------
+
+    @property
+    def packet_id(self) -> int:
+        return self.injection.packet_id
+
+    @property
+    def source(self) -> int:
+        return self.injection.source
+
+    @property
+    def destination(self) -> int:
+        return self.injection.destination
+
+    @property
+    def injected_round(self) -> int:
+        return self.injection.round
+
+    @property
+    def delivered(self) -> bool:
+        return self.state is PacketState.DELIVERED
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Rounds from injection to delivery, or ``None`` if undelivered."""
+        if self.delivered_round is None:
+            return None
+        return self.delivered_round - self.injection.round
+
+    @property
+    def remaining_distance(self) -> int:
+        """Edges left to traverse on a line topology (0 when delivered)."""
+        if self.delivered:
+            return 0
+        return abs(self.destination - self.location)
+
+    # -- engine hooks ----------------------------------------------------------
+
+    def accept(self, round_number: int) -> None:
+        """Mark a staged packet as accepted into a buffer."""
+        self.state = PacketState.IN_TRANSIT
+        self.accepted_round = round_number
+
+    def advance(self, new_location: int) -> None:
+        """Move the packet one hop to ``new_location``."""
+        self.location = new_location
+        self.hops += 1
+
+    def deliver(self, round_number: int) -> None:
+        """Absorb the packet at its destination."""
+        self.state = PacketState.DELIVERED
+        self.delivered_round = round_number
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(id={self.packet_id}, src={self.source}, dst={self.destination}, "
+            f"t={self.injected_round}, at={self.location}, state={self.state.value})"
+        )
+
+
+def make_injection(round: int, source: int, destination: int) -> Injection:
+    """Create an :class:`Injection` with a fresh unique packet id."""
+    return Injection(round, source, destination, next(packet_id_counter))

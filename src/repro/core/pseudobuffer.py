@@ -1,0 +1,211 @@
+"""Buffers and pseudo-buffers ("virtual output queuing").
+
+The paper lets every node partition its buffer into *pseudo-buffers* keyed by
+destination (PPTS, Section 3.2) or by ``(level, intermediate destination)``
+(HPTS, Definition 4.3).  All pseudo-buffers use LIFO priority "for
+concreteness" (Section 2); the bounds do not depend on the within-queue
+priority, so the discipline is configurable here.
+
+:class:`PseudoBuffer` is a single queue.  :class:`NodeBuffer` is a node's
+whole buffer: a dictionary of pseudo-buffers keyed by an arbitrary hashable
+key, with helpers for the load/badness quantities the analysis needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Deque, Dict, Hashable, Iterable, Iterator, List, Optional
+
+from .packet import Packet
+
+__all__ = ["QueueDiscipline", "PseudoBuffer", "NodeBuffer"]
+
+
+class QueueDiscipline(Enum):
+    """Priority order within a single pseudo-buffer."""
+
+    LIFO = "lifo"
+    FIFO = "fifo"
+
+
+class PseudoBuffer:
+    """A single pseudo-buffer holding packets for one (virtual) destination.
+
+    Parameters
+    ----------
+    key:
+        Identifier of this pseudo-buffer within its node (e.g. a destination
+        index, or a ``(level, destination)`` pair for HPTS).
+    discipline:
+        Queue discipline used when a packet is popped for forwarding.
+    """
+
+    def __init__(
+        self,
+        key: Hashable,
+        discipline: QueueDiscipline = QueueDiscipline.LIFO,
+    ) -> None:
+        self.key = key
+        self.discipline = discipline
+        self._packets: Deque[Packet] = deque()
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+    def __bool__(self) -> bool:
+        return bool(self._packets)
+
+    def __contains__(self, packet: Packet) -> bool:
+        return packet in self._packets
+
+    # -- queue operations ------------------------------------------------------
+
+    def push(self, packet: Packet) -> None:
+        """Store a packet (arrival by injection or by forwarding)."""
+        self._packets.append(packet)
+
+    def pop(self) -> Packet:
+        """Remove and return the next packet according to the discipline."""
+        if not self._packets:
+            raise IndexError(f"pop from empty pseudo-buffer {self.key!r}")
+        if self.discipline is QueueDiscipline.LIFO:
+            return self._packets.pop()
+        return self._packets.popleft()
+
+    def peek(self) -> Optional[Packet]:
+        """Return the packet that :meth:`pop` would return, without removing it."""
+        if not self._packets:
+            return None
+        if self.discipline is QueueDiscipline.LIFO:
+            return self._packets[-1]
+        return self._packets[0]
+
+    def remove(self, packet: Packet) -> None:
+        """Remove a specific packet (used by schedulers with custom priority)."""
+        self._packets.remove(packet)
+
+    def packets(self) -> List[Packet]:
+        """Snapshot of the stored packets, oldest first."""
+        return list(self._packets)
+
+    # -- analysis quantities ---------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """``|L_k(i)|`` — number of stored packets."""
+        return len(self._packets)
+
+    @property
+    def is_bad(self) -> bool:
+        """Definition 3.3 / 4.4: a pseudo-buffer is *bad* if it holds >= 2 packets."""
+        return len(self._packets) >= 2
+
+    @property
+    def bad_packet_count(self) -> int:
+        """``beta`` — number of packets stored at position >= 2 (max(load - 1, 0))."""
+        return max(len(self._packets) - 1, 0)
+
+
+class NodeBuffer:
+    """The complete buffer of one node, partitioned into pseudo-buffers.
+
+    The node lazily creates pseudo-buffers on first use, mirroring the paper's
+    remark that PPTS need not know the destination set in advance: only
+    destinations that actually receive packets ever materialise a queue.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        discipline: QueueDiscipline = QueueDiscipline.LIFO,
+    ) -> None:
+        self.node = node
+        self.discipline = discipline
+        self._pseudo: Dict[Hashable, PseudoBuffer] = {}
+
+    # -- pseudo-buffer management ----------------------------------------------
+
+    def pseudo_buffer(self, key: Hashable) -> PseudoBuffer:
+        """Return (creating if necessary) the pseudo-buffer for ``key``."""
+        if key not in self._pseudo:
+            self._pseudo[key] = PseudoBuffer(key, self.discipline)
+        return self._pseudo[key]
+
+    def existing(self, key: Hashable) -> Optional[PseudoBuffer]:
+        """Return the pseudo-buffer for ``key`` if it exists, else ``None``."""
+        return self._pseudo.get(key)
+
+    def keys(self) -> List[Hashable]:
+        """Keys of all (possibly empty) pseudo-buffers created so far."""
+        return list(self._pseudo.keys())
+
+    def nonempty_keys(self) -> List[Hashable]:
+        """Keys of pseudo-buffers currently holding at least one packet."""
+        return [key for key, pb in self._pseudo.items() if pb]
+
+    def pseudo_buffers(self) -> Iterable[PseudoBuffer]:
+        return self._pseudo.values()
+
+    def drop_empty(self) -> None:
+        """Garbage-collect empty pseudo-buffers (keeps long runs lean)."""
+        self._pseudo = {k: pb for k, pb in self._pseudo.items() if pb}
+
+    # -- packet operations -----------------------------------------------------
+
+    def store(self, packet: Packet, key: Hashable) -> None:
+        """Store ``packet`` under pseudo-buffer ``key``."""
+        self.pseudo_buffer(key).push(packet)
+
+    def pop_from(self, key: Hashable) -> Packet:
+        """Pop the next packet from pseudo-buffer ``key``."""
+        pb = self._pseudo.get(key)
+        if pb is None or not pb:
+            raise IndexError(f"node {self.node}: pseudo-buffer {key!r} is empty")
+        return pb.pop()
+
+    def all_packets(self) -> List[Packet]:
+        """All packets stored at this node, grouped by pseudo-buffer."""
+        result: List[Packet] = []
+        for pb in self._pseudo.values():
+            result.extend(pb.packets())
+        return result
+
+    # -- analysis quantities ---------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """``|L(i)|`` — total number of packets stored at this node."""
+        return sum(len(pb) for pb in self._pseudo.values())
+
+    def load_of(self, key: Hashable) -> int:
+        """``|L_k(i)|`` for pseudo-buffer ``key`` (0 if it does not exist)."""
+        pb = self._pseudo.get(key)
+        return len(pb) if pb is not None else 0
+
+    def bad_count(self, key: Hashable) -> int:
+        """``beta_k(i)`` — bad packets in pseudo-buffer ``key``."""
+        pb = self._pseudo.get(key)
+        return pb.bad_packet_count if pb is not None else 0
+
+    def is_bad_for(self, key: Hashable) -> bool:
+        """Whether the pseudo-buffer ``key`` holds >= 2 packets."""
+        pb = self._pseudo.get(key)
+        return pb.is_bad if pb is not None else False
+
+    @property
+    def total_bad(self) -> int:
+        """Total bad packets at this node, summed over pseudo-buffers."""
+        return sum(pb.bad_packet_count for pb in self._pseudo.values())
+
+    def __len__(self) -> int:
+        return self.load
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        loads = {k: len(pb) for k, pb in self._pseudo.items() if pb}
+        return f"NodeBuffer(node={self.node}, load={self.load}, pseudo={loads})"

@@ -1,0 +1,135 @@
+"""The forwarding-algorithm interface shared by PTS, PPTS, HPTS and baselines.
+
+The AQT execution model (Section 2) separates each round into an injection
+step and a forwarding step.  A forwarding algorithm owns the buffers: it
+decides under which pseudo-buffer an arriving packet is stored (``classify``)
+and which pseudo-buffers are *activated* each round (``select_activations``).
+The simulator performs the actual packet movement, enforcing the capacity
+constraint of one packet per directed edge per round.
+
+The paper's "implementation convention" (Section 3) — buffers start inactive,
+algorithms activate a family ``A`` of (pseudo-)buffers, and all active buffers
+forward simultaneously — maps onto :class:`Activation` records returned by
+``select_activations``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from ..network.topology import Topology
+from .packet import Packet
+from .pseudobuffer import NodeBuffer, QueueDiscipline
+
+__all__ = ["Activation", "ForwardingAlgorithm"]
+
+
+@dataclass(frozen=True)
+class Activation:
+    """One activated pseudo-buffer: node ``node`` forwards from queue ``key``.
+
+    ``packet`` optionally names the exact packet to forward (used by greedy
+    baselines whose priority is not the pseudo-buffer's own discipline);
+    when ``None`` the pseudo-buffer pops according to its queue discipline.
+    """
+
+    node: int
+    key: Hashable
+    packet: Optional[Packet] = None
+
+
+class ForwardingAlgorithm(ABC):
+    """Base class for all forwarding algorithms.
+
+    Subclasses must implement :meth:`classify` (how a packet at a node is
+    assigned to a pseudo-buffer) and :meth:`select_activations` (which
+    pseudo-buffers forward this round).  The default injection handling stores
+    packets immediately; algorithms that batch acceptance (HPTS) override
+    :meth:`on_inject` and :meth:`staged_count`.
+    """
+
+    #: Human-readable identifier used in result tables.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        discipline: QueueDiscipline = QueueDiscipline.LIFO,
+    ) -> None:
+        self.topology = topology
+        self.discipline = discipline
+        self.buffers: Dict[int, NodeBuffer] = {
+            node: NodeBuffer(node, discipline) for node in topology.nodes
+        }
+
+    # -- packet placement --------------------------------------------------------
+
+    @abstractmethod
+    def classify(self, packet: Packet, node: int) -> Hashable:
+        """The pseudo-buffer key under which ``packet`` is stored at ``node``."""
+
+    def on_inject(self, round_number: int, packets: List[Packet]) -> None:
+        """Handle the injection step: store newly injected packets.
+
+        The default accepts every packet immediately at its injection site,
+        which is what PTS, PPTS, the tree algorithms and all greedy baselines
+        do.  HPTS overrides this to stage packets until the next phase start.
+        """
+        for packet in packets:
+            packet.accept(round_number)
+            self.buffers[packet.location].store(
+                packet, self.classify(packet, packet.location)
+            )
+
+    def on_arrival(self, packet: Packet, node: int, round_number: int) -> None:
+        """Handle a packet forwarded into ``node`` (not its destination)."""
+        self.buffers[node].store(packet, self.classify(packet, node))
+
+    # -- forwarding decisions ------------------------------------------------------
+
+    @abstractmethod
+    def select_activations(self, round_number: int) -> List[Activation]:
+        """The family ``A`` of pseudo-buffers that forward this round."""
+
+    def on_round_end(self, round_number: int) -> None:
+        """Hook called after the forwarding step completes (default: no-op)."""
+
+    # -- occupancy queries -----------------------------------------------------------
+
+    def occupancy(self, node: int) -> int:
+        """``|L(node)|`` — packets currently stored (accepted) at ``node``."""
+        return self.buffers[node].load
+
+    def occupancy_vector(self) -> Dict[int, int]:
+        """Occupancy of every node."""
+        return {node: buffer.load for node, buffer in self.buffers.items()}
+
+    def max_occupancy(self) -> int:
+        """The largest buffer occupancy right now."""
+        return max((buffer.load for buffer in self.buffers.values()), default=0)
+
+    def total_stored(self) -> int:
+        """Total packets stored across all buffers (excluding staged packets)."""
+        return sum(buffer.load for buffer in self.buffers.values())
+
+    def staged_count(self) -> int:
+        """Packets injected but not yet accepted (0 for immediate-accept algorithms)."""
+        return 0
+
+    def pending_packets(self) -> int:
+        """All undelivered packets this algorithm is responsible for."""
+        return self.total_stored() + self.staged_count()
+
+    def theoretical_bound(self, sigma: float) -> Optional[float]:
+        """The paper's space bound for this algorithm, if one applies.
+
+        Returns ``None`` for algorithms with no stated bound (e.g. greedy
+        baselines).  Subclasses with a bound override this.
+        """
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={self.topology.num_nodes})"

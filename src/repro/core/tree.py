@@ -1,0 +1,200 @@
+"""PTS and PPTS on directed in-trees — Appendix B.2, Propositions B.3 and 3.5.
+
+All edges point toward the root and every packet follows the directed path
+from its injection site to a destination that is one of its ancestors.  The
+edge orientation induces the partial order ``u \\preceq v`` ("``u`` is upstream
+of ``v``"), under which:
+
+* **Tree PTS** (single destination, the root): find the minimal antichain of
+  bad buffers (nodes holding >= 2 packets that no other bad buffer lies
+  below), and activate every node that has a bad buffer in its subtree —
+  equivalently, the union of the paths from the minimal bad buffers to the
+  root.  Bound: ``2 + sigma`` (Proposition B.3).
+* **Tree PPTS** (destination set ``W``): process destinations in reverse
+  topological order (root-most first); for each, activate the union of paths
+  from the minimal ``k``-bad buffers to ``w_k``, skipping nodes already
+  activated for an earlier (root-ward) destination.  Bound: ``1 + d' + sigma``
+  where ``d'`` is the maximum number of destinations on a leaf-root path
+  (Proposition 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence
+
+from ..network.errors import ConfigurationError, SchedulingError
+from ..network.topology import TreeTopology
+from .packet import Packet
+from .pseudobuffer import QueueDiscipline
+from .scheduler import Activation, ForwardingAlgorithm
+from . import bounds
+
+__all__ = ["TreePeakToSink", "TreeParallelPeakToSink"]
+
+
+class TreePeakToSink(ForwardingAlgorithm):
+    """Single-destination PTS on a directed in-tree (Proposition B.3).
+
+    Parameters
+    ----------
+    topology:
+        The in-tree.
+    destination:
+        The common destination; defaults to the root (and must be an ancestor
+        of every injection site, which the simulator's route validation
+        enforces anyway).
+    """
+
+    name = "TreePTS"
+
+    def __init__(
+        self,
+        topology: TreeTopology,
+        destination: Optional[int] = None,
+        *,
+        discipline: QueueDiscipline = QueueDiscipline.LIFO,
+    ) -> None:
+        super().__init__(topology, discipline=discipline)
+        self.tree = topology
+        self.destination = destination if destination is not None else topology.root
+
+    def classify(self, packet: Packet, node: int) -> Hashable:
+        if packet.destination != self.destination:
+            raise SchedulingError(
+                f"TreePTS is single-destination (w={self.destination}); got a packet "
+                f"for {packet.destination}"
+            )
+        return self.destination
+
+    def select_activations(self, round_number: int) -> List[Activation]:
+        bad_nodes = [
+            node
+            for node, node_buffer in self.buffers.items()
+            if node_buffer.load >= 2 and node != self.destination
+        ]
+        if not bad_nodes:
+            return []
+        # Activate every node v (other than the destination) whose subtree
+        # contains a bad buffer, i.e. the union of bad-to-destination paths.
+        activations: List[Activation] = []
+        activated = set()
+        for bad in bad_nodes:
+            for node in self.tree.path(bad, self.destination)[:-1]:
+                if node in activated:
+                    continue
+                activated.add(node)
+                if self.buffers[node].load_of(self.destination) > 0:
+                    activations.append(Activation(node=node, key=self.destination))
+        return activations
+
+    def theoretical_bound(self, sigma: float) -> float:
+        """Proposition B.3: ``2 + sigma``."""
+        return bounds.pts_upper_bound(sigma)
+
+
+class TreeParallelPeakToSink(ForwardingAlgorithm):
+    """Multi-destination PPTS on a directed in-tree (Algorithm 6, Proposition 3.5).
+
+    Parameters
+    ----------
+    topology:
+        The in-tree.
+    destinations:
+        The destination set ``W``.  May be omitted to let the algorithm
+        discover destinations from the traffic, exactly as on the line.
+    """
+
+    name = "TreePPTS"
+
+    def __init__(
+        self,
+        topology: TreeTopology,
+        destinations: Optional[Sequence[int]] = None,
+        *,
+        discipline: QueueDiscipline = QueueDiscipline.LIFO,
+    ) -> None:
+        super().__init__(topology, discipline=discipline)
+        self.tree = topology
+        self._declared_destinations: Optional[List[int]] = None
+        if destinations is not None:
+            node_set = set(topology.nodes)
+            for w in destinations:
+                if w not in node_set:
+                    raise ConfigurationError(f"destination {w} is not a tree node")
+            self._declared_destinations = self._topological_sort(set(destinations))
+        self._observed_destinations: set = set()
+
+    # -- packet placement --------------------------------------------------------
+
+    def classify(self, packet: Packet, node: int) -> Hashable:
+        self._observed_destinations.add(packet.destination)
+        return packet.destination
+
+    # -- forwarding decisions ------------------------------------------------------
+
+    def select_activations(self, round_number: int) -> List[Activation]:
+        destinations = self.destinations()
+        activations: List[Activation] = []
+        activated = set()
+        # Reverse topological order: root-most destinations first, exactly as
+        # Algorithm 6 iterates k = d-1 downto 0 over a topologically sorted W.
+        for w in reversed(destinations):
+            bad_nodes = [
+                node
+                for node, node_buffer in self.buffers.items()
+                if node != w
+                and node_buffer.load_of(w) >= 2
+                and self.tree.is_upstream(node, w)
+            ]
+            if not bad_nodes:
+                continue
+            minimal_bad = self._minimal_antichain(bad_nodes)
+            for bad in minimal_bad:
+                for node in self.tree.path(bad, w)[:-1]:
+                    if node in activated:
+                        continue
+                    activated.add(node)
+                    if self.buffers[node].load_of(w) > 0:
+                        activations.append(Activation(node=node, key=w))
+        return activations
+
+    def theoretical_bound(self, sigma: float) -> Optional[float]:
+        """Proposition 3.5: ``1 + d' + sigma``."""
+        destinations = self.destinations()
+        if not destinations:
+            return None
+        depth = self.tree.destination_depth(destinations)
+        return bounds.tree_ppts_upper_bound(depth, sigma)
+
+    # -- queries ------------------------------------------------------------------
+
+    def destinations(self) -> List[int]:
+        """The destination set in topological order (descendants before ancestors)."""
+        if self._declared_destinations is not None:
+            return list(self._declared_destinations)
+        return self._topological_sort(self._observed_destinations)
+
+    def destination_depth(self) -> int:
+        """``d'`` for the current destination set."""
+        destinations = self.destinations()
+        if not destinations:
+            return 0
+        return self.tree.destination_depth(destinations)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _topological_sort(self, destinations: set) -> List[int]:
+        """Sort so that ``w_i`` upstream of ``w_j`` implies ``i < j`` (by depth, descending)."""
+        return sorted(destinations, key=lambda w: (-self.tree.depth(w), w))
+
+    def _minimal_antichain(self, nodes: List[int]) -> List[int]:
+        """The low-antichain ``min(B)``: nodes with no other bad node strictly below them."""
+        result = []
+        for candidate in nodes:
+            has_lower = any(
+                other != candidate and self.tree.is_upstream(other, candidate)
+                for other in nodes
+            )
+            if not has_lower:
+                result.append(candidate)
+        return result

@@ -1,0 +1,116 @@
+"""Figure 1 reproduction: the hierarchical partition and virtual trajectories.
+
+Figure 1 of the paper shows the line with ``n = 16``, ``m = 2``, ``ell = 4``:
+each column is a buffer, each row a hierarchy level, and horizontal boxes mark
+the intervals of each level; a packet's virtual trajectory threads through one
+pseudo-buffer per segment.  :func:`figure1_data` computes the same structure
+for arbitrary ``(m, ell)`` and :func:`render_figure1` draws it as ASCII art,
+which is what the E6 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.hierarchy import HierarchicalPartition
+
+__all__ = ["figure1_data", "render_figure1", "trajectory_table"]
+
+
+def figure1_data(
+    branching: int = 2, levels: int = 4
+) -> Dict[str, object]:
+    """The structural content of Figure 1 for the given parameters.
+
+    Returns a dict with the partition rows (one per level/interval), the
+    binary (base-``m``) labels of every buffer, and the partition object
+    itself for further queries.
+    """
+    partition = HierarchicalPartition(branching**levels, levels, branching)
+    labels = [
+        "".join(str(d) for d in reversed(partition.digits(i)))
+        for i in range(partition.num_nodes)
+    ]
+    return {
+        "partition": partition,
+        "num_nodes": partition.num_nodes,
+        "branching": branching,
+        "levels": levels,
+        "labels": labels,
+        "rows": partition.figure_rows(),
+    }
+
+
+def render_figure1(
+    branching: int = 2,
+    levels: int = 4,
+    *,
+    trajectory: Optional[Tuple[int, int]] = None,
+) -> str:
+    """ASCII rendering of Figure 1, optionally overlaying one packet trajectory.
+
+    ``trajectory`` is an optional ``(source, destination)`` pair whose segment
+    decomposition is marked with ``*`` at the (level, buffer) cells the packet
+    virtually occupies.
+    """
+    data = figure1_data(branching, levels)
+    partition: HierarchicalPartition = data["partition"]  # type: ignore[assignment]
+    n = partition.num_nodes
+    cell = max(len(label) for label in data["labels"]) + 1  # type: ignore[arg-type]
+
+    marked: Dict[int, Tuple[int, int]] = {}
+    if trajectory is not None:
+        source, destination = trajectory
+        for segment in partition.virtual_trajectory(source, destination):
+            # Mark the whole segment at its level.
+            marked[segment.level] = (segment.start, min(segment.end, n - 1))
+
+    lines: List[str] = []
+    header = "".join(label.rjust(cell) for label in data["labels"])  # type: ignore[union-attr]
+    lines.append(" " * 6 + header)
+    for level in range(levels - 1, -1, -1):
+        row_chars = []
+        for start, end in partition.level_partition(level):
+            width = (end - start + 1) * cell
+            interior = "-" * (width - 2)
+            if level in marked:
+                seg_start, seg_end = marked[level]
+                if start <= seg_start and seg_end <= end:
+                    # Replace the span covered by the segment with '*'.
+                    chars = list("[" + interior + "]")
+                    for i in range(seg_start, seg_end + 1):
+                        offset = (i - start) * cell + cell // 2
+                        if 0 <= offset < len(chars):
+                            chars[offset] = "*"
+                    row_chars.append("".join(chars))
+                    continue
+            row_chars.append("[" + interior + "]")
+        lines.append(f"j={level}  " + "".join(row_chars))
+    if trajectory is not None:
+        source, destination = trajectory
+        lines.append(f"trajectory: {source} -> {destination} (segments marked with *)")
+    return "\n".join(lines)
+
+
+def trajectory_table(
+    branching: int,
+    levels: int,
+    source: int,
+    destination: int,
+) -> List[Dict[str, object]]:
+    """The segment decomposition of one route as table rows (level, start, end)."""
+    partition = HierarchicalPartition(branching**levels, levels, branching)
+    rows = []
+    for index, segment in enumerate(
+        partition.virtual_trajectory(source, destination)
+    ):
+        rows.append(
+            {
+                "segment": index,
+                "level": segment.level,
+                "start": segment.start,
+                "end": segment.end,
+                "hops": segment.length,
+            }
+        )
+    return rows

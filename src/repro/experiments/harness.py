@@ -1,0 +1,124 @@
+"""The experiment harness: run a workload against one or more algorithms.
+
+The harness is the glue between workloads, algorithms and result tables.  Each
+benchmark builds a list of :class:`ExperimentRow` objects via
+:func:`run_workload` / :func:`sweep` and prints them with the table formatter,
+mirroring the "rows/series the paper reports" requirement in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..analysis.metrics import check_against_bound
+from ..analysis.tables import format_table
+from ..core.scheduler import ForwardingAlgorithm
+from ..network.events import SimulationResult
+from ..network.simulator import Simulator
+from .workloads import Workload
+
+__all__ = ["ExperimentRow", "run_workload", "sweep", "rows_to_table"]
+
+#: A factory building a forwarding algorithm for a given workload.
+AlgorithmFactory = Callable[[Workload], ForwardingAlgorithm]
+
+
+@dataclass
+class ExperimentRow:
+    """One (workload, algorithm) measurement."""
+
+    workload: str
+    algorithm: str
+    max_occupancy: int
+    bound: Optional[float]
+    within_bound: bool
+    packets: int
+    delivered: int
+    max_latency: Optional[int]
+    params: Dict[str, object] = field(default_factory=dict)
+    result: Optional[SimulationResult] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten to a dict row for the table formatter."""
+        row: Dict[str, object] = {
+            "workload": self.workload,
+            "algorithm": self.algorithm,
+        }
+        row.update(self.params)
+        row.update(
+            {
+                "max_occupancy": self.max_occupancy,
+                "bound": None if self.bound is None else round(self.bound, 2),
+                "within_bound": self.within_bound,
+                "packets": self.packets,
+                "delivered": self.delivered,
+                "max_latency": self.max_latency,
+            }
+        )
+        return row
+
+
+def run_workload(
+    workload: Workload,
+    algorithm_factory: AlgorithmFactory,
+    *,
+    record_history: bool = False,
+    drain: bool = True,
+    keep_result: bool = False,
+) -> ExperimentRow:
+    """Run one workload against one algorithm and summarise the outcome."""
+    algorithm = algorithm_factory(workload)
+    simulator = Simulator(
+        workload.topology,  # type: ignore[arg-type]
+        algorithm,
+        workload.pattern,
+        record_history=record_history,
+    )
+    result = simulator.run(drain=drain)
+    bound = algorithm.theoretical_bound(workload.sigma)
+    check = check_against_bound(result, bound)
+    return ExperimentRow(
+        workload=workload.name,
+        algorithm=algorithm.name,
+        max_occupancy=result.max_occupancy,
+        bound=bound,
+        within_bound=check.satisfied,
+        packets=result.packets_injected,
+        delivered=result.packets_delivered,
+        max_latency=result.max_latency,
+        params=dict(workload.params),
+        result=result if keep_result else None,
+    )
+
+
+def sweep(
+    workloads: Iterable[Workload],
+    algorithm_factories: Dict[str, AlgorithmFactory],
+    *,
+    record_history: bool = False,
+    drain: bool = True,
+) -> List[ExperimentRow]:
+    """Cartesian product of workloads and algorithms, one row per pair."""
+    rows: List[ExperimentRow] = []
+    for workload in workloads:
+        for _, factory in algorithm_factories.items():
+            rows.append(
+                run_workload(
+                    workload,
+                    factory,
+                    record_history=record_history,
+                    drain=drain,
+                )
+            )
+    return rows
+
+
+def rows_to_table(
+    rows: Iterable[ExperimentRow],
+    columns: Optional[List[str]] = None,
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render experiment rows with the shared ASCII table formatter."""
+    return format_table([row.as_dict() for row in rows], columns, title=title)

@@ -1,0 +1,45 @@
+"""Network substrate: topologies, the simulation engine and its records."""
+
+from .errors import (
+    BoundednessViolationError,
+    CapacityViolationError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    TopologyError,
+)
+from .events import OccupancyTimeline, RoundRecord, SimulationResult
+from .forest import ForestTopology, forest_of
+from .simulator import Simulator, run_simulation
+from .topology import (
+    LineTopology,
+    Topology,
+    TreeTopology,
+    binary_tree,
+    caterpillar_tree,
+    random_tree,
+    star_tree,
+)
+
+__all__ = [
+    "BoundednessViolationError",
+    "CapacityViolationError",
+    "ConfigurationError",
+    "ReproError",
+    "SchedulingError",
+    "TopologyError",
+    "OccupancyTimeline",
+    "RoundRecord",
+    "SimulationResult",
+    "ForestTopology",
+    "forest_of",
+    "Simulator",
+    "run_simulation",
+    "LineTopology",
+    "Topology",
+    "TreeTopology",
+    "binary_tree",
+    "caterpillar_tree",
+    "random_tree",
+    "star_tree",
+]

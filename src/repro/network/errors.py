@@ -1,0 +1,95 @@
+"""Exception hierarchy for the AQT simulator.
+
+All library errors derive from :class:`ReproError` so callers can catch the
+whole family with a single ``except`` clause while still distinguishing
+specific failure modes (capacity violations, malformed topologies, adversaries
+that exceed their declared ``(rho, sigma)`` bound, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "CapacityViolationError",
+    "BoundednessViolationError",
+    "SchedulingError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TopologyError(ReproError):
+    """Raised when a topology is malformed or a route does not exist.
+
+    Examples: asking for the path between two nodes that are not connected by
+    a directed path, building a tree whose edges do not all point toward the
+    root, or referring to a node outside the vertex set.
+    """
+
+
+class CapacityViolationError(ReproError):
+    """Raised when a forwarding decision would send two packets over one edge.
+
+    The AQT model (Section 2 of the paper) allows at most one packet per link
+    per round.  The simulator enforces this invariant and raises this error if
+    an algorithm's activation set is infeasible, which is exactly the property
+    established by Lemma B.1 (PPTS) and Lemma 4.7 (HPTS).
+    """
+
+    def __init__(self, edge: tuple, round_number: int, detail: str = "") -> None:
+        self.edge = edge
+        self.round_number = round_number
+        message = (
+            f"capacity violation on edge {edge} in round {round_number}: "
+            f"more than one packet scheduled"
+        )
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class BoundednessViolationError(ReproError):
+    """Raised when an injection pattern exceeds its declared (rho, sigma) bound.
+
+    The violation records the buffer, the time interval and the amount by
+    which ``N_T(v)`` exceeded ``rho |T| + sigma`` so tests and adversary
+    generators can report precisely where a pattern went wrong.
+    """
+
+    def __init__(
+        self,
+        buffer: int,
+        interval: tuple,
+        observed: float,
+        allowed: float,
+    ) -> None:
+        self.buffer = buffer
+        self.interval = interval
+        self.observed = observed
+        self.allowed = allowed
+        super().__init__(
+            f"(rho, sigma) bound violated at buffer {buffer} over interval "
+            f"{interval}: observed {observed} crossings, allowed {allowed:.3f}"
+        )
+
+
+class SchedulingError(ReproError):
+    """Raised when a forwarding algorithm produces an invalid activation.
+
+    Examples: activating an empty pseudo-buffer, activating two pseudo-buffers
+    at the same node in the same round, or returning a node outside the
+    topology.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when simulation or experiment parameters are inconsistent.
+
+    Examples: ``rho * ell > 1`` for HPTS, ``n`` not of the form ``m**ell`` for
+    the hierarchical partition, or a sweep that asks for more destinations
+    than there are nodes.
+    """

@@ -1,0 +1,111 @@
+"""Round records, event logs and simulation results.
+
+The simulator produces one :class:`RoundRecord` per round (when history
+recording is enabled) and a :class:`SimulationResult` summary at the end.
+The naming follows the paper's timing convention: quantities measured "at
+round t" are taken after the injection step and before forwarding (the
+configuration ``L^t``); quantities "at t+" are taken after forwarding
+(``L^{t+}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RoundRecord", "SimulationResult", "OccupancyTimeline"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything observed during a single round."""
+
+    #: Round index ``t`` (0-based).
+    round: int
+    #: Packets injected by the adversary this round.
+    injected: int
+    #: Packets forwarded across some edge this round.
+    forwarded: int
+    #: Packets absorbed at their destination this round.
+    delivered: int
+    #: ``max_i |L^t(i)|`` — occupancy after injection, before forwarding.
+    max_occupancy: int
+    #: ``max_i |L^{t+}(i)|`` — occupancy after forwarding.
+    max_occupancy_after_forwarding: int
+    #: Packets injected but not yet accepted by the algorithm (HPTS staging).
+    staged: int
+    #: Per-node occupancy after injection (present only when history is verbose).
+    occupancy: Optional[Dict[int, int]] = None
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulated execution."""
+
+    #: Name of the forwarding algorithm.
+    algorithm: str
+    #: Number of buffers in the topology.
+    num_nodes: int
+    #: Rounds actually executed (horizon plus drain rounds).
+    rounds_executed: int
+    #: ``max_t max_i |L^t(i)|`` — the quantity every bound in the paper is about.
+    max_occupancy: int
+    #: Per-node maxima of ``|L^t(i)|`` over the execution.
+    max_occupancy_per_node: Dict[int, int] = field(default_factory=dict)
+    #: Largest number of staged (injected-but-unaccepted) packets at any time.
+    max_staged: int = 0
+    #: Total packets injected / delivered over the execution.
+    packets_injected: int = 0
+    packets_delivered: int = 0
+    #: Packets still undelivered when the simulation stopped.
+    packets_undelivered: int = 0
+    #: Maximum and mean delivery latency (rounds from injection to delivery).
+    max_latency: Optional[int] = None
+    mean_latency: Optional[float] = None
+    #: Whether every injected packet was delivered before the simulation ended.
+    drained: bool = True
+    #: Per-round records (only populated when history recording is on).
+    history: List[RoundRecord] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Delivered packets per round."""
+        if self.rounds_executed == 0:
+            return 0.0
+        return self.packets_delivered / self.rounds_executed
+
+    def occupancy_timeline(self) -> List[int]:
+        """``max_i |L^t(i)|`` per round (empty if history was not recorded)."""
+        return [record.max_occupancy for record in self.history]
+
+    def summary_row(self) -> Dict[str, object]:
+        """A flat dict suitable for the table formatter and benchmark output."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.num_nodes,
+            "rounds": self.rounds_executed,
+            "max_occupancy": self.max_occupancy,
+            "injected": self.packets_injected,
+            "delivered": self.packets_delivered,
+            "max_latency": self.max_latency,
+            "drained": self.drained,
+        }
+
+
+class OccupancyTimeline:
+    """Incremental tracker of per-node and global occupancy maxima."""
+
+    def __init__(self) -> None:
+        self.max_occupancy = 0
+        self.max_per_node: Dict[int, int] = {}
+        self.max_staged = 0
+
+    def observe(self, occupancy: Dict[int, int], staged: int = 0) -> None:
+        """Fold one occupancy snapshot into the running maxima."""
+        for node, load in occupancy.items():
+            if load > self.max_per_node.get(node, 0):
+                self.max_per_node[node] = load
+            if load > self.max_occupancy:
+                self.max_occupancy = load
+        if staged > self.max_staged:
+            self.max_staged = staged

@@ -1,0 +1,313 @@
+"""The synchronous AQT simulation engine.
+
+Each round consists of an injection step and a forwarding step (Section 2):
+
+1. **Injection.**  The adversary's packets for this round are materialised and
+   handed to the forwarding algorithm (which stores or stages them).
+2. **Measurement.**  The configuration ``L^t`` — occupancy after injection,
+   before forwarding — is recorded.  This is the quantity every bound in the
+   paper refers to.
+3. **Forwarding.**  The algorithm's activation set is validated against the
+   capacity constraint (one packet per edge per round) and executed
+   *simultaneously*: all activated packets are popped first, then placed at
+   their next hops, so a packet cannot traverse two edges in one round.
+4. **Post-measurement.**  ``L^{t+}`` is recorded and end-of-round hooks run.
+
+After the adversary's horizon, the simulator keeps running ("drain rounds")
+until every packet is delivered or a safety cap is reached, so latency and
+delivery statistics are complete.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..core.packet import Packet, PacketState
+from ..core.scheduler import Activation, ForwardingAlgorithm
+from ..network.errors import CapacityViolationError, SchedulingError
+from ..network.topology import Topology
+from .events import OccupancyTimeline, RoundRecord, SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, typing only
+    from ..adversary.base import Adversary
+
+__all__ = ["Simulator", "run_simulation"]
+
+
+class Simulator:
+    """Drives one forwarding algorithm against one adversary on one topology.
+
+    Parameters
+    ----------
+    topology:
+        The network (a :class:`~repro.network.topology.LineTopology` or
+        :class:`~repro.network.topology.TreeTopology`).
+    algorithm:
+        The forwarding algorithm under test; it owns the buffers.
+    adversary:
+        The injection process.
+    record_history:
+        When ``True``, keep a per-round :class:`RoundRecord` list in the
+        result (memory grows linearly with the execution length).
+    record_occupancy_vectors:
+        When ``True`` (implies ``record_history``), each round record also
+        stores the full per-node occupancy vector.
+    validate_capacity:
+        When ``True`` (default), raise on any activation set that would push
+        two packets over one edge or forward from an empty pseudo-buffer.
+        The paper proves PPTS/HPTS activations are always feasible
+        (Lemmas B.1 and 4.7); the tests rely on this flag to check that.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: ForwardingAlgorithm,
+        adversary: "Adversary",
+        *,
+        record_history: bool = False,
+        record_occupancy_vectors: bool = False,
+        validate_capacity: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.algorithm = algorithm
+        self.adversary = adversary
+        self.record_history = record_history or record_occupancy_vectors
+        self.record_occupancy_vectors = record_occupancy_vectors
+        self.validate_capacity = validate_capacity
+        #: Every packet ever created, keyed by packet id.
+        self.packets: Dict[int, Packet] = {}
+        self._timeline = OccupancyTimeline()
+        self._history: List[RoundRecord] = []
+        self._round = 0
+        self._injected = 0
+        self._delivered = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def run(
+        self,
+        num_rounds: Optional[int] = None,
+        *,
+        drain: bool = True,
+        max_drain_rounds: Optional[int] = None,
+    ) -> SimulationResult:
+        """Execute the simulation and return a :class:`SimulationResult`.
+
+        Parameters
+        ----------
+        num_rounds:
+            How many injection rounds to run.  Defaults to the adversary's
+            horizon.
+        drain:
+            Keep executing (with no further injections) after ``num_rounds``
+            until all packets are delivered.
+        max_drain_rounds:
+            Safety cap on drain rounds; defaults to a generous function of the
+            network size and the number of pending packets.
+        """
+        horizon = num_rounds if num_rounds is not None else self.adversary.horizon
+        for t in range(horizon):
+            self._execute_round(t, inject=True)
+        drained = True
+        if drain:
+            drained = self._drain(horizon, max_drain_rounds)
+        else:
+            drained = self._pending() == 0
+        return self._build_result(drained)
+
+    # -- round mechanics --------------------------------------------------------
+
+    def _execute_round(self, round_number: int, *, inject: bool) -> int:
+        if not inject:
+            injections = []
+        elif getattr(self.adversary, "adaptive", False):
+            # Adaptive adversaries (repro.adversary.adaptive) observe the
+            # configuration left by the previous round before injecting.
+            injections = self.adversary.adaptive_injections(
+                round_number, self.algorithm.occupancy_vector()
+            )
+        else:
+            injections = self.adversary.injections_for_round(round_number)
+        new_packets: List[Packet] = []
+        for injection in injections:
+            self.topology.validate_route(injection.source, injection.destination)
+            packet = Packet.from_injection(injection)
+            self.packets[injection.packet_id] = packet
+            new_packets.append(packet)
+        self._injected += len(new_packets)
+        self.algorithm.on_inject(round_number, new_packets)
+
+        # L^t: after injection, before forwarding.
+        occupancy_before = self.algorithm.occupancy_vector()
+        staged = self.algorithm.staged_count()
+        self._timeline.observe(occupancy_before, staged)
+
+        activations = self.algorithm.select_activations(round_number)
+        if self.validate_capacity:
+            self._validate_activations(activations, round_number)
+        forwarded, delivered = self._apply_activations(activations, round_number)
+        self._delivered += delivered
+
+        occupancy_after = self.algorithm.occupancy_vector()
+        self.algorithm.on_round_end(round_number)
+
+        if self.record_history:
+            self._history.append(
+                RoundRecord(
+                    round=round_number,
+                    injected=len(new_packets),
+                    forwarded=forwarded,
+                    delivered=delivered,
+                    max_occupancy=max(occupancy_before.values(), default=0),
+                    max_occupancy_after_forwarding=max(
+                        occupancy_after.values(), default=0
+                    ),
+                    staged=staged,
+                    occupancy=dict(occupancy_before)
+                    if self.record_occupancy_vectors
+                    else None,
+                )
+            )
+        self._round = round_number + 1
+        return forwarded
+
+    def _validate_activations(
+        self, activations: List[Activation], round_number: int
+    ) -> None:
+        seen_nodes = set()
+        for activation in activations:
+            node = activation.node
+            if node not in self.algorithm.buffers:
+                raise SchedulingError(
+                    f"round {round_number}: activation names unknown node {node}"
+                )
+            if node in seen_nodes:
+                next_hop = self.topology.next_hop(node)
+                raise CapacityViolationError(
+                    edge=(node, next_hop),
+                    round_number=round_number,
+                    detail="two pseudo-buffers activated at the same node",
+                )
+            seen_nodes.add(node)
+
+    def _apply_activations(
+        self, activations: List[Activation], round_number: int
+    ) -> Tuple[int, int]:
+        """Pop all activated packets simultaneously, then place them."""
+        moves: List[Tuple[Packet, int]] = []
+        for activation in activations:
+            node_buffer = self.algorithm.buffers[activation.node]
+            pseudo = node_buffer.existing(activation.key)
+            if pseudo is None or not pseudo:
+                # The paper's wording is "each nonempty activated buffer
+                # forwards": an activation of an empty pseudo-buffer is a
+                # silent no-op, not an error.
+                continue
+            if activation.packet is not None:
+                pseudo.remove(activation.packet)
+                packet = activation.packet
+            else:
+                packet = pseudo.pop()
+            next_hop = self.topology.next_hop(activation.node)
+            if next_hop is None:
+                raise SchedulingError(
+                    f"round {round_number}: node {activation.node} has no outgoing edge"
+                )
+            moves.append((packet, next_hop))
+
+        delivered = 0
+        for packet, next_hop in moves:
+            packet.advance(next_hop)
+            if next_hop == packet.destination:
+                packet.deliver(round_number)
+                delivered += 1
+            else:
+                self.algorithm.on_arrival(packet, next_hop, round_number)
+        return len(moves), delivered
+
+    def _pending(self) -> int:
+        return self.algorithm.pending_packets()
+
+    def _drain(self, start_round: int, max_drain_rounds: Optional[int]) -> bool:
+        pending = self._pending()
+        if max_drain_rounds is None:
+            # Every packet needs at most num_nodes hops and at most one packet
+            # leaves each buffer per round, so pending * n is a safe cap even
+            # for very lazy algorithms; add slack for phase-based algorithms.
+            max_drain_rounds = (pending + 1) * (self.topology.num_nodes + 2) + 64
+        round_number = start_round
+        rounds_drained = 0
+        # The paper's algorithms are not work-conserving: a configuration with
+        # no bad (pseudo-)buffer is a fixed point and will never change once
+        # injections stop.  Detect such quiescence (several consecutive rounds
+        # with no forwarding and no change in staged packets) and stop early
+        # instead of spinning until the cap.
+        quiescence_window = 2 * self.topology.num_nodes + 8
+        quiet_rounds = 0
+        previous_staged = self.algorithm.staged_count()
+        while self._pending() > 0 and rounds_drained < max_drain_rounds:
+            forwarded = self._execute_round(round_number, inject=False)
+            round_number += 1
+            rounds_drained += 1
+            staged = self.algorithm.staged_count()
+            if forwarded == 0 and staged == previous_staged:
+                quiet_rounds += 1
+                if quiet_rounds >= quiescence_window:
+                    break
+            else:
+                quiet_rounds = 0
+            previous_staged = staged
+        return self._pending() == 0
+
+    # -- result assembly -----------------------------------------------------------
+
+    def _build_result(self, drained: bool) -> SimulationResult:
+        latencies = [
+            packet.latency
+            for packet in self.packets.values()
+            if packet.latency is not None
+        ]
+        undelivered = sum(
+            1
+            for packet in self.packets.values()
+            if packet.state is not PacketState.DELIVERED
+        )
+        return SimulationResult(
+            algorithm=self.algorithm.name,
+            num_nodes=self.topology.num_nodes,
+            rounds_executed=self._round,
+            max_occupancy=self._timeline.max_occupancy,
+            max_occupancy_per_node=dict(self._timeline.max_per_node),
+            max_staged=self._timeline.max_staged,
+            packets_injected=self._injected,
+            packets_delivered=self._delivered,
+            packets_undelivered=undelivered,
+            max_latency=max(latencies) if latencies else None,
+            mean_latency=(sum(latencies) / len(latencies)) if latencies else None,
+            drained=drained,
+            history=self._history,
+        )
+
+
+def run_simulation(
+    topology: Topology,
+    algorithm: ForwardingAlgorithm,
+    adversary: "Adversary",
+    *,
+    num_rounds: Optional[int] = None,
+    drain: bool = True,
+    record_history: bool = False,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`Simulator`.
+
+    This is the function most examples and benchmarks use: build the three
+    ingredients, call :func:`run_simulation`, read ``result.max_occupancy``.
+    """
+    simulator = Simulator(
+        topology,
+        algorithm,
+        adversary,
+        record_history=record_history,
+    )
+    return simulator.run(num_rounds, drain=drain)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import reset_packet_ids
+from repro.network.topology import (
+    LineTopology,
+    binary_tree,
+    caterpillar_tree,
+    star_tree,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_packet_ids():
+    """Keep packet ids deterministic within each test."""
+    reset_packet_ids()
+    yield
+    reset_packet_ids()
+
+
+@pytest.fixture
+def small_line() -> LineTopology:
+    """An 8-node line, handy for hand-checkable scenarios."""
+    return LineTopology(8)
+
+
+@pytest.fixture
+def medium_line() -> LineTopology:
+    """A 32-node line for small sweeps."""
+    return LineTopology(32)
+
+
+@pytest.fixture
+def power_line() -> LineTopology:
+    """A 16-node line (2**4), compatible with the Figure 1 hierarchy."""
+    return LineTopology(16)
+
+
+@pytest.fixture
+def small_caterpillar():
+    """A caterpillar tree with an 4-node spine and 2 legs per spine node."""
+    return caterpillar_tree(spine_length=4, legs_per_node=2)
+
+
+@pytest.fixture
+def small_star():
+    """A star with 6 leaves."""
+    return star_tree(6)
+
+
+@pytest.fixture
+def small_binary_tree():
+    """A complete binary tree of depth 3 (15 nodes)."""
+    return binary_tree(3)

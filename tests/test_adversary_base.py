@@ -1,0 +1,86 @@
+"""Unit tests for injection patterns (repro.adversary.base)."""
+
+from __future__ import annotations
+
+from repro.adversary.base import InjectionPattern
+from repro.core.packet import Injection, make_injection
+from repro.network.topology import LineTopology
+
+
+class TestInjectionPattern:
+    def test_round_grouping(self):
+        pattern = InjectionPattern.from_tuples(
+            [(0, 0, 3), (0, 1, 3), (2, 0, 2)]
+        )
+        assert len(pattern.injections_for_round(0)) == 2
+        assert len(pattern.injections_for_round(1)) == 0
+        assert len(pattern.injections_for_round(2)) == 1
+        assert pattern.horizon == 3
+        assert len(pattern) == 3
+        assert pattern.total_packets == 3
+
+    def test_empty_pattern(self):
+        pattern = InjectionPattern([])
+        assert pattern.horizon == 0
+        assert pattern.all_injections() == []
+
+    def test_assigns_fresh_ids_when_missing(self):
+        pattern = InjectionPattern([Injection(0, 0, 1), Injection(0, 0, 2)])
+        ids = [p.packet_id for p in pattern.all_injections()]
+        assert len(set(ids)) == 2
+        assert all(pid >= 0 for pid in ids)
+
+    def test_preserves_existing_ids(self):
+        injection = make_injection(1, 0, 3)
+        pattern = InjectionPattern([injection])
+        assert pattern.all_injections()[0].packet_id == injection.packet_id
+
+    def test_destinations_and_sources(self):
+        pattern = InjectionPattern.from_tuples(
+            [(0, 0, 5), (0, 2, 3), (1, 2, 5), (1, 1, 3)]
+        )
+        assert pattern.destinations() == [3, 5]
+        assert pattern.sources() == [0, 1, 2]
+        assert pattern.num_destinations == 2
+
+    def test_crossings_per_round(self):
+        line = LineTopology(6)
+        pattern = InjectionPattern.from_tuples([(0, 1, 4), (1, 0, 2)])
+        crossings = pattern.crossings_per_round(line)
+        assert crossings[0] == {1: 1, 2: 1, 3: 1}
+        assert crossings[1] == {0: 1, 1: 1}
+
+    def test_crossings_truncated_horizon(self):
+        line = LineTopology(4)
+        pattern = InjectionPattern.from_tuples([(0, 0, 2), (5, 0, 2)])
+        crossings = pattern.crossings_per_round(line, num_rounds=2)
+        assert len(crossings) == 2
+
+    def test_restricted_to_rounds(self):
+        pattern = InjectionPattern.from_tuples([(0, 0, 1), (3, 0, 1), (7, 0, 1)])
+        restricted = pattern.restricted_to_rounds(1, 5)
+        assert len(restricted) == 1
+        assert restricted.all_injections()[0].round == 3
+
+    def test_shifted(self):
+        pattern = InjectionPattern.from_tuples([(2, 0, 1)])
+        shifted = pattern.shifted(5)
+        assert shifted.all_injections()[0].round == 7
+
+    def test_merged_with(self):
+        first = InjectionPattern.from_tuples([(0, 0, 1)])
+        second = InjectionPattern.from_tuples([(1, 0, 2)])
+        merged = first.merged_with(second)
+        assert len(merged) == 2
+        assert merged.horizon == 2
+
+    def test_iteration_and_membership(self):
+        injection = make_injection(0, 0, 2)
+        pattern = InjectionPattern([injection])
+        assert injection in pattern
+        assert list(pattern) == [injection]
+
+    def test_declared_parameters_carried(self):
+        pattern = InjectionPattern.from_tuples([(0, 0, 1)], rho=0.5, sigma=2)
+        assert pattern.rho == 0.5
+        assert pattern.sigma == 2

@@ -1,0 +1,101 @@
+"""Unit tests for pattern/result serialization (repro.adversary.io)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adversary.base import InjectionPattern
+from repro.adversary.generators import random_line_adversary
+from repro.adversary.io import (
+    load_pattern,
+    pattern_from_dict,
+    pattern_to_dict,
+    result_to_dict,
+    save_pattern,
+    save_result,
+)
+from repro.core.ppts import ParallelPeakToSink
+from repro.network.errors import ConfigurationError
+from repro.network.simulator import run_simulation
+from repro.network.topology import LineTopology
+
+
+class TestPatternRoundtrip:
+    def test_dict_roundtrip_preserves_everything(self):
+        pattern = InjectionPattern.from_tuples(
+            [(0, 0, 5), (0, 2, 7), (3, 1, 4)], rho=0.5, sigma=2
+        )
+        rebuilt = pattern_from_dict(pattern_to_dict(pattern))
+        assert rebuilt.rho == 0.5
+        assert rebuilt.sigma == 2
+        assert [
+            (p.round, p.source, p.destination, p.packet_id)
+            for p in rebuilt.all_injections()
+        ] == [
+            (p.round, p.source, p.destination, p.packet_id)
+            for p in pattern.all_injections()
+        ]
+
+    def test_file_roundtrip(self, tmp_path):
+        line = LineTopology(16)
+        pattern = random_line_adversary(line, 0.8, 2, 40, 3, seed=9)
+        path = save_pattern(pattern, tmp_path / "trace.json")
+        assert path.exists()
+        rebuilt = load_pattern(path)
+        assert len(rebuilt) == len(pattern)
+        assert rebuilt.destinations() == pattern.destinations()
+
+    def test_reloaded_pattern_reproduces_simulation(self, tmp_path):
+        line = LineTopology(16)
+        pattern = random_line_adversary(line, 1.0, 2, 60, 4, seed=4)
+        original = run_simulation(line, ParallelPeakToSink(line), pattern)
+        reloaded = load_pattern(save_pattern(pattern, tmp_path / "trace.json"))
+        replayed = run_simulation(line, ParallelPeakToSink(line), reloaded)
+        assert replayed.max_occupancy == original.max_occupancy
+        assert replayed.packets_injected == original.packets_injected
+
+    def test_empty_pattern(self, tmp_path):
+        path = save_pattern(InjectionPattern([]), tmp_path / "empty.json")
+        assert len(load_pattern(path)) == 0
+
+    def test_missing_rho_sigma_roundtrip_to_none(self):
+        pattern = InjectionPattern.from_tuples([(0, 0, 1)])
+        rebuilt = pattern_from_dict(pattern_to_dict(pattern))
+        assert rebuilt.rho is None
+        assert rebuilt.sigma is None
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pattern_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        data = pattern_to_dict(InjectionPattern([]))
+        data["version"] = 99
+        with pytest.raises(ConfigurationError):
+            pattern_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_pattern(path)
+
+
+class TestResultSerialization:
+    def test_result_dict_fields(self, tmp_path):
+        line = LineTopology(12)
+        pattern = random_line_adversary(line, 1.0, 1, 30, 2, seed=1)
+        result = run_simulation(line, ParallelPeakToSink(line), pattern)
+        data = result_to_dict(result)
+        assert data["algorithm"] == "PPTS"
+        assert data["max_occupancy"] == result.max_occupancy
+        assert data["packets_injected"] == result.packets_injected
+
+        path = save_result(result, tmp_path / "result.json", extra={"experiment": "E2"})
+        loaded = json.loads(path.read_text())
+        assert loaded["extra"]["experiment"] == "E2"
+        assert loaded["format"] == "repro.simulation_result"

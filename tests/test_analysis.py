@@ -1,0 +1,146 @@
+"""Unit tests for the analysis helpers (metrics, tables, tradeoff)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    check_against_bound,
+    comparison_table,
+    max_occupancy_series,
+    occupancy_profile,
+    relative_gap,
+)
+from repro.analysis.tables import format_kv, format_table, render_series
+from repro.analysis.tradeoff import analytic_tradeoff_curve, empirical_tradeoff_point
+from repro.network.events import RoundRecord, SimulationResult
+
+
+def _result(max_occupancy: int, algorithm: str = "PPTS", history=None) -> SimulationResult:
+    return SimulationResult(
+        algorithm=algorithm,
+        num_nodes=16,
+        rounds_executed=10,
+        max_occupancy=max_occupancy,
+        packets_injected=20,
+        packets_delivered=18,
+        packets_undelivered=2,
+        max_latency=7,
+        mean_latency=3.5,
+        history=history or [],
+    )
+
+
+def _record(round_number: int, occupancy: int) -> RoundRecord:
+    return RoundRecord(
+        round=round_number,
+        injected=1,
+        forwarded=1,
+        delivered=0,
+        max_occupancy=occupancy,
+        max_occupancy_after_forwarding=occupancy,
+        staged=0,
+    )
+
+
+class TestBoundCheck:
+    def test_within_bound(self):
+        check = check_against_bound(_result(5), 8)
+        assert check.satisfied
+        assert check.slack == 3
+        assert check.utilisation == pytest.approx(5 / 8)
+
+    def test_violation(self):
+        check = check_against_bound(_result(9), 8)
+        assert not check.satisfied
+        assert check.slack == -1
+
+    def test_no_bound(self):
+        check = check_against_bound(_result(9), None)
+        assert check.satisfied
+        assert check.utilisation == 0.0
+
+    def test_relative_gap(self):
+        assert relative_gap(_result(12), _result(4)) == 3.0
+        assert relative_gap(_result(12), _result(0)) == float("inf")
+
+    def test_comparison_table_rows(self):
+        rows = comparison_table(
+            [_result(5, "PPTS"), _result(9, "Greedy-FIFO")],
+            bounds={"PPTS": 8},
+        )
+        assert rows[0]["within_bound"] is True
+        assert rows[0]["bound"] == 8
+        assert rows[1]["bound"] is None
+
+    def test_max_occupancy_series(self):
+        assert max_occupancy_series([_result(3), _result(7)]) == [3, 7]
+
+    def test_occupancy_profile(self):
+        history = [_record(t, occupancy) for t, occupancy in enumerate([1, 2, 5, 3, 2, 1])]
+        profile = occupancy_profile(_result(5, history=history), num_buckets=3)
+        assert profile == [2, 5, 2]
+
+    def test_occupancy_profile_without_history(self):
+        assert occupancy_profile(_result(5)) == []
+
+
+class TestTables:
+    def test_format_table_alignment_and_missing_values(self):
+        text = format_table(
+            [{"a": 1, "b": "x"}, {"a": 22}],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "-" in lines[-1]  # missing value rendered as '-'
+
+    def test_format_table_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_floats_and_bools(self):
+        text = format_table([{"x": 1.23456, "ok": True}])
+        assert "1.23" in text
+        assert "yes" in text
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1, "beta": None}, title="params")
+        assert text.splitlines()[0] == "params"
+        assert ": -" in text
+
+    def test_render_series(self):
+        text = render_series([0, 1, 2, 4], label="occ ")
+        assert text.startswith("occ [")
+        assert "peak=4" in text
+
+    def test_render_series_empty(self):
+        assert "(empty)" in render_series([])
+
+
+class TestTradeoff:
+    def test_analytic_curve_shape(self):
+        points = analytic_tradeoff_curve(8, [2, 4, 16, 64], sigma=1, rho=0.5)
+        assert len(points) == 4
+        # Space-only cost grows linearly with alpha; the bandwidth route grows
+        # roughly like log(alpha) * d^(1/log(alpha)), so the saving ratio
+        # increases with alpha.
+        savings = [p.space_saving for p in points]
+        assert savings[-1] > savings[0]
+        assert all(p.space_only_buffers >= p.space_bandwidth_buffers for p in points[1:])
+
+    def test_analytic_curve_bandwidth_multiplier(self):
+        points = analytic_tradeoff_curve(4, [8], sigma=0, rho=1.0)
+        assert points[0].bandwidth_multiplier == 3  # ceil(log2 8)
+
+    def test_empirical_point_contains_both_sides(self):
+        row = empirical_tradeoff_point(
+            num_nodes=32, num_destinations=8, rho=1.0, sigma=1, num_rounds=80
+        )
+        assert row["ppts_measured"] <= row["ppts_bound"]
+        assert row["hpts_measured"] <= row["hpts_bound"]
+        assert row["bandwidth_multiplier"] == row["levels"]

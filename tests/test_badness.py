@@ -1,0 +1,139 @@
+"""Unit tests for badness accounting (Definitions 3.3, 4.5, B.4)."""
+
+from __future__ import annotations
+
+from repro.core.badness import (
+    hpts_level_badness,
+    hpts_total_badness,
+    line_badness_by_destination,
+    line_badness_single_destination,
+    line_total_badness,
+    pseudo_buffer_badness,
+    tree_badness,
+    tree_badness_by_destination,
+)
+from repro.core.packet import Packet, make_injection
+from repro.core.pseudobuffer import NodeBuffer
+from repro.network.topology import TreeTopology
+
+
+def _buffers(num_nodes: int):
+    return {i: NodeBuffer(i) for i in range(num_nodes)}
+
+
+def _fill(buffers, node: int, key, count: int, destination: int = None):
+    destination = destination if destination is not None else (key if isinstance(key, int) else 7)
+    for _ in range(count):
+        packet = Packet.from_injection(make_injection(0, node, destination))
+        packet.location = node
+        buffers[node].store(packet, key)
+
+
+class TestPseudoBufferBadness:
+    def test_definition(self):
+        assert pseudo_buffer_badness(0) == 0
+        assert pseudo_buffer_badness(1) == 0
+        assert pseudo_buffer_badness(2) == 1
+        assert pseudo_buffer_badness(5) == 4
+
+
+class TestSingleDestinationLine:
+    def test_prefix_sums(self):
+        buffers = _buffers(6)
+        _fill(buffers, 0, 5, 3)   # 2 bad packets
+        _fill(buffers, 2, 5, 1)   # 0 bad
+        _fill(buffers, 4, 5, 2)   # 1 bad
+        badness = line_badness_single_destination(buffers, destination=5)
+        assert badness[0] == 2
+        assert badness[1] == 2
+        assert badness[2] == 2
+        assert badness[3] == 2
+        assert badness[4] == 3
+        assert badness[5] == 3
+
+    def test_packets_at_or_past_destination_not_counted(self):
+        buffers = _buffers(6)
+        _fill(buffers, 5, 3, 4)  # stored at node 5, right of destination 3
+        badness = line_badness_single_destination(buffers, destination=3)
+        assert all(value == 0 for value in badness.values())
+
+
+class TestMultiDestinationLine:
+    def test_per_destination_badness(self):
+        buffers = _buffers(8)
+        destinations = [4, 7]
+        _fill(buffers, 1, 4, 3)  # 2 bad packets for destination 4
+        _fill(buffers, 2, 7, 2)  # 1 bad packet for destination 7
+        per = line_badness_by_destination(buffers, destinations)
+        assert per[(1, 4)] == 2
+        assert per[(3, 4)] == 2
+        assert per[(4, 4)] == 0          # destination itself: w_k > i fails
+        assert per[(1, 7)] == 0
+        assert per[(2, 7)] == 1
+        assert per[(6, 7)] == 1
+
+    def test_total_badness_sums_destinations_beyond_i(self):
+        buffers = _buffers(8)
+        destinations = [4, 7]
+        _fill(buffers, 1, 4, 3)
+        _fill(buffers, 2, 7, 2)
+        total = line_total_badness(buffers, destinations)
+        assert total[1] == 2          # only the destination-4 bad packets so far
+        assert total[2] == 3          # both groups are upstream of buffer 2
+        assert total[3] == 3
+        assert total[4] == 1          # destination 4 no longer counts past node 4
+        assert total[6] == 1
+        assert total[7] == 0
+
+    def test_empty_configuration(self):
+        buffers = _buffers(4)
+        assert all(v == 0 for v in line_total_badness(buffers, [3]).values())
+
+
+class TestHPTSLevelBadness:
+    def test_prefix_restarts_at_interval_boundaries(self):
+        buffers = _buffers(8)
+        # Two level-1 intervals: [0, 3] and [4, 7]; key = (level, intermediate dest).
+        level_intervals = {1: [(0, 3), (4, 7)]}
+        _fill(buffers, 0, (1, 2), 3, destination=2)   # 2 bad in first interval
+        _fill(buffers, 5, (1, 6), 2, destination=6)   # 1 bad in second interval
+        per = hpts_level_badness(buffers, level_intervals)
+        assert per[(0, 1, 2)] == 2
+        assert per[(3, 1, 2)] == 2
+        # The second interval's prefix does not include the first interval's badness.
+        assert per[(4, 1, 6)] == 0
+        assert per[(5, 1, 6)] == 1
+        assert per[(7, 1, 6)] == 1
+
+    def test_total_badness_sums_levels(self):
+        buffers = _buffers(4)
+        level_intervals = {0: [(0, 1), (2, 3)], 1: [(0, 3)]}
+        _fill(buffers, 0, (1, 2), 2, destination=2)
+        _fill(buffers, 0, (0, 1), 2, destination=1)
+        total = hpts_total_badness(buffers, level_intervals)
+        assert total[0] == 2
+        assert total[1] == 2  # level-1 badness propagates to buffer 1; level-0 does not
+
+
+class TestTreeBadness:
+    def test_subtree_accumulation(self):
+        tree = TreeTopology({0: None, 1: 0, 2: 1, 3: 1, 4: 0})
+        buffers = {v: NodeBuffer(v) for v in tree.nodes}
+        _fill(buffers, 2, 0, 3, destination=0)  # 2 bad at leaf 2
+        _fill(buffers, 4, 0, 2, destination=0)  # 1 bad at leaf 4
+        badness = tree_badness(buffers, tree)
+        assert badness[2] == 2
+        assert badness[3] == 0
+        assert badness[1] == 2
+        assert badness[4] == 1
+        assert badness[0] == 3
+
+    def test_per_destination_respects_ancestry(self):
+        tree = TreeTopology({0: None, 1: 0, 2: 1, 3: 1})
+        buffers = {v: NodeBuffer(v) for v in tree.nodes}
+        _fill(buffers, 2, 1, 3, destination=1)   # destined for node 1
+        per = tree_badness_by_destination(buffers, tree, [0, 1])
+        assert per[(2, 1)] == 2
+        assert per[(1, 1)] == 0      # node 1 is the destination itself
+        assert per[(3, 1)] == 0      # node 3's subtree has no such packets
+        assert per[(2, 0)] == 0      # no packets destined for the root

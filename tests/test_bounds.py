@@ -1,0 +1,138 @@
+"""Unit tests for the closed-form bounds (repro.core.bounds)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import bounds
+from repro.network.errors import ConfigurationError
+
+
+class TestUpperBounds:
+    def test_pts_bound(self):
+        assert bounds.pts_upper_bound(0) == 2
+        assert bounds.pts_upper_bound(5) == 7
+
+    def test_ppts_bound(self):
+        assert bounds.ppts_upper_bound(1, 0) == 2
+        assert bounds.ppts_upper_bound(8, 3) == 12
+
+    def test_tree_bound_uses_destination_depth(self):
+        assert bounds.tree_ppts_upper_bound(4, 2) == 7
+
+    def test_hpts_bound_formula(self):
+        assert bounds.hpts_upper_bound(16, 4, 0) == pytest.approx(4 * 2 + 1)
+        assert bounds.hpts_upper_bound(64, 3, 2) == pytest.approx(3 * 4 + 3)
+
+    def test_hpts_with_one_level_matches_ppts_on_all_destinations(self):
+        # With ell = 1 the HPTS bound is n + sigma + 1, i.e. the PPTS bound
+        # with d = n destinations.
+        n, sigma = 32, 2
+        assert bounds.hpts_upper_bound(n, 1, sigma) == pytest.approx(
+            bounds.ppts_upper_bound(n, sigma)
+        )
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bounds.pts_upper_bound(-1)
+        with pytest.raises(ConfigurationError):
+            bounds.ppts_upper_bound(0, 1)
+        with pytest.raises(ConfigurationError):
+            bounds.tree_ppts_upper_bound(-1, 0)
+        with pytest.raises(ConfigurationError):
+            bounds.hpts_upper_bound(1, 1, 0)
+        with pytest.raises(ConfigurationError):
+            bounds.hpts_upper_bound(16, 0, 0)
+
+
+class TestLowerBound:
+    def test_zero_below_threshold_rate(self):
+        # rho <= 1/(ell+1) gives no information.
+        assert bounds.lower_bound(100, 2, 0.33) == 0.0
+
+    def test_positive_above_threshold(self):
+        value = bounds.lower_bound(64, 2, 0.5)
+        assert value == pytest.approx((3 * 0.5 - 1) / 4 * 8)
+
+    def test_grows_with_network_size(self):
+        small = bounds.lower_bound(16, 2, 0.9)
+        large = bounds.lower_bound(1024, 2, 0.9)
+        assert large > small
+
+    def test_invalid_rho(self):
+        with pytest.raises(ConfigurationError):
+            bounds.lower_bound(16, 2, 0.0)
+        with pytest.raises(ConfigurationError):
+            bounds.lower_bound(16, 2, 1.5)
+
+
+class TestDestinationForm:
+    def test_optimal_levels_is_floor_inverse_rate(self):
+        assert bounds.optimal_levels(1.0) == 1
+        assert bounds.optimal_levels(0.5) == 2
+        assert bounds.optimal_levels(0.34) == 2
+        assert bounds.optimal_levels(0.25) == 4
+        assert bounds.max_levels_for_rate(0.2) == 5
+
+    def test_destination_upper_bound_default_levels(self):
+        # rho = 0.5 -> k = 2 -> 2 * sqrt(d) + sigma + 1.
+        assert bounds.destination_upper_bound(16, 0.5, 1) == pytest.approx(
+            2 * 4 + 1 + 1
+        )
+
+    def test_destination_upper_bound_explicit_levels(self):
+        assert bounds.destination_upper_bound(8, 0.5, 0, levels=3) == pytest.approx(
+            3 * 2 + 1
+        )
+
+    def test_destination_lower_bound(self):
+        value = bounds.destination_lower_bound(64, 0.5)
+        assert value == pytest.approx((3 * 0.5 - 1) / 4 * 8)
+        # With the default k = floor(1/rho) the premise rho > 1/(k+1) always
+        # holds, so the bound is always positive.
+        assert bounds.destination_lower_bound(64, 0.3) > 0
+        # With an explicitly shallow hierarchy the premise rho > 1/(k+1)
+        # fails and the theorem gives no information.
+        assert bounds.destination_lower_bound(64, 0.3, levels=2) == 0.0
+
+    def test_upper_dominates_lower(self):
+        for d in (2, 8, 64, 1024):
+            for rho in (0.9, 0.5, 0.3, 0.1):
+                assert bounds.destination_upper_bound(
+                    d, rho, 0
+                ) >= bounds.destination_lower_bound(d, rho)
+
+    def test_log_destination_threshold(self):
+        assert bounds.log_destination_threshold_rate(16) == pytest.approx(0.25)
+        with pytest.raises(ConfigurationError):
+            bounds.log_destination_threshold_rate(1)
+
+    def test_low_rate_gives_logarithmic_space(self):
+        """The introduction's observation: rho <= 1/log d gives O(log d) buffers."""
+        for d in (16, 256, 4096):
+            rho = bounds.log_destination_threshold_rate(d)
+            space = bounds.destination_upper_bound(d, rho, 0)
+            assert space <= 3 * math.log2(d) + 1
+
+
+class TestTradeoff:
+    def test_space_only_scales_linearly(self):
+        row = bounds.bandwidth_space_tradeoff(8, 4.0, 0, 0.5)
+        assert row["scaled_destinations"] == 32
+        assert row["space_only_buffers"] == bounds.ppts_upper_bound(32, 0)
+
+    def test_bandwidth_route_uses_log_levels(self):
+        row = bounds.bandwidth_space_tradeoff(8, 16.0, 0, 0.5)
+        assert row["bandwidth_multiplier"] == 4
+        assert row["space_bandwidth_buffers"] < row["space_only_buffers"]
+
+    def test_scale_one_is_identity_levels(self):
+        row = bounds.bandwidth_space_tradeoff(8, 1.0, 1, 0.5)
+        assert row["bandwidth_multiplier"] == 1
+        assert row["scaled_destinations"] == 8
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            bounds.bandwidth_space_tradeoff(8, 0.5, 0, 0.5)

@@ -1,0 +1,122 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.algorithm == "ppts"
+        assert args.nodes == 64
+        assert args.rho == 1.0
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--algorithm", "magic"])
+
+
+class TestExperimentCommands:
+    def test_experiments_lists_all_nine(self, capsys):
+        assert main(["experiments"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in (f"E{i}" for i in range(1, 10)):
+            assert experiment_id in output
+
+    def test_experiment_detail(self, capsys):
+        assert main(["experiment", "e4"]) == 0
+        output = capsys.readouterr().out
+        assert "Theorem 4.1" in output
+        assert "bench_thm_4_1_hpts.py" in output
+
+    def test_unknown_experiment_is_an_error(self, capsys):
+        with pytest.raises(KeyError):
+            main(["experiment", "E42"])
+
+
+class TestSimulateCommand:
+    def test_ppts_run_prints_bound_row(self, capsys):
+        code = main(
+            [
+                "simulate", "--algorithm", "ppts", "--nodes", "32",
+                "--destinations", "4", "--rounds", "60",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "PPTS" in output
+        assert "within_bound" in output
+        assert "yes" in output
+
+    def test_pts_run(self, capsys):
+        assert main(
+            ["simulate", "--algorithm", "pts", "--nodes", "24", "--rounds", "50"]
+        ) == 0
+        assert "PTS" in capsys.readouterr().out
+
+    def test_hpts_run_derives_branching(self, capsys):
+        assert main(
+            [
+                "simulate", "--algorithm", "hpts", "--nodes", "64", "--levels", "3",
+                "--rho", "0.33", "--rounds", "60",
+            ]
+        ) == 0
+        assert "HPTS" in capsys.readouterr().out
+
+    def test_local_and_downhill_runs(self, capsys):
+        assert main(
+            ["simulate", "--algorithm", "local", "--locality", "3", "--nodes", "24",
+             "--rounds", "40"]
+        ) == 0
+        assert "Local-r3" in capsys.readouterr().out
+        assert main(
+            ["simulate", "--algorithm", "downhill", "--nodes", "24", "--rounds", "40"]
+        ) == 0
+        assert "Downhill" in capsys.readouterr().out
+
+    def test_greedy_run_with_policy(self, capsys):
+        assert main(
+            ["simulate", "--algorithm", "greedy", "--policy", "ntg", "--nodes", "24",
+             "--rounds", "40"]
+        ) == 0
+        assert "Greedy-NTG" in capsys.readouterr().out
+
+    def test_workload_override(self, capsys):
+        assert main(
+            ["simulate", "--algorithm", "ppts", "--workload", "nested",
+             "--nodes", "32", "--destinations", "4", "--rounds", "40"]
+        ) == 0
+        assert "nested" in capsys.readouterr().out
+
+
+class TestBoundsAndFigureCommands:
+    def test_bounds_table(self, capsys):
+        assert main(
+            ["bounds", "--nodes", "64", "--destinations", "12", "--rho", "0.5",
+             "--sigma", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "PTS (Prop 3.1)" in output
+        assert "Thm 4.1" in output
+        assert "Thm 5.1" in output
+
+    def test_figure1_plain(self, capsys):
+        assert main(["figure1"]) == 0
+        output = capsys.readouterr().out
+        assert "j=3" in output
+        assert "0000" in output
+
+    def test_figure1_with_trajectory(self, capsys):
+        assert main(
+            ["figure1", "--source", "2", "--destination", "13"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "*" in output
+        assert "Segments of 2 -> 13" in output

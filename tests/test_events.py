@@ -1,0 +1,72 @@
+"""Unit tests for round records, results and the occupancy timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.events import OccupancyTimeline, RoundRecord, SimulationResult
+
+
+def _record(round_number: int, occupancy: int, forwarded: int = 1) -> RoundRecord:
+    return RoundRecord(
+        round=round_number,
+        injected=1,
+        forwarded=forwarded,
+        delivered=0,
+        max_occupancy=occupancy,
+        max_occupancy_after_forwarding=max(0, occupancy - 1),
+        staged=0,
+    )
+
+
+class TestOccupancyTimeline:
+    def test_tracks_global_and_per_node_maxima(self):
+        timeline = OccupancyTimeline()
+        timeline.observe({0: 2, 1: 5}, staged=1)
+        timeline.observe({0: 7, 1: 1}, staged=4)
+        assert timeline.max_occupancy == 7
+        assert timeline.max_per_node == {0: 7, 1: 5}
+        assert timeline.max_staged == 4
+
+    def test_empty_observation(self):
+        timeline = OccupancyTimeline()
+        timeline.observe({}, staged=0)
+        assert timeline.max_occupancy == 0
+        assert timeline.max_per_node == {}
+
+
+class TestSimulationResult:
+    def _result(self, **overrides) -> SimulationResult:
+        values = dict(
+            algorithm="PPTS",
+            num_nodes=8,
+            rounds_executed=20,
+            max_occupancy=5,
+            packets_injected=40,
+            packets_delivered=30,
+            packets_undelivered=10,
+            drained=False,
+        )
+        values.update(overrides)
+        return SimulationResult(**values)
+
+    def test_throughput(self):
+        assert self._result().throughput == pytest.approx(30 / 20)
+        assert self._result(rounds_executed=0).throughput == 0.0
+
+    def test_occupancy_timeline_from_history(self):
+        history = [_record(t, occupancy) for t, occupancy in enumerate([1, 4, 2])]
+        result = self._result(history=history)
+        assert result.occupancy_timeline() == [1, 4, 2]
+
+    def test_summary_row_contents(self):
+        row = self._result().summary_row()
+        assert row["algorithm"] == "PPTS"
+        assert row["max_occupancy"] == 5
+        assert row["drained"] is False
+        assert row["rounds"] == 20
+
+    def test_round_record_is_immutable(self):
+        record = _record(0, 3)
+        with pytest.raises(AttributeError):
+            record.injected = 5  # type: ignore[misc]

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs end-to-end and prints its tables.
+
+The examples are part of the public deliverable, so the test suite executes
+each one in a subprocess (the same way a user would) and checks that it exits
+cleanly and emits the headline it promises.  Kept lightweight: each example
+finishes in a few seconds on the default parameters.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, snippet that must appear in stdout)
+EXAMPLES = [
+    ("quickstart.py", "All three bounds hold"),
+    ("multi_destination_line.py", "space-bandwidth tradeoff"),
+    ("tree_information_gathering.py", "destination depth"),
+    ("space_bandwidth_tradeoff.py", "O(log d) regime"),
+    ("adversarial_lower_bound.py", "Theorem 5.1 floor"),
+    ("hierarchy_visualisation.py", "Segment decomposition"),
+]
+
+
+def _run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+@pytest.mark.parametrize("script,expected_snippet", EXAMPLES)
+def test_example_runs_cleanly(script, expected_snippet):
+    completed = _run_example(script)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert expected_snippet in completed.stdout
+
+
+def test_every_example_file_is_covered():
+    """New example scripts must be added to the smoke-test table above."""
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {name for name, _ in EXAMPLES}
+    assert scripts == covered

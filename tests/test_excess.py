@@ -1,0 +1,108 @@
+"""Unit and property tests for excess tracking (Definition 2.2, Lemma 2.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.excess import ExcessTracker, excess_brute_force
+
+
+class TestExcessTracker:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ExcessTracker(0, 0.5)
+        with pytest.raises(ValueError):
+            ExcessTracker(4, -0.1)
+
+    def test_starts_at_zero(self):
+        tracker = ExcessTracker(4, 0.5)
+        assert tracker.max_excess() == 0
+        assert all(tracker.excess(v) == 0 for v in range(4))
+
+    def test_single_burst_decays_at_rate_rho(self):
+        tracker = ExcessTracker(1, rho=0.5)
+        tracker.observe_round({0: 3})
+        # xi = max(0 + 3 - 0.5, 0) = 2.5
+        assert tracker.excess(0) == pytest.approx(2.5)
+        tracker.observe_round({})
+        assert tracker.excess(0) == pytest.approx(2.0)
+        tracker.observe_round({})
+        assert tracker.excess(0) == pytest.approx(1.5)
+
+    def test_excess_never_negative(self):
+        tracker = ExcessTracker(1, rho=1.0)
+        for _ in range(10):
+            tracker.observe_round({})
+        assert tracker.excess(0) == 0.0
+
+    def test_steady_rate_rho_keeps_excess_at_zero(self):
+        tracker = ExcessTracker(1, rho=1.0)
+        for _ in range(20):
+            tracker.observe_round({0: 1})
+        assert tracker.excess(0) == pytest.approx(0.0)
+
+    def test_previous_excess(self):
+        tracker = ExcessTracker(1, rho=0.0)
+        tracker.observe_round({0: 2})
+        tracker.observe_round({0: 1})
+        assert tracker.previous_excess(0) == pytest.approx(2.0)
+        assert tracker.excess(0) == pytest.approx(3.0)
+
+    def test_snapshot_is_a_copy(self):
+        tracker = ExcessTracker(2, rho=0.5)
+        snapshot = tracker.snapshot()
+        snapshot[0] = 99
+        assert tracker.excess(0) == 0.0
+
+    def test_lemma_2_3_part_2_injection_bound(self):
+        """N_{t}(v) <= xi_t(v) - xi_{t-1}(v) + rho for every observed round."""
+        rho = 0.75
+        tracker = ExcessTracker(1, rho=rho)
+        injections = [3, 0, 1, 0, 0, 2, 1, 1, 0, 4]
+        for count in injections:
+            tracker.observe_round({0: count})
+            lhs = count
+            rhs = tracker.excess(0) - tracker.previous_excess(0) + rho
+            assert lhs <= rhs + 1e-9
+
+
+class TestBruteForceAgreement:
+    def test_matches_on_hand_example(self):
+        rounds = [{0: 2}, {0: 0}, {0: 3}, {0: 1}]
+        rho = 1.0
+        tracker = ExcessTracker(1, rho=rho)
+        for crossings in rounds:
+            tracker.observe_round(crossings)
+        assert tracker.excess(0) == pytest.approx(
+            excess_brute_force(rounds, 0, rho)
+        )
+
+    def test_empty_history(self):
+        assert excess_brute_force([], 0, 0.5) == 0.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        rho=st.floats(min_value=0.0, max_value=1.0),
+        counts=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=30),
+    )
+    def test_incremental_equals_definition(self, rho, counts):
+        """The leaky-bucket recurrence equals the max-over-intervals definition."""
+        rounds = [{0: c} for c in counts]
+        tracker = ExcessTracker(1, rho=rho)
+        for crossings in rounds:
+            tracker.observe_round(crossings)
+        expected = excess_brute_force(rounds, 0, rho)
+        assert tracker.excess(0) == pytest.approx(expected, abs=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        rho=st.floats(min_value=0.0, max_value=1.0),
+        counts=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=30),
+    )
+    def test_lemma_2_3_part_2_holds_for_random_histories(self, rho, counts):
+        tracker = ExcessTracker(1, rho=rho)
+        for count in counts:
+            tracker.observe_round({0: count})
+            assert count <= tracker.excess(0) - tracker.previous_excess(0) + rho + 1e-9

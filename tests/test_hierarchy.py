@@ -1,0 +1,227 @@
+"""Unit and property tests for the hierarchical partition (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import (
+    HierarchicalPartition,
+    base_m_digits,
+    digits_to_index,
+    factor_as_power,
+    is_perfect_power,
+)
+from repro.network.errors import ConfigurationError
+
+
+class TestDigits:
+    def test_base_2(self):
+        assert base_m_digits(13, 2, 4) == [1, 0, 1, 1]
+
+    def test_base_3(self):
+        assert base_m_digits(14, 3, 3) == [2, 1, 1]
+
+    def test_roundtrip(self):
+        for value in range(81):
+            digits = base_m_digits(value, 3, 4)
+            assert digits_to_index(digits, 3) == value
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            base_m_digits(16, 2, 4)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            base_m_digits(-1, 2, 3)
+        with pytest.raises(ConfigurationError):
+            base_m_digits(3, 1, 3)
+
+    def test_perfect_power_helpers(self):
+        assert is_perfect_power(16, 2, 4)
+        assert not is_perfect_power(12, 2, 4)
+        assert factor_as_power(27, 3) == 3
+        assert factor_as_power(64, 3) == 4
+        assert factor_as_power(10, 3) is None
+
+
+class TestConstruction:
+    def test_derives_branching(self):
+        partition = HierarchicalPartition(16, 4)
+        assert partition.branching == 2
+
+    def test_explicit_branching_checked(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalPartition(16, 4, branching=3)
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalPartition(12, 2)
+
+    def test_single_level(self):
+        partition = HierarchicalPartition(10, 1, branching=10)
+        assert partition.level_partition(0) == [(0, 9)]
+
+
+class TestIntervals:
+    def test_figure1_partition_structure(self):
+        """The n=16, m=2, ell=4 partition of Figure 1."""
+        partition = HierarchicalPartition(16, 4)
+        assert partition.level_partition(3) == [(0, 15)]
+        assert partition.level_partition(2) == [(0, 7), (8, 15)]
+        assert partition.level_partition(1) == [(0, 3), (4, 7), (8, 11), (12, 15)]
+        assert partition.level_partition(0) == [
+            (0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (10, 11), (12, 13), (14, 15),
+        ]
+
+    def test_level_partitions_cover_the_line(self):
+        partition = HierarchicalPartition(27, 3)
+        for level in range(3):
+            covered = []
+            for start, end in partition.level_partition(level):
+                covered.extend(range(start, end + 1))
+            assert covered == list(range(27))
+
+    def test_interval_containing(self):
+        partition = HierarchicalPartition(16, 4)
+        assert partition.interval_containing(2, 13) == (8, 15)
+        assert partition.interval_containing(0, 13) == (12, 13)
+
+    def test_nesting_each_interval_splits_into_m_children(self):
+        partition = HierarchicalPartition(27, 3)
+        for level in range(1, 3):
+            for start, end in partition.level_partition(level):
+                children = [
+                    (s, e)
+                    for s, e in partition.level_partition(level - 1)
+                    if start <= s and e <= end
+                ]
+                assert len(children) == 3
+
+    def test_subinterval_endpoints(self):
+        partition = HierarchicalPartition(16, 4)
+        assert partition.subinterval_endpoints(2, 13) == [8, 12]
+        assert partition.subinterval_endpoints(1, 13) == [12, 14]
+        assert partition.subinterval_endpoints(0, 13) == [12, 13]
+
+    def test_out_of_range_queries(self):
+        partition = HierarchicalPartition(16, 4)
+        with pytest.raises(ConfigurationError):
+            partition.interval(4, 0)
+        with pytest.raises(ConfigurationError):
+            partition.interval(0, 8)
+        with pytest.raises(ConfigurationError):
+            partition.interval_containing(0, 16)
+
+
+class TestSegments:
+    def test_segment_level_is_highest_differing_digit(self):
+        partition = HierarchicalPartition(16, 4)
+        # 0010 vs 1100 differ first at position 3.
+        assert partition.segment_level(2, 12) == 3
+        # 1000 vs 1100 differ first at position 2.
+        assert partition.segment_level(8, 12) == 2
+        # 1100 vs 1101 differ at position 0.
+        assert partition.segment_level(12, 13) == 0
+
+    def test_intermediate_destination_definition(self):
+        partition = HierarchicalPartition(16, 4)
+        # x(i, w) = floor(w / m^j) * m^j with j = lv(i, w).
+        assert partition.intermediate_destination(2, 13) == 8
+        assert partition.intermediate_destination(8, 13) == 12
+        assert partition.intermediate_destination(12, 13) == 13
+
+    def test_virtual_sink_destination(self):
+        partition = HierarchicalPartition(16, 4)
+        assert partition.segment_level(3, 16) == 3
+        assert partition.intermediate_destination(3, 16) == 16
+
+    def test_trajectory_levels_strictly_decrease(self):
+        partition = HierarchicalPartition(16, 4)
+        segments = partition.virtual_trajectory(2, 13)
+        levels = [segment.level for segment in segments]
+        assert levels == sorted(levels, reverse=True)
+        assert len(set(levels)) == len(levels)
+
+    def test_trajectory_is_contiguous_and_ends_at_destination(self):
+        partition = HierarchicalPartition(81, 4, branching=3)
+        segments = partition.virtual_trajectory(5, 77)
+        assert segments[0].start == 5
+        assert segments[-1].end == 77
+        for previous, current in zip(segments, segments[1:]):
+            assert current.start == previous.end
+
+    def test_pseudo_buffer_key(self):
+        partition = HierarchicalPartition(16, 4)
+        assert partition.pseudo_buffer_key(2, 13) == (3, 8)
+        assert partition.pseudo_buffer_key(8, 13) == (2, 12)
+
+    def test_invalid_segment_queries(self):
+        partition = HierarchicalPartition(16, 4)
+        with pytest.raises(ConfigurationError):
+            partition.segment_level(5, 5)
+        with pytest.raises(ConfigurationError):
+            partition.segment_level(5, 3)
+        with pytest.raises(ConfigurationError):
+            partition.virtual_trajectory(5, 5)
+
+
+class TestFigureRows:
+    def test_row_count(self):
+        partition = HierarchicalPartition(16, 4)
+        # 1 + 2 + 4 + 8 intervals across the four levels.
+        assert len(partition.figure_rows()) == 15
+
+    def test_rows_describe_intervals(self):
+        partition = HierarchicalPartition(9, 2, branching=3)
+        rows = partition.figure_rows()
+        top = [row for row in rows if row["level"] == 1]
+        assert len(top) == 1
+        assert top[0]["start"] == 0 and top[0]["end"] == 8
+
+
+class TestPropertyBased:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        data=st.data(),
+        branching=st.integers(min_value=2, max_value=4),
+        levels=st.integers(min_value=1, max_value=4),
+    )
+    def test_trajectory_properties_hold_for_random_routes(self, data, branching, levels):
+        partition = HierarchicalPartition(branching**levels, levels, branching)
+        n = partition.num_nodes
+        source = data.draw(st.integers(min_value=0, max_value=n - 2))
+        destination = data.draw(st.integers(min_value=source + 1, max_value=n - 1))
+        segments = partition.virtual_trajectory(source, destination)
+        # Contiguity, termination, monotone decreasing levels.
+        assert segments[0].start == source
+        assert segments[-1].end == destination
+        levels_seen = [segment.level for segment in segments]
+        assert levels_seen == sorted(levels_seen, reverse=True)
+        for previous, current in zip(segments, segments[1:]):
+            assert current.start == previous.end
+        # Each intermediate endpoint (except possibly the final destination)
+        # is the left endpoint of an interval at the segment's level.
+        for segment in segments[:-1]:
+            assert segment.end % (branching**segment.level) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        branching=st.integers(min_value=2, max_value=4),
+        levels=st.integers(min_value=1, max_value=4),
+        index=st.integers(min_value=0),
+    )
+    def test_every_buffer_lies_in_exactly_one_interval_per_level(
+        self, branching, levels, index
+    ):
+        partition = HierarchicalPartition(branching**levels, levels, branching)
+        buffer = index % partition.num_nodes
+        for level in range(levels):
+            containing = [
+                (start, end)
+                for start, end in partition.level_partition(level)
+                if start <= buffer <= end
+            ]
+            assert len(containing) == 1
+            assert containing[0] == partition.interval_containing(level, buffer)

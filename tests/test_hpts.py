@@ -1,0 +1,178 @@
+"""Unit tests for the HPTS algorithm (Algorithms 3-5, Theorem 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import InjectionPattern
+from repro.adversary.generators import random_line_adversary
+from repro.adversary.stress import hierarchy_stress, round_robin_destination_stress
+from repro.core.bounds import hpts_upper_bound
+from repro.core.hpts import HierarchicalPeakToSink
+from repro.core.ppts import ParallelPeakToSink
+from repro.network.errors import ConfigurationError
+from repro.network.simulator import Simulator, run_simulation
+from repro.network.topology import LineTopology
+
+
+class TestConfiguration:
+    def test_branching_derived(self):
+        line = LineTopology(27)
+        algorithm = HierarchicalPeakToSink(line, levels=3)
+        assert algorithm.branching == 3
+
+    def test_bad_level_schedule_rejected(self):
+        line = LineTopology(16)
+        with pytest.raises(ConfigurationError):
+            HierarchicalPeakToSink(line, levels=4, level_schedule="sideways")
+
+    def test_rate_precondition_checked(self):
+        line = LineTopology(16)
+        with pytest.raises(ConfigurationError):
+            HierarchicalPeakToSink(line, levels=4, rho=0.5)
+        HierarchicalPeakToSink(line, levels=4, rho=0.25)  # fine
+
+    def test_non_power_line_rejected(self):
+        line = LineTopology(20)
+        with pytest.raises(ConfigurationError):
+            HierarchicalPeakToSink(line, levels=3)
+
+    def test_theoretical_bound(self):
+        line = LineTopology(64)
+        algorithm = HierarchicalPeakToSink(line, levels=3)
+        assert algorithm.theoretical_bound(2) == pytest.approx(3 * 4 + 3)
+
+    def test_classification_uses_segment_keys(self):
+        line = LineTopology(16)
+        algorithm = HierarchicalPeakToSink(line, levels=4)
+        pattern = InjectionPattern.from_tuples([(0, 2, 13)])
+        run_simulation(line, algorithm, pattern, num_rounds=1, drain=False)
+        # Not accepted yet (phase batching), so it is staged.
+        assert algorithm.staged_count() == 1
+
+
+class TestPhaseBatching:
+    def test_packets_accepted_at_next_phase_start(self):
+        line = LineTopology(16)
+        algorithm = HierarchicalPeakToSink(line, levels=4)
+        pattern = InjectionPattern.from_tuples([(1, 0, 15)])
+        simulator = Simulator(line, algorithm, pattern)
+        simulator.run(num_rounds=4, drain=False)
+        # Injected in round 1 (phase 0, rounds 0-3): still staged through round 3.
+        assert algorithm.staged_count() == 1
+        simulator._execute_round(4, inject=False)
+        assert algorithm.staged_count() == 0
+        assert algorithm.total_stored() == 1
+
+    def test_batching_can_be_disabled(self):
+        line = LineTopology(16)
+        algorithm = HierarchicalPeakToSink(line, levels=4, batch_acceptance=False)
+        pattern = InjectionPattern.from_tuples([(1, 0, 15)])
+        simulator = Simulator(line, algorithm, pattern)
+        simulator.run(num_rounds=2, drain=False)
+        assert algorithm.staged_count() == 0
+        assert algorithm.total_stored() == 1
+
+    def test_staged_packets_counted_separately_from_occupancy(self):
+        line = LineTopology(16)
+        algorithm = HierarchicalPeakToSink(line, levels=4)
+        pattern = InjectionPattern.from_tuples([(0, 0, 15)] * 3)
+        result = run_simulation(line, algorithm, pattern, num_rounds=1, drain=False)
+        assert result.max_staged == 3
+        assert result.max_occupancy == 0
+
+
+class TestReductionToPPTS:
+    def test_single_level_behaves_like_ppts(self):
+        """With ell = 1 HPTS is PPTS (modulo the one-round acceptance delay)."""
+        line = LineTopology(16)
+        pattern = round_robin_destination_stress(line, 1.0, 2, 120, 5)
+        hpts_result = run_simulation(
+            line, HierarchicalPeakToSink(line, levels=1, branching=16), pattern
+        )
+        ppts_result = run_simulation(line, ParallelPeakToSink(line), pattern)
+        assert hpts_result.max_occupancy <= ppts_result.max_occupancy + 2
+        assert hpts_result.max_occupancy >= 1
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("levels,branching", [(2, 4), (3, 4), (4, 2), (2, 8)])
+    def test_lemma_4_7_no_capacity_violations(self, levels, branching):
+        """The activation set never double-books a node (Lemma 4.7)."""
+        n = branching**levels
+        line = LineTopology(n)
+        rho = 1.0 / levels
+        pattern = hierarchy_stress(line, rho, 2, 40 * levels, branching, levels)
+        # validate_capacity=True raises if two pseudo-buffers at one node fire.
+        result = run_simulation(
+            line, HierarchicalPeakToSink(line, levels, branching, rho=rho), pattern
+        )
+        assert result.packets_injected > 0
+
+    def test_pre_bad_activation_does_not_violate_capacity(self):
+        line = LineTopology(64)
+        pattern = random_line_adversary(
+            line, 1.0 / 3, 2, 200, num_destinations=20, seed=23
+        )
+        result = run_simulation(
+            line, HierarchicalPeakToSink(line, 3, rho=1.0 / 3), pattern
+        )
+        assert result.packets_injected > 0
+
+
+class TestTheorem41:
+    @pytest.mark.parametrize(
+        "branching,levels",
+        [(4, 2), (2, 4), (4, 3), (3, 3)],
+    )
+    def test_hierarchy_stress_respects_bound(self, branching, levels):
+        n = branching**levels
+        line = LineTopology(n)
+        rho = 1.0 / levels
+        sigma = 2
+        pattern = hierarchy_stress(line, rho, sigma, 60 * levels, branching, levels)
+        algorithm = HierarchicalPeakToSink(line, levels, branching, rho=rho)
+        result = run_simulation(line, algorithm, pattern)
+        assert result.max_occupancy <= hpts_upper_bound(n, levels, sigma)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_adversaries_respect_bound(self, seed):
+        branching, levels = 4, 3
+        n = branching**levels
+        line = LineTopology(n)
+        rho, sigma = 1.0 / levels, 2
+        pattern = random_line_adversary(
+            line, rho, sigma, 240, num_destinations=16, seed=seed
+        )
+        algorithm = HierarchicalPeakToSink(line, levels, branching, rho=rho)
+        result = run_simulation(line, algorithm, pattern)
+        assert result.max_occupancy <= hpts_upper_bound(n, levels, sigma)
+
+    def test_round_robin_many_destinations_respects_bound(self):
+        branching, levels = 4, 3
+        n = branching**levels
+        line = LineTopology(n)
+        rho, sigma = 1.0 / levels, 1
+        pattern = round_robin_destination_stress(line, rho, sigma, 400, n - 1)
+        algorithm = HierarchicalPeakToSink(line, levels, branching, rho=rho)
+        result = run_simulation(line, algorithm, pattern)
+        assert result.max_occupancy <= hpts_upper_bound(n, levels, sigma)
+
+    def test_hpts_beats_ppts_bound_when_destinations_are_many(self):
+        """The point of the hierarchy: for d ~ n destinations at low rate, the
+        HPTS bound ell * n^(1/ell) is far below the PPTS bound 1 + d."""
+        branching, levels = 4, 3
+        n = branching**levels
+        sigma = 1
+        assert hpts_upper_bound(n, levels, sigma) < 1 + (n - 1) + sigma
+
+    def test_ascending_schedule_also_available(self):
+        branching, levels = 4, 2
+        line = LineTopology(branching**levels)
+        rho = 0.5
+        pattern = hierarchy_stress(line, rho, 1, 80, branching, levels)
+        algorithm = HierarchicalPeakToSink(
+            line, levels, branching, rho=rho, level_schedule="ascending"
+        )
+        result = run_simulation(line, algorithm, pattern)
+        assert result.packets_injected > 0

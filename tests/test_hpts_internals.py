@@ -1,0 +1,147 @@
+"""White-box tests of HPTS internals: classification, scheduling, FormPaths, pre-bad.
+
+The end-to-end Theorem 4.1 tests live in ``test_hpts.py``; these tests pin the
+behaviour of the individual mechanisms on hand-built configurations so a
+regression in one mechanism is reported at the mechanism, not as a distant
+bound violation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import InjectionPattern
+from repro.core.hpts import HierarchicalPeakToSink
+from repro.core.packet import Packet, make_injection
+from repro.network.simulator import Simulator
+from repro.network.topology import LineTopology
+
+
+def _hpts(n=16, levels=4, branching=2, **kwargs) -> HierarchicalPeakToSink:
+    return HierarchicalPeakToSink(LineTopology(n), levels, branching, **kwargs)
+
+
+def _store(algorithm: HierarchicalPeakToSink, node: int, destination: int, count: int = 1):
+    """Place packets directly into the algorithm's buffers (bypassing staging)."""
+    for _ in range(count):
+        packet = Packet.from_injection(make_injection(0, node, destination))
+        packet.location = node
+        algorithm.buffers[node].store(packet, algorithm.classify(packet, node))
+
+
+class TestClassification:
+    def test_keys_follow_the_segment_decomposition(self):
+        algorithm = _hpts()
+        packet = Packet.from_injection(make_injection(0, 2, 13))
+        # At node 2 the packet is on its level-3 segment toward 8.
+        assert algorithm.classify(packet, 2) == (3, 8)
+        # At node 8 it has switched to the level-2 segment toward 12.
+        assert algorithm.classify(packet, 8) == (2, 12)
+        # At node 12 only the last digit differs: level 0, destination 13.
+        assert algorithm.classify(packet, 12) == (0, 13)
+
+    def test_virtual_sink_destination_maps_to_top_level(self):
+        algorithm = _hpts()
+        packet = Packet.from_injection(make_injection(0, 3, 16))
+        assert algorithm.classify(packet, 3) == (3, 16)
+
+
+class TestLevelSchedule:
+    def test_descending_schedule(self):
+        algorithm = _hpts(level_schedule="descending")
+        assert [algorithm._level_for_round(t) for t in range(4)] == [3, 2, 1, 0]
+        assert algorithm._level_for_round(4) == 3
+
+    def test_ascending_schedule(self):
+        algorithm = _hpts(level_schedule="ascending")
+        assert [algorithm._level_for_round(t) for t in range(4)] == [0, 1, 2, 3]
+
+
+class TestFormPaths:
+    def test_activates_interval_from_leftmost_bad_buffer(self):
+        algorithm = _hpts(batch_acceptance=False)
+        # Two level-3 packets at node 1 (bad), one at node 5 (same key): the
+        # whole stretch [1, 7] of that pseudo-buffer activates when level 3 is
+        # served.
+        _store(algorithm, 1, 13, count=2)   # key (3, 8)
+        _store(algorithm, 5, 13, count=1)   # key (3, 8)
+        level3_round = 0  # descending schedule serves level 3 first
+        activations = algorithm.select_activations(level3_round)
+        activated_nodes = {a.node for a in activations if a.key == (3, 8)}
+        assert 1 in activated_nodes
+        assert 5 in activated_nodes
+        assert 0 not in activated_nodes  # left of the left-most bad buffer
+
+    def test_no_badness_means_no_activation(self):
+        algorithm = _hpts(batch_acceptance=False)
+        _store(algorithm, 1, 13, count=1)
+        assert algorithm.select_activations(0) == []
+
+    def test_wrong_level_round_does_not_touch_other_levels(self):
+        algorithm = _hpts(batch_acceptance=False)
+        _store(algorithm, 12, 13, count=2)  # key (0, 13): level 0
+        # Round 0 serves level 3 (descending): the level-0 badness must wait.
+        assert algorithm.select_activations(0) == []
+        # Round 3 serves level 0.
+        activations = algorithm.select_activations(3)
+        assert {a.node for a in activations} == {12}
+
+    def test_disjoint_intervals_activate_in_parallel(self):
+        algorithm = _hpts(batch_acceptance=False)
+        # Level-1 intervals are [0,3], [4,7], [8,11], [12,15]; make a bad
+        # level-1 pseudo-buffer in two different intervals.
+        _store(algorithm, 0, 3, count=2)    # key (1, 2), interval [0, 3]
+        _store(algorithm, 8, 11, count=2)   # key (1, 10), interval [8, 11]
+        activations = algorithm.select_activations(2)  # level 1 round
+        nodes = {a.node for a in activations}
+        assert 0 in nodes and 8 in nodes
+
+
+class TestPreBadActivation:
+    def _loaded_algorithm(self, activate_pre_bad=True):
+        algorithm = _hpts(batch_acceptance=False, activate_pre_bad=activate_pre_bad)
+        # A bad level-3 pseudo-buffer at node 7 whose head packet's
+        # intermediate destination is node 8 (the left endpoint of the level-2
+        # interval [8, 15]); node 8 already holds a packet in the pseudo-buffer
+        # that arrival would join -> the arriving packet is pre-bad.
+        _store(algorithm, 7, 13, count=2)   # key (3, 8), about to hand off at 8
+        _store(algorithm, 8, 13, count=1)   # key (2, 12) at node 8
+        return algorithm
+
+    def test_hand_off_triggers_lower_level_activation(self):
+        algorithm = self._loaded_algorithm(activate_pre_bad=True)
+        activations = algorithm.select_activations(0)  # level 3 round
+        keys_by_node = {}
+        for activation in activations:
+            keys_by_node.setdefault(activation.node, set()).add(activation.key)
+        assert (3, 8) in keys_by_node.get(7, set())
+        # Pre-bad cascade: node 8's level-2 pseudo-buffer is activated in the
+        # same round even though level 2 is not the round's level.
+        assert (2, 12) in keys_by_node.get(8, set())
+
+    def test_ablation_switch_disables_the_cascade(self):
+        algorithm = self._loaded_algorithm(activate_pre_bad=False)
+        activations = algorithm.select_activations(0)
+        assert all(a.key != (2, 12) for a in activations)
+
+    def test_no_cascade_when_target_pseudo_buffer_is_empty(self):
+        algorithm = _hpts(batch_acceptance=False)
+        _store(algorithm, 7, 13, count=2)   # hand-off at 8, but 8 is empty
+        activations = algorithm.select_activations(0)
+        assert all(a.node != 8 for a in activations)
+
+
+class TestStagingLifecycle:
+    def test_staged_packets_survive_drain_and_get_accepted(self):
+        line = LineTopology(16)
+        algorithm = HierarchicalPeakToSink(line, 4, 2)
+        # A packet injected in the last round of a phase is accepted at the
+        # next phase boundary even though no further injections occur.
+        pattern = InjectionPattern.from_tuples([(3, 0, 15)])
+        simulator = Simulator(line, algorithm, pattern)
+        result = simulator.run()
+        assert result.max_staged == 1
+        assert algorithm.staged_count() == 0
+        # Conservation: the packet is either delivered or still buffered.
+        assert result.packets_injected == 1
+        assert result.packets_delivered + algorithm.total_stored() == 1

@@ -1,0 +1,124 @@
+"""Integration sweeps: every algorithm against every relevant bound.
+
+These are the end-to-end versions of the E1-E4 benchmarks, shrunk to sizes
+suitable for the unit-test suite.  They run the whole stack — workload
+builders, simulator, algorithms, bound checking — and assert that every upper
+bound from the paper holds on every (workload, algorithm) pair it applies to.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hpts import HierarchicalPeakToSink
+from repro.core.ppts import ParallelPeakToSink
+from repro.core.pts import PeakToSink
+from repro.core.tree import TreeParallelPeakToSink, TreePeakToSink
+from repro.experiments.harness import run_workload, sweep
+from repro.experiments.workloads import (
+    hierarchical_workload,
+    multi_destination_workload,
+    single_destination_workload,
+    tree_workload,
+)
+from repro.network.topology import binary_tree, caterpillar_tree, star_tree
+
+
+class TestProposition31Sweep:
+    @pytest.mark.parametrize("n", [16, 64])
+    @pytest.mark.parametrize("rho", [0.5, 1.0])
+    @pytest.mark.parametrize("sigma", [0, 4])
+    def test_pts_bound_over_grid(self, n, rho, sigma):
+        for kind in ("stress", "random"):
+            workload = single_destination_workload(
+                n, rho, sigma, num_rounds=80, kind=kind, seed=n + sigma
+            )
+            row = run_workload(workload, lambda w: PeakToSink(w.topology))
+            assert row.within_bound, row.as_dict()
+
+
+class TestProposition32Sweep:
+    @pytest.mark.parametrize("d", [1, 4, 16])
+    @pytest.mark.parametrize("kind", ["round_robin", "nested", "random"])
+    def test_ppts_bound_over_grid(self, d, kind):
+        workload = multi_destination_workload(
+            48, d, rho=1.0, sigma=2, num_rounds=120, kind=kind, seed=d
+        )
+        row = run_workload(workload, lambda w: ParallelPeakToSink(w.topology))
+        assert row.within_bound, row.as_dict()
+
+    def test_ppts_and_pts_agree_on_single_destination(self):
+        workload = single_destination_workload(32, 1.0, 2, 100, kind="stress")
+        pts_row = run_workload(workload, lambda w: PeakToSink(w.topology))
+        ppts_row = run_workload(workload, lambda w: ParallelPeakToSink(w.topology))
+        # PPTS restricted to one destination is exactly PTS, so the measured
+        # occupancies coincide.
+        assert pts_row.max_occupancy == ppts_row.max_occupancy
+
+
+class TestProposition35Sweep:
+    @pytest.mark.parametrize(
+        "tree_builder",
+        [
+            lambda: caterpillar_tree(5, 2),
+            lambda: star_tree(8),
+            lambda: binary_tree(3),
+        ],
+    )
+    def test_tree_algorithms_over_topologies(self, tree_builder):
+        tree = tree_builder()
+        root_only = tree_workload(tree, 1.0, 2, 80, destinations=[tree.root])
+        row = run_workload(root_only, lambda w: TreePeakToSink(w.topology))
+        assert row.within_bound, row.as_dict()
+
+        internal = [v for v in tree.nodes if tree.children(v)][:3] or [tree.root]
+        multi = tree_workload(tree, 1.0, 2, 80, destinations=internal)
+        row = run_workload(
+            multi,
+            lambda w: TreeParallelPeakToSink(
+                w.topology, destinations=w.params["destinations"]
+            ),
+        )
+        assert row.within_bound, row.as_dict()
+
+
+class TestTheorem41Sweep:
+    @pytest.mark.parametrize("branching,levels", [(4, 2), (2, 4), (3, 3)])
+    def test_hpts_bound_over_grid(self, branching, levels):
+        rho = 1.0 / levels
+        workload = hierarchical_workload(
+            branching, levels, rho, sigma=2, num_rounds=50 * levels
+        )
+        row = run_workload(
+            workload,
+            lambda w: HierarchicalPeakToSink(
+                w.topology, levels, branching, rho=rho
+            ),
+        )
+        assert row.within_bound, row.as_dict()
+
+    def test_bound_shape_hpts_vs_ppts_crossover(self):
+        """For many destinations at low rate the HPTS *bound* beats the PPTS
+        bound, and both algorithms respect their own bounds — the crossover
+        the abstract describes."""
+        branching, levels = 4, 3
+        rho = 1.0 / levels
+        workload = hierarchical_workload(
+            branching, levels, rho, sigma=1, num_rounds=180, kind="random", seed=1
+        )
+        rows = sweep(
+            [workload],
+            {
+                "hpts": lambda w: HierarchicalPeakToSink(
+                    w.topology, levels, branching, rho=rho
+                ),
+                "ppts": lambda w: ParallelPeakToSink(w.topology),
+            },
+        )
+        by_name = {row.algorithm: row for row in rows}
+        assert by_name["HPTS"].within_bound
+        assert by_name["PPTS"].within_bound
+        # The HPTS guarantee is what scales: ell * n^(1/ell) + sigma + 1 stays
+        # far below 1 + d + sigma once d is large.
+        d = by_name["PPTS"].params.get("n") - 1
+        assert by_name["HPTS"].bound < 1 + d + 1

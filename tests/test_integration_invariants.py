@@ -1,0 +1,153 @@
+"""Integration tests for the paper's badness/excess invariants.
+
+The proofs of Propositions 3.1/3.2 hinge on two round-by-round invariants:
+
+* after the injection step:   ``B^t(i)  <= xi_t(i) + 1``
+* after the forwarding step:  ``B^{t+}(i) <= xi_t(i)``
+
+These tests run the real algorithms against real adversaries and check the
+invariants at every round using the *independent* badness and excess modules
+(not the algorithms' internal state), which guards against the algorithm and
+the analysis code sharing a bug.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.adversary.base import InjectionPattern
+from repro.adversary.generators import random_line_adversary, single_destination_adversary
+from repro.adversary.stress import round_robin_destination_stress
+from repro.core.badness import line_badness_single_destination, line_total_badness
+from repro.core.excess import ExcessTracker
+from repro.core.ppts import ParallelPeakToSink
+from repro.core.pts import PeakToSink
+from repro.network.simulator import Simulator
+from repro.network.topology import LineTopology
+
+
+class InvariantCheckingPPTS(ParallelPeakToSink):
+    """PPTS that snapshots badness before and after each forwarding step."""
+
+    def __init__(self, topology, destinations=None):
+        super().__init__(topology, destinations)
+        self.pre_forwarding_badness: List[Dict[int, int]] = []
+        self.post_forwarding_badness: List[Dict[int, int]] = []
+
+    def select_activations(self, round_number):
+        self.pre_forwarding_badness.append(
+            line_total_badness(self.buffers, self.destinations())
+        )
+        return super().select_activations(round_number)
+
+    def on_round_end(self, round_number):
+        self.post_forwarding_badness.append(
+            line_total_badness(self.buffers, self.destinations())
+        )
+
+
+class InvariantCheckingPTS(PeakToSink):
+    """PTS variant of the same instrumentation (single destination)."""
+
+    def __init__(self, topology, destination=None):
+        super().__init__(topology, destination)
+        self.pre_forwarding_badness: List[Dict[int, int]] = []
+        self.post_forwarding_badness: List[Dict[int, int]] = []
+
+    def select_activations(self, round_number):
+        self.pre_forwarding_badness.append(
+            line_badness_single_destination(self.buffers, self.destination)
+        )
+        return super().select_activations(round_number)
+
+    def on_round_end(self, round_number):
+        self.post_forwarding_badness.append(
+            line_badness_single_destination(self.buffers, self.destination)
+        )
+
+
+def _excess_trajectory(pattern: InjectionPattern, line: LineTopology, rho: float):
+    """Per-round excess vectors xi_t(v) for the given pattern."""
+    crossings = pattern.crossings_per_round(line)
+    tracker = ExcessTracker(line.num_nodes, rho)
+    trajectory = []
+    for round_crossings in crossings:
+        tracker.observe_round(round_crossings)
+        trajectory.append(tracker.snapshot())
+    return trajectory
+
+
+def _check_invariants(algorithm, excess_by_round, num_nodes):
+    rounds_checked = min(len(excess_by_round), len(algorithm.pre_forwarding_badness))
+    assert rounds_checked > 0
+    for t in range(rounds_checked):
+        excess = excess_by_round[t]
+        before = algorithm.pre_forwarding_badness[t]
+        after = algorithm.post_forwarding_badness[t]
+        for i in range(num_nodes):
+            assert before[i] <= excess[i] + 1 + 1e-9, (t, i, before[i], excess[i])
+            assert after[i] <= excess[i] + 1e-9, (t, i, after[i], excess[i])
+
+
+class TestPTSInvariants:
+    @pytest.mark.parametrize("rho,sigma", [(1.0, 0), (1.0, 3), (0.5, 2)])
+    def test_badness_bounded_by_excess_random_traffic(self, rho, sigma):
+        line = LineTopology(24)
+        pattern = single_destination_adversary(line, rho, sigma, 100, seed=5)
+        algorithm = InvariantCheckingPTS(line)
+        Simulator(line, algorithm, pattern).run(num_rounds=pattern.horizon, drain=False)
+        excess = _excess_trajectory(pattern, line, rho)
+        _check_invariants(algorithm, excess, line.num_nodes)
+
+
+class TestPPTSInvariants:
+    @pytest.mark.parametrize("num_destinations", [2, 5, 10])
+    def test_badness_bounded_by_excess_round_robin(self, num_destinations):
+        line = LineTopology(32)
+        rho, sigma = 1.0, 2
+        pattern = round_robin_destination_stress(
+            line, rho, sigma, 150, num_destinations
+        )
+        algorithm = InvariantCheckingPPTS(line)
+        Simulator(line, algorithm, pattern).run(num_rounds=pattern.horizon, drain=False)
+        excess = _excess_trajectory(pattern, line, rho)
+        _check_invariants(algorithm, excess, line.num_nodes)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_badness_bounded_by_excess_random_traffic(self, seed):
+        line = LineTopology(24)
+        rho, sigma = 0.75, 2
+        pattern = random_line_adversary(
+            line, rho, sigma, 100, num_destinations=4, seed=seed
+        )
+        algorithm = InvariantCheckingPPTS(line)
+        Simulator(line, algorithm, pattern).run(num_rounds=pattern.horizon, drain=False)
+        excess = _excess_trajectory(pattern, line, rho)
+        _check_invariants(algorithm, excess, line.num_nodes)
+
+    def test_forwarding_never_increases_badness(self):
+        """Lemma 3.4's conclusion at the whole-configuration level."""
+        line = LineTopology(24)
+        pattern = round_robin_destination_stress(line, 1.0, 3, 120, 6)
+        algorithm = InvariantCheckingPPTS(line)
+        Simulator(line, algorithm, pattern).run(num_rounds=pattern.horizon, drain=False)
+        for before, after in zip(
+            algorithm.pre_forwarding_badness, algorithm.post_forwarding_badness
+        ):
+            for node in before:
+                assert after[node] <= before[node]
+
+    def test_forwarding_strictly_reduces_positive_badness(self):
+        """If B^t(i) > 0 then B^{t+}(i) <= B^t(i) - 1 (key step of Prop. 3.2)."""
+        line = LineTopology(24)
+        pattern = round_robin_destination_stress(line, 1.0, 3, 120, 6)
+        algorithm = InvariantCheckingPPTS(line)
+        Simulator(line, algorithm, pattern).run(num_rounds=pattern.horizon, drain=False)
+        for before, after in zip(
+            algorithm.pre_forwarding_badness, algorithm.post_forwarding_badness
+        ):
+            for node, value in before.items():
+                if value > 0:
+                    assert after[node] <= value - 1

@@ -1,0 +1,107 @@
+"""Unit tests for the library-level invariant checker (repro.analysis.invariants)."""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from repro.adversary.generators import random_line_adversary
+from repro.adversary.stress import round_robin_destination_stress
+from repro.analysis.invariants import InvariantMonitor, check_invariants
+from repro.core.packet import Packet
+from repro.core.ppts import ParallelPeakToSink
+from repro.core.pts import PeakToSink
+from repro.core.scheduler import Activation, ForwardingAlgorithm
+from repro.network.topology import LineTopology
+
+
+class NeverForward(ForwardingAlgorithm):
+    """A deliberately broken algorithm: it stores packets and never forwards.
+
+    Badness then grows without bound, so the invariant checker must flag it —
+    this is the failure-injection case proving the checker can actually fail.
+    """
+
+    name = "NeverForward"
+
+    def classify(self, packet: Packet, node: int) -> Hashable:
+        return packet.destination
+
+    def select_activations(self, round_number: int) -> List[Activation]:
+        return []
+
+
+class TestCheckInvariantsOnCorrectAlgorithms:
+    def test_ppts_round_robin(self):
+        line = LineTopology(24)
+        rho, sigma = 1.0, 2
+        pattern = round_robin_destination_stress(line, rho, sigma, 120, 6)
+        report = check_invariants(line, ParallelPeakToSink(line), pattern, rho)
+        assert report.ok
+        assert report.rounds_checked > 0
+        assert report.max_badness_minus_excess <= 1 + 1e-9
+
+    def test_ppts_random(self):
+        line = LineTopology(20)
+        rho, sigma = 0.75, 2
+        pattern = random_line_adversary(line, rho, sigma, 80, 4, seed=2)
+        report = check_invariants(line, ParallelPeakToSink(line), pattern, rho)
+        assert report.ok
+
+    def test_pts_single_destination(self):
+        line = LineTopology(20)
+        rho, sigma = 1.0, 3
+        pattern = round_robin_destination_stress(line, rho, sigma, 80, 1)
+        report = check_invariants(line, PeakToSink(line), pattern, rho)
+        assert report.ok
+
+    def test_explicit_destination_list(self):
+        line = LineTopology(16)
+        pattern = round_robin_destination_stress(line, 1.0, 1, 60, 3)
+        report = check_invariants(
+            line,
+            ParallelPeakToSink(line),
+            pattern,
+            1.0,
+            destinations=pattern.destinations(),
+        )
+        assert report.ok
+
+    def test_num_rounds_truncation(self):
+        line = LineTopology(16)
+        pattern = round_robin_destination_stress(line, 1.0, 1, 60, 3)
+        report = check_invariants(
+            line, ParallelPeakToSink(line), pattern, 1.0, num_rounds=10
+        )
+        assert report.rounds_checked == 10
+
+
+class TestCheckInvariantsDetectsViolations:
+    def test_never_forward_is_flagged(self):
+        line = LineTopology(16)
+        rho, sigma = 1.0, 1
+        pattern = round_robin_destination_stress(line, rho, sigma, 60, 1)
+        report = check_invariants(line, NeverForward(line), pattern, rho)
+        assert not report.ok
+        kinds = {violation.kind for violation in report.violations}
+        # A stagnant configuration violates the post-forwarding bound and the
+        # strict-decrease property.
+        assert "post-forwarding" in kinds
+        assert "strict-decrease" in kinds
+        assert report.max_badness_minus_excess > 1
+
+
+class TestInvariantMonitor:
+    def test_snapshots_recorded_per_round(self):
+        line = LineTopology(12)
+        pattern = round_robin_destination_stress(line, 1.0, 1, 20, 2)
+        algorithm = ParallelPeakToSink(line)
+        monitor = InvariantMonitor(algorithm, destinations=pattern.destinations())
+        from repro.network.simulator import Simulator
+
+        Simulator(line, algorithm, pattern).run(num_rounds=20, drain=False)
+        assert len(monitor.pre_forwarding) == 20
+        assert len(monitor.post_forwarding) == 20
+        # Badness never increases across a forwarding step.
+        for before, after in zip(monitor.pre_forwarding, monitor.post_forwarding):
+            for node in before:
+                assert after[node] <= before[node]

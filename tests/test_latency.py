@@ -1,0 +1,105 @@
+"""Unit tests for the latency analysis helpers (repro.analysis.latency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import InjectionPattern
+from repro.adversary.generators import single_destination_adversary
+from repro.analysis.latency import (
+    delivery_rate,
+    latency_breakdown,
+    latency_by_distance,
+    stretch_summary,
+)
+from repro.baselines.greedy import GreedyForwarding
+from repro.core.pts import PeakToSink
+from repro.network.simulator import Simulator
+from repro.network.topology import LineTopology
+
+
+def _run(algorithm_factory, pattern, line, **kwargs) -> Simulator:
+    simulator = Simulator(line, algorithm_factory(line), pattern)
+    simulator.run(**kwargs)
+    return simulator
+
+
+class TestLatencyBreakdown:
+    def test_uncontended_packet_has_zero_queueing_delay(self):
+        line = LineTopology(10)
+        pattern = InjectionPattern.from_tuples([(0, 0, 9)])
+        simulator = _run(GreedyForwarding, pattern, line)
+        breakdown = latency_breakdown(simulator)
+        assert breakdown.delivered == 1
+        assert breakdown.undelivered == 0
+        assert breakdown.latency.mean == 8          # 9 hops, moves every round
+        assert breakdown.queueing_delay.mean == 0
+        assert breakdown.stretch.mean == pytest.approx(1.0)
+
+    def test_contention_shows_up_as_queueing_delay(self):
+        line = LineTopology(10)
+        # Five packets injected at the same node in the same round: they must
+        # serialise over the first edge, so queueing delay is positive.
+        pattern = InjectionPattern.from_tuples([(0, 0, 9)] * 5)
+        simulator = _run(GreedyForwarding, pattern, line)
+        breakdown = latency_breakdown(simulator)
+        assert breakdown.delivered == 5
+        assert breakdown.queueing_delay.maximum >= 4
+        assert breakdown.stretch.maximum > 1.0
+
+    def test_undelivered_packets_counted(self):
+        line = LineTopology(10)
+        pattern = InjectionPattern.from_tuples([(0, 0, 9)])
+        # PTS never forwards a lone packet.
+        simulator = _run(PeakToSink, pattern, line)
+        breakdown = latency_breakdown(simulator)
+        assert breakdown.delivered == 0
+        assert breakdown.undelivered == 1
+        assert breakdown.latency.count == 0
+
+    def test_empty_simulation(self):
+        line = LineTopology(4)
+        simulator = _run(GreedyForwarding, InjectionPattern([]), line)
+        breakdown = latency_breakdown(simulator)
+        assert breakdown.delivered == 0
+        assert delivery_rate(simulator) == 1.0
+
+
+class TestLatencyByDistance:
+    def test_rows_cover_all_distances(self):
+        line = LineTopology(32)
+        pattern = single_destination_adversary(line, 1.0, 2, 80, seed=11)
+        simulator = _run(GreedyForwarding, pattern, line)
+        rows = latency_by_distance(simulator, num_buckets=4)
+        assert rows
+        assert sum(row["packets"] for row in rows) == latency_breakdown(simulator).delivered
+
+    def test_latency_grows_with_distance_for_work_conserving(self):
+        line = LineTopology(32)
+        pattern = single_destination_adversary(line, 0.5, 1, 120, seed=3)
+        simulator = _run(GreedyForwarding, pattern, line)
+        rows = latency_by_distance(simulator, num_buckets=3)
+        if len(rows) >= 2:
+            assert rows[-1]["mean_latency"] >= rows[0]["mean_latency"]
+
+    def test_empty_when_nothing_delivered(self):
+        line = LineTopology(8)
+        pattern = InjectionPattern.from_tuples([(0, 0, 7)])
+        simulator = _run(PeakToSink, pattern, line)
+        assert latency_by_distance(simulator) == []
+
+
+class TestSummaries:
+    def test_stretch_none_when_nothing_delivered(self):
+        line = LineTopology(8)
+        pattern = InjectionPattern.from_tuples([(0, 0, 7)])
+        simulator = _run(PeakToSink, pattern, line)
+        assert stretch_summary(simulator) is None
+
+    def test_delivery_rate(self):
+        line = LineTopology(8)
+        pattern = InjectionPattern.from_tuples([(0, 0, 7), (0, 6, 7)])
+        greedy = _run(GreedyForwarding, pattern, line)
+        assert delivery_rate(greedy) == 1.0
+        pts = _run(PeakToSink, pattern, line)
+        assert delivery_rate(pts) < 1.0

@@ -1,0 +1,145 @@
+"""Unit tests for locality-limited forwarding (repro.core.local)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import InjectionPattern
+from repro.adversary.generators import single_destination_adversary
+from repro.adversary.stress import pts_burst_stress
+from repro.core.bounds import pts_upper_bound
+from repro.core.local import DownhillForwarding, LocalThresholdForwarding
+from repro.core.pts import PeakToSink
+from repro.network.errors import ConfigurationError, SchedulingError
+from repro.network.simulator import Simulator, run_simulation
+from repro.network.topology import LineTopology
+
+
+class TestConfiguration:
+    def test_invalid_parameters(self):
+        line = LineTopology(8)
+        with pytest.raises(ConfigurationError):
+            LocalThresholdForwarding(line, locality=-1)
+        with pytest.raises(ConfigurationError):
+            LocalThresholdForwarding(line, locality=2, threshold=0)
+        with pytest.raises(ConfigurationError):
+            LocalThresholdForwarding(line, locality=2, destination=0)
+
+    def test_name_encodes_radius(self):
+        line = LineTopology(8)
+        assert LocalThresholdForwarding(line, locality=3).name == "Local-r3"
+
+    def test_wrong_destination_rejected(self):
+        line = LineTopology(8)
+        algorithm = LocalThresholdForwarding(line, locality=2)
+        pattern = InjectionPattern.from_tuples([(0, 0, 3)])
+        with pytest.raises(SchedulingError):
+            run_simulation(line, algorithm, pattern)
+
+    def test_bound_only_claimed_for_global_view(self):
+        line = LineTopology(8)
+        assert LocalThresholdForwarding(line, locality=8).theoretical_bound(2) == 4
+        assert LocalThresholdForwarding(line, locality=2).theoretical_bound(2) is None
+
+
+class TestLocalThresholdBehaviour:
+    def test_zero_locality_reacts_only_to_own_load(self):
+        line = LineTopology(6)
+        algorithm = LocalThresholdForwarding(line, locality=0)
+        # Buffer 1 is bad, buffer 3 has a single packet: only buffer 1 forwards.
+        pattern = InjectionPattern.from_tuples([(0, 1, 5), (0, 1, 5), (0, 3, 5)])
+        simulator = Simulator(line, algorithm, pattern, record_history=True)
+        result = simulator.run(num_rounds=1, drain=False)
+        assert result.history[0].forwarded == 1
+        assert algorithm.occupancy(3) == 1
+
+    def test_radius_extends_reaction_downstream(self):
+        line = LineTopology(6)
+        algorithm = LocalThresholdForwarding(line, locality=2)
+        # Buffer 1 is bad; buffer 3 (within distance 2) also forwards, buffer 5
+        # would be out of range but is the destination anyway.
+        pattern = InjectionPattern.from_tuples([(0, 1, 5), (0, 1, 5), (0, 3, 5)])
+        simulator = Simulator(line, algorithm, pattern, record_history=True)
+        result = simulator.run(num_rounds=1, drain=False)
+        assert result.history[0].forwarded == 2
+
+    def test_global_view_matches_pts_exactly(self):
+        """locality >= n is PTS: identical occupancy trajectory on the same workload."""
+        line = LineTopology(24)
+        sigma = 3
+        pattern = pts_burst_stress(line, 1.0, sigma, 100)
+        local_result = run_simulation(
+            line, LocalThresholdForwarding(line, locality=line.num_nodes), pattern
+        )
+        pts_result = run_simulation(line, PeakToSink(line), pattern)
+        assert local_result.max_occupancy == pts_result.max_occupancy
+        assert local_result.packets_delivered == pts_result.packets_delivered
+
+    @pytest.mark.parametrize("locality", [0, 1, 2, 4, 8, 24])
+    def test_all_radii_respect_the_pts_bound_on_stress(self, locality):
+        """Empirically, the local rule also stays within 2 + sigma on these
+        workloads (no claim is made that this holds adversarially)."""
+        line = LineTopology(24)
+        sigma = 2
+        pattern = pts_burst_stress(line, 1.0, sigma, 80)
+        result = run_simulation(
+            line, LocalThresholdForwarding(line, locality=locality), pattern
+        )
+        assert result.max_occupancy <= pts_upper_bound(sigma) + locality_slack(locality)
+
+    def test_larger_radius_never_hurts_occupancy(self):
+        line = LineTopology(32)
+        sigma = 3
+        pattern = single_destination_adversary(line, 1.0, sigma, 120, seed=3)
+        occupancies = []
+        for locality in (0, 2, 8, 32):
+            result = run_simulation(
+                line, LocalThresholdForwarding(line, locality=locality), pattern
+            )
+            occupancies.append(result.max_occupancy)
+        assert occupancies == sorted(occupancies, reverse=True) or len(set(occupancies)) == 1
+
+
+def locality_slack(locality: int) -> int:
+    """Allowed slack over the PTS bound for small radii in the empirical test.
+
+    The locality-limited rule has no proven bound; tiny radii may exceed
+    2 + sigma by a little on bursty workloads, so the test allows one extra
+    packet for radius 0 and none otherwise.
+    """
+    return 1 if locality == 0 else 0
+
+
+class TestDownhill:
+    def test_forwards_when_not_smaller_than_successor(self):
+        line = LineTopology(6)
+        algorithm = DownhillForwarding(line)
+        pattern = InjectionPattern.from_tuples(
+            [(0, 0, 5), (0, 2, 5), (0, 2, 5), (0, 3, 5)]
+        )
+        simulator = Simulator(line, algorithm, pattern, record_history=True)
+        result = simulator.run(num_rounds=1, drain=False)
+        # Buffer 0 (1 >= 0 at buffer 1) forwards, buffer 2 (2 >= 1) forwards,
+        # buffer 3 (1 >= 0) forwards: 3 packets move.
+        assert result.history[0].forwarded == 3
+
+    def test_holds_when_successor_is_fuller(self):
+        line = LineTopology(6)
+        algorithm = DownhillForwarding(line)
+        pattern = InjectionPattern.from_tuples([(0, 0, 5), (0, 1, 5), (0, 1, 5)])
+        simulator = Simulator(line, algorithm, pattern, record_history=True)
+        simulator.run(num_rounds=1, drain=False)
+        # Buffer 0 holds (1 < 2 at buffer 1); buffer 1 forwards.
+        assert algorithm.occupancy(0) == 1
+
+    def test_drains_single_destination_traffic(self):
+        line = LineTopology(16)
+        pattern = single_destination_adversary(line, 1.0, 2, 60, seed=5)
+        result = run_simulation(line, DownhillForwarding(line), pattern)
+        assert result.drained
+
+    def test_wrong_destination_rejected(self):
+        line = LineTopology(8)
+        pattern = InjectionPattern.from_tuples([(0, 0, 3)])
+        with pytest.raises(SchedulingError):
+            run_simulation(line, DownhillForwarding(line), pattern)

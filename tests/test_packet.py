@@ -1,0 +1,116 @@
+"""Unit tests for the packet model (repro.core.packet)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import (
+    Injection,
+    Packet,
+    PacketState,
+    make_injection,
+    reset_packet_ids,
+)
+
+
+class TestInjection:
+    def test_fields_match_paper_triple(self):
+        injection = Injection(round=3, source=1, destination=7, packet_id=0)
+        assert injection.round == 3
+        assert injection.source == 1
+        assert injection.destination == 7
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            Injection(round=-1, source=0, destination=1)
+
+    def test_path_length_on_line(self):
+        assert Injection(0, 2, 9).path_length == 7
+
+    def test_with_round_preserves_route_and_id(self):
+        original = Injection(5, 1, 4, packet_id=42)
+        retimed = original.with_round(10)
+        assert retimed.round == 10
+        assert retimed.source == original.source
+        assert retimed.destination == original.destination
+        assert retimed.packet_id == original.packet_id
+
+    def test_ordering_is_by_round_first(self):
+        earlier = Injection(1, 9, 10, packet_id=5)
+        later = Injection(2, 0, 1, packet_id=0)
+        assert earlier < later
+
+    def test_injections_are_hashable(self):
+        a = Injection(0, 1, 2, packet_id=1)
+        b = Injection(0, 1, 2, packet_id=1)
+        assert len({a, b}) == 1
+
+
+class TestMakeInjection:
+    def test_ids_are_unique_and_increasing(self):
+        first = make_injection(0, 0, 1)
+        second = make_injection(0, 0, 1)
+        assert first.packet_id != second.packet_id
+        assert second.packet_id > first.packet_id
+
+    def test_reset_restarts_ids(self):
+        make_injection(0, 0, 1)
+        reset_packet_ids()
+        fresh = make_injection(0, 0, 1)
+        assert fresh.packet_id == 0
+
+
+class TestPacket:
+    def test_from_injection_starts_at_source(self):
+        packet = Packet.from_injection(make_injection(2, 3, 8))
+        assert packet.location == 3
+        assert packet.state is PacketState.IN_TRANSIT
+        assert packet.hops == 0
+
+    def test_staged_creation(self):
+        packet = Packet.from_injection(make_injection(0, 0, 4), staged=True)
+        assert packet.state is PacketState.STAGED
+        packet.accept(3)
+        assert packet.state is PacketState.IN_TRANSIT
+        assert packet.accepted_round == 3
+
+    def test_advance_updates_location_and_hops(self):
+        packet = Packet.from_injection(make_injection(0, 1, 5))
+        packet.advance(2)
+        packet.advance(3)
+        assert packet.location == 3
+        assert packet.hops == 2
+
+    def test_deliver_sets_latency(self):
+        packet = Packet.from_injection(make_injection(4, 0, 3))
+        packet.advance(1)
+        packet.advance(2)
+        packet.advance(3)
+        packet.deliver(10)
+        assert packet.delivered
+        assert packet.delivered_round == 10
+        assert packet.latency == 6
+
+    def test_latency_none_before_delivery(self):
+        packet = Packet.from_injection(make_injection(0, 0, 3))
+        assert packet.latency is None
+
+    def test_remaining_distance(self):
+        packet = Packet.from_injection(make_injection(0, 2, 7))
+        assert packet.remaining_distance == 5
+        packet.advance(3)
+        assert packet.remaining_distance == 4
+        packet.advance(4)
+        packet.advance(5)
+        packet.advance(6)
+        packet.advance(7)
+        packet.deliver(5)
+        assert packet.remaining_distance == 0
+
+    def test_convenience_accessors(self):
+        injection = make_injection(7, 2, 9)
+        packet = Packet.from_injection(injection)
+        assert packet.source == 2
+        assert packet.destination == 9
+        assert packet.injected_round == 7
+        assert packet.packet_id == injection.packet_id

@@ -1,0 +1,150 @@
+"""Unit tests for the PPTS algorithm (Algorithm 2, Proposition 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import InjectionPattern
+from repro.adversary.generators import random_line_adversary, saturating_line_adversary
+from repro.adversary.stress import (
+    nested_route_stress,
+    round_robin_destination_stress,
+)
+from repro.core.bounds import ppts_upper_bound
+from repro.core.ppts import ParallelPeakToSink
+from repro.network.errors import ConfigurationError
+from repro.network.simulator import Simulator, run_simulation
+from repro.network.topology import LineTopology
+
+
+class TestConfiguration:
+    def test_destination_discovery(self):
+        line = LineTopology(10)
+        algorithm = ParallelPeakToSink(line)
+        assert algorithm.destinations() == []
+        pattern = InjectionPattern.from_tuples([(0, 0, 4), (0, 0, 9)])
+        run_simulation(line, algorithm, pattern, drain=False)
+        assert algorithm.destinations() == [4, 9]
+
+    def test_declared_destinations(self):
+        line = LineTopology(10)
+        algorithm = ParallelPeakToSink(line, destinations=[9, 3, 3])
+        assert algorithm.destinations() == [3, 9]
+
+    def test_invalid_declared_destination(self):
+        line = LineTopology(10)
+        with pytest.raises(ConfigurationError):
+            ParallelPeakToSink(line, destinations=[0])
+        with pytest.raises(ConfigurationError):
+            ParallelPeakToSink(line, destinations=[11])
+
+    def test_theoretical_bound_tracks_destination_count(self):
+        line = LineTopology(10)
+        algorithm = ParallelPeakToSink(line, destinations=[3, 6, 9])
+        assert algorithm.theoretical_bound(2) == 1 + 3 + 2
+
+    def test_bound_unknown_before_traffic_when_discovering(self):
+        line = LineTopology(10)
+        assert ParallelPeakToSink(line).theoretical_bound(2) is None
+
+
+class TestForwardingRule:
+    def test_reduces_to_pts_for_single_destination(self):
+        line = LineTopology(6)
+        algorithm = ParallelPeakToSink(line)
+        pattern = InjectionPattern.from_tuples([(0, 1, 5), (0, 1, 5), (0, 3, 5)])
+        simulator = Simulator(line, algorithm, pattern, record_history=True)
+        result = simulator.run(num_rounds=1, drain=False)
+        # Same behaviour as the PTS unit test: the bad buffer and everything
+        # to its right (for that destination) forwards.
+        assert result.history[0].forwarded == 2
+
+    def test_rightmost_destination_processed_first(self):
+        line = LineTopology(10)
+        algorithm = ParallelPeakToSink(line)
+        # Bad pseudo-buffer for destination 9 at node 4, and a bad
+        # pseudo-buffer for destination 3 at node 1: disjoint intervals, both
+        # forward in the same round.
+        pattern = InjectionPattern.from_tuples(
+            [(0, 4, 9), (0, 4, 9), (0, 1, 3), (0, 1, 3)]
+        )
+        simulator = Simulator(line, algorithm, pattern, record_history=True)
+        result = simulator.run(num_rounds=1, drain=False)
+        assert result.history[0].forwarded == 2
+
+    def test_smaller_destination_blocked_by_frontier(self):
+        line = LineTopology(10)
+        algorithm = ParallelPeakToSink(line)
+        # Destination 9 is bad at node 2; destination 5 is bad at node 4.
+        # The frontier moves to 2 after processing destination 9, so the
+        # destination-5 interval (which lies right of the frontier) must wait.
+        pattern = InjectionPattern.from_tuples(
+            [(0, 2, 9), (0, 2, 9), (0, 4, 5), (0, 4, 5)]
+        )
+        simulator = Simulator(line, algorithm, pattern, record_history=True)
+        result = simulator.run(num_rounds=1, drain=False)
+        forwarded_nodes = {
+            node
+            for node, load in algorithm.occupancy_vector().items()
+            if load != [0, 0, 2, 0, 2, 0, 0, 0, 0, 0][node]
+        }
+        assert result.history[0].forwarded >= 1
+        assert 4 not in forwarded_nodes  # destination-5 queue did not move
+
+    def test_activations_feasible_lemma_b1(self):
+        """No two pseudo-buffers at the same node are ever activated (Lemma B.1)."""
+        line = LineTopology(32)
+        pattern = saturating_line_adversary(line, 1.0, 3, 150, 6, seed=3)
+        # validate_capacity=True (default) raises on any violation.
+        result = run_simulation(line, ParallelPeakToSink(line), pattern)
+        assert result.packets_injected > 0
+
+
+class TestProposition32:
+    @pytest.mark.parametrize("num_destinations", [1, 2, 4, 8, 16])
+    def test_round_robin_stress_respects_bound(self, num_destinations):
+        line = LineTopology(64)
+        sigma = 2
+        pattern = round_robin_destination_stress(
+            line, 1.0, sigma, 200, num_destinations
+        )
+        result = run_simulation(line, ParallelPeakToSink(line), pattern)
+        assert result.max_occupancy <= ppts_upper_bound(num_destinations, sigma)
+
+    @pytest.mark.parametrize("sigma", [0, 1, 3])
+    def test_nested_routes_respect_bound(self, sigma):
+        line = LineTopology(48)
+        pattern = nested_route_stress(line, 1.0, sigma, 150, 6)
+        result = run_simulation(line, ParallelPeakToSink(line), pattern)
+        assert result.max_occupancy <= ppts_upper_bound(6, sigma)
+
+    def test_random_adversaries_respect_bound(self):
+        line = LineTopology(40)
+        sigma = 2
+        for seed in range(5):
+            pattern = random_line_adversary(
+                line, 1.0, sigma, 120, num_destinations=5, seed=seed
+            )
+            result = run_simulation(line, ParallelPeakToSink(line), pattern)
+            d = pattern.num_destinations
+            assert result.max_occupancy <= ppts_upper_bound(max(d, 1), sigma)
+
+    def test_d_term_is_really_paid(self):
+        """Round-robin traffic drives occupancy to at least d (shape check)."""
+        line = LineTopology(64)
+        d = 12
+        pattern = round_robin_destination_stress(line, 1.0, 2, 300, d)
+        result = run_simulation(line, ParallelPeakToSink(line), pattern)
+        assert result.max_occupancy >= d - 1
+
+    def test_occupancy_grows_linearly_with_destinations(self):
+        """The measured curve should look like Theta(d), matching Prop 3.2 + the
+        Omega(d) lower bound cited from prior work."""
+        line = LineTopology(64)
+        occupancies = []
+        for d in (2, 8, 32):
+            pattern = round_robin_destination_stress(line, 1.0, 1, 400, d)
+            result = run_simulation(line, ParallelPeakToSink(line), pattern)
+            occupancies.append(result.max_occupancy)
+        assert occupancies[0] < occupancies[1] < occupancies[2]
+        assert occupancies[2] >= 4 * occupancies[0]

@@ -1,0 +1,151 @@
+"""Property-based end-to-end tests: random bounded adversaries vs the algorithms.
+
+Hypothesis drives the adversary parameters (rate, burst, destination count,
+routes) while a token bucket keeps every generated pattern ``(rho, sigma)``-
+bounded, so each example exercises the exact hypothesis of the paper's upper
+bounds.  The properties checked:
+
+* **Conservation** — no packet is lost or duplicated: injected = delivered +
+  still buffered + staged.
+* **Capacity** — the simulator's validation (one packet per edge per round)
+  never fires for PPTS/HPTS, i.e. Lemmas B.1 / 4.7.
+* **Bounds** — the measured max occupancy never exceeds the stated bound.
+* **Progress under work conservation** — greedy baselines always drain.
+"""
+
+from __future__ import annotations
+
+import random as random_module
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.base import InjectionPattern
+from repro.adversary.bounded import TokenBucket
+from repro.baselines.greedy import GreedyForwarding
+from repro.core.bounds import hpts_upper_bound, ppts_upper_bound, pts_upper_bound
+from repro.core.hpts import HierarchicalPeakToSink
+from repro.core.packet import make_injection
+from repro.core.ppts import ParallelPeakToSink
+from repro.core.pts import PeakToSink
+from repro.network.simulator import Simulator
+from repro.network.topology import LineTopology
+
+
+def _random_bounded_pattern(
+    line: LineTopology,
+    rho: float,
+    sigma: int,
+    num_rounds: int,
+    destinations,
+    seed: int,
+) -> InjectionPattern:
+    """A (rho, sigma)-bounded pattern over the given destination set."""
+    rng = random_module.Random(seed)
+    bucket = TokenBucket(line.num_nodes, rho, sigma)
+    injections = []
+    for t in range(num_rounds):
+        bucket.start_round()
+        for _ in range(4):
+            destination = rng.choice(destinations)
+            source = rng.randrange(0, destination)
+            crossed = list(range(source, destination))
+            if bucket.can_inject(crossed):
+                bucket.inject(crossed)
+                injections.append(make_injection(t, source, destination))
+    return InjectionPattern(injections, rho=rho, sigma=sigma)
+
+
+def _conservation_holds(simulator: Simulator, result) -> bool:
+    stored = simulator.algorithm.total_stored()
+    staged = simulator.algorithm.staged_count()
+    return result.packets_injected == result.packets_delivered + stored + staged
+
+
+class TestPTSProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sigma=st.integers(min_value=0, max_value=6),
+        rho_percent=st.integers(min_value=30, max_value=100),
+        num_rounds=st.integers(min_value=10, max_value=80),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_bound_and_conservation(self, sigma, rho_percent, num_rounds, seed):
+        rho = rho_percent / 100.0
+        line = LineTopology(20)
+        pattern = _random_bounded_pattern(
+            line, rho, sigma, num_rounds, destinations=[19], seed=seed
+        )
+        simulator = Simulator(line, PeakToSink(line), pattern)
+        result = simulator.run()
+        assert result.max_occupancy <= pts_upper_bound(sigma)
+        assert _conservation_holds(simulator, result)
+
+
+class TestPPTSProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sigma=st.integers(min_value=0, max_value=4),
+        num_destinations=st.integers(min_value=1, max_value=8),
+        num_rounds=st.integers(min_value=10, max_value=80),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_bound_capacity_and_conservation(
+        self, sigma, num_destinations, num_rounds, seed
+    ):
+        line = LineTopology(24)
+        rng = random_module.Random(seed)
+        destinations = sorted(rng.sample(range(1, 24), num_destinations))
+        pattern = _random_bounded_pattern(
+            line, 1.0, sigma, num_rounds, destinations, seed
+        )
+        simulator = Simulator(line, ParallelPeakToSink(line), pattern)
+        result = simulator.run()  # validate_capacity=True: Lemma B.1 checked
+        d = max(1, pattern.num_destinations)
+        assert result.max_occupancy <= ppts_upper_bound(d, sigma)
+        assert _conservation_holds(simulator, result)
+
+
+class TestHPTSProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        sigma=st.integers(min_value=0, max_value=3),
+        num_rounds=st.integers(min_value=12, max_value=60),
+        seed=st.integers(min_value=0, max_value=10_000),
+        levels=st.sampled_from([2, 3]),
+    )
+    def test_bound_capacity_and_conservation(self, sigma, num_rounds, seed, levels):
+        branching = 4 if levels == 2 else 3
+        n = branching**levels
+        line = LineTopology(n)
+        rho = 1.0 / levels
+        rng = random_module.Random(seed)
+        destinations = sorted(rng.sample(range(1, n), min(8, n - 1)))
+        pattern = _random_bounded_pattern(
+            line, rho, sigma, num_rounds, destinations, seed
+        )
+        algorithm = HierarchicalPeakToSink(line, levels, branching, rho=rho)
+        simulator = Simulator(line, algorithm, pattern)
+        result = simulator.run()  # validate_capacity=True: Lemma 4.7 checked
+        assert result.max_occupancy <= hpts_upper_bound(n, levels, sigma)
+        assert _conservation_holds(simulator, result)
+
+
+class TestGreedyProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        sigma=st.integers(min_value=0, max_value=4),
+        num_rounds=st.integers(min_value=10, max_value=60),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_work_conserving_baselines_always_drain(self, sigma, num_rounds, seed):
+        line = LineTopology(16)
+        rng = random_module.Random(seed)
+        destinations = sorted(rng.sample(range(1, 16), 4))
+        pattern = _random_bounded_pattern(
+            line, 1.0, sigma, num_rounds, destinations, seed
+        )
+        simulator = Simulator(line, GreedyForwarding(line), pattern)
+        result = simulator.run()
+        assert result.drained
+        assert result.packets_delivered == result.packets_injected

@@ -1,0 +1,118 @@
+"""Property-based tests for the tree algorithms on random trees and traffic.
+
+Hypothesis generates the tree shape (random recursive trees of varying size),
+the destination placement and the adversary parameters; a token bucket keeps
+every generated pattern ``(rho, sigma)``-bounded.  Checked properties:
+
+* the Proposition B.3 / 3.5 bounds hold,
+* packets are conserved (no loss, no duplication),
+* the capacity constraint is never violated (the simulator validates it),
+* packets only ever move toward the root (monotone depth).
+"""
+
+from __future__ import annotations
+
+import random as random_module
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.base import InjectionPattern
+from repro.adversary.bounded import TokenBucket
+from repro.core.bounds import pts_upper_bound, tree_ppts_upper_bound
+from repro.core.packet import make_injection
+from repro.core.tree import TreeParallelPeakToSink, TreePeakToSink
+from repro.network.simulator import Simulator
+from repro.network.topology import TreeTopology, random_tree
+
+
+def _bounded_tree_pattern(
+    tree: TreeTopology,
+    destinations,
+    rho: float,
+    sigma: int,
+    num_rounds: int,
+    seed: int,
+) -> InjectionPattern:
+    rng = random_module.Random(seed)
+    node_index = {v: idx for idx, v in enumerate(tree.nodes)}
+    bucket = TokenBucket(len(tree.nodes), rho, sigma)
+    eligible = {
+        w: [u for u in tree.nodes if u != w and tree.is_upstream(u, w)]
+        for w in destinations
+    }
+    usable = [w for w in destinations if eligible[w]]
+    injections = []
+    for t in range(num_rounds):
+        bucket.start_round()
+        if not usable:
+            continue
+        for _ in range(4):
+            destination = rng.choice(usable)
+            source = rng.choice(eligible[destination])
+            crossed = [node_index[v] for v in tree.path(source, destination)[:-1]]
+            if bucket.can_inject(crossed):
+                bucket.inject(crossed)
+                injections.append(make_injection(t, source, destination))
+    return InjectionPattern(injections, rho=rho, sigma=sigma)
+
+
+def _depths_monotone_toward_root(simulator: Simulator, tree: TreeTopology) -> bool:
+    """Every undelivered packet's current depth is <= its source depth."""
+    for packet in simulator.packets.values():
+        if packet.delivered:
+            continue
+        if tree.depth(packet.location) > tree.depth(packet.source):
+            return False
+    return True
+
+
+class TestTreePTSProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=3, max_value=40),
+        sigma=st.integers(min_value=0, max_value=4),
+        num_rounds=st.integers(min_value=5, max_value=50),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_bound_conservation_and_direction(self, num_nodes, sigma, num_rounds, seed):
+        tree = random_tree(num_nodes, seed=seed)
+        pattern = _bounded_tree_pattern(
+            tree, [tree.root], 1.0, sigma, num_rounds, seed
+        )
+        algorithm = TreePeakToSink(tree)
+        simulator = Simulator(tree, algorithm, pattern)
+        result = simulator.run()
+        assert result.max_occupancy <= pts_upper_bound(sigma)
+        stored = algorithm.total_stored()
+        assert result.packets_injected == result.packets_delivered + stored
+        assert _depths_monotone_toward_root(simulator, tree)
+
+
+class TestTreePPTSProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=4, max_value=40),
+        sigma=st.integers(min_value=0, max_value=3),
+        num_destinations=st.integers(min_value=1, max_value=5),
+        num_rounds=st.integers(min_value=5, max_value=40),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_bound_and_conservation(
+        self, num_nodes, sigma, num_destinations, num_rounds, seed
+    ):
+        tree = random_tree(num_nodes, seed=seed)
+        rng = random_module.Random(seed + 1)
+        internal = [v for v in tree.nodes if tree.children(v)] or [tree.root]
+        destinations = sorted(
+            set(rng.sample(internal, min(num_destinations, len(internal))))
+        )
+        pattern = _bounded_tree_pattern(tree, destinations, 1.0, sigma, num_rounds, seed)
+        algorithm = TreeParallelPeakToSink(tree, destinations=destinations)
+        simulator = Simulator(tree, algorithm, pattern)
+        result = simulator.run()  # capacity validated every round
+        d_prime = tree.destination_depth(destinations)
+        assert result.max_occupancy <= tree_ppts_upper_bound(max(d_prime, 1), sigma)
+        stored = algorithm.total_stored()
+        assert result.packets_injected == result.packets_delivered + stored
+        assert _depths_monotone_toward_root(simulator, tree)

@@ -1,0 +1,142 @@
+"""Unit tests for buffers and pseudo-buffers (repro.core.pseudobuffer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet, make_injection
+from repro.core.pseudobuffer import NodeBuffer, PseudoBuffer, QueueDiscipline
+
+
+def _packet(destination: int = 5, source: int = 0) -> Packet:
+    return Packet.from_injection(make_injection(0, source, destination))
+
+
+class TestPseudoBuffer:
+    def test_push_pop_lifo(self):
+        buffer = PseudoBuffer(key=5, discipline=QueueDiscipline.LIFO)
+        first, second = _packet(), _packet()
+        buffer.push(first)
+        buffer.push(second)
+        assert buffer.pop() is second
+        assert buffer.pop() is first
+
+    def test_push_pop_fifo(self):
+        buffer = PseudoBuffer(key=5, discipline=QueueDiscipline.FIFO)
+        first, second = _packet(), _packet()
+        buffer.push(first)
+        buffer.push(second)
+        assert buffer.pop() is first
+        assert buffer.pop() is second
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PseudoBuffer(key=0).pop()
+
+    def test_peek_matches_pop_without_removing(self):
+        buffer = PseudoBuffer(key=1)
+        first, second = _packet(), _packet()
+        buffer.push(first)
+        buffer.push(second)
+        assert buffer.peek() is second
+        assert len(buffer) == 2
+
+    def test_peek_empty_returns_none(self):
+        assert PseudoBuffer(key=0).peek() is None
+
+    def test_badness_definition(self):
+        buffer = PseudoBuffer(key=3)
+        assert not buffer.is_bad
+        assert buffer.bad_packet_count == 0
+        buffer.push(_packet())
+        assert not buffer.is_bad
+        assert buffer.bad_packet_count == 0
+        buffer.push(_packet())
+        assert buffer.is_bad
+        assert buffer.bad_packet_count == 1
+        buffer.push(_packet())
+        assert buffer.bad_packet_count == 2
+
+    def test_remove_specific_packet(self):
+        buffer = PseudoBuffer(key=0)
+        keep, remove = _packet(), _packet()
+        buffer.push(keep)
+        buffer.push(remove)
+        buffer.remove(remove)
+        assert buffer.packets() == [keep]
+
+    def test_contains_and_iteration(self):
+        buffer = PseudoBuffer(key=0)
+        packet = _packet()
+        buffer.push(packet)
+        assert packet in buffer
+        assert list(buffer) == [packet]
+
+
+class TestNodeBuffer:
+    def test_lazy_pseudo_buffer_creation(self):
+        node = NodeBuffer(node=3)
+        assert node.keys() == []
+        node.store(_packet(destination=7), key=7)
+        assert node.keys() == [7]
+
+    def test_load_aggregates_pseudo_buffers(self):
+        node = NodeBuffer(node=0)
+        node.store(_packet(destination=4), key=4)
+        node.store(_packet(destination=4), key=4)
+        node.store(_packet(destination=6), key=6)
+        assert node.load == 3
+        assert node.load_of(4) == 2
+        assert node.load_of(6) == 1
+        assert node.load_of(9) == 0
+
+    def test_bad_count_per_key(self):
+        node = NodeBuffer(node=0)
+        node.store(_packet(destination=4), key=4)
+        assert node.bad_count(4) == 0
+        node.store(_packet(destination=4), key=4)
+        assert node.bad_count(4) == 1
+        assert node.is_bad_for(4)
+        assert not node.is_bad_for(6)
+
+    def test_total_bad_sums_over_keys(self):
+        node = NodeBuffer(node=0)
+        for _ in range(3):
+            node.store(_packet(destination=4), key=4)
+        for _ in range(2):
+            node.store(_packet(destination=6), key=6)
+        assert node.total_bad == (3 - 1) + (2 - 1)
+
+    def test_pop_from_missing_key_raises(self):
+        node = NodeBuffer(node=0)
+        with pytest.raises(IndexError):
+            node.pop_from(5)
+
+    def test_nonempty_keys_and_drop_empty(self):
+        node = NodeBuffer(node=0)
+        node.store(_packet(destination=4), key=4)
+        popped = node.pop_from(4)
+        assert popped is not None
+        assert node.nonempty_keys() == []
+        assert node.keys() == [4]
+        node.drop_empty()
+        assert node.keys() == []
+
+    def test_all_packets_snapshot(self):
+        node = NodeBuffer(node=0)
+        packets = [_packet(destination=4), _packet(destination=6)]
+        node.store(packets[0], key=4)
+        node.store(packets[1], key=6)
+        assert set(id(p) for p in node.all_packets()) == set(id(p) for p in packets)
+
+    def test_len_matches_load(self):
+        node = NodeBuffer(node=0)
+        node.store(_packet(destination=2), key=2)
+        assert len(node) == node.load == 1
+
+    def test_discipline_propagates_to_pseudo_buffers(self):
+        node = NodeBuffer(node=0, discipline=QueueDiscipline.FIFO)
+        first, second = _packet(destination=4), _packet(destination=4)
+        node.store(first, key=4)
+        node.store(second, key=4)
+        assert node.pop_from(4) is first

@@ -1,0 +1,119 @@
+"""Unit tests for the PTS algorithm (Algorithm 1, Proposition 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import InjectionPattern
+from repro.adversary.generators import single_destination_adversary
+from repro.adversary.stress import pts_burst_stress
+from repro.core.bounds import pts_upper_bound
+from repro.core.pts import PeakToSink
+from repro.network.errors import ConfigurationError, SchedulingError
+from repro.network.simulator import Simulator, run_simulation
+from repro.network.topology import LineTopology
+
+
+class TestConfiguration:
+    def test_default_destination_is_last_node(self):
+        line = LineTopology(8)
+        assert PeakToSink(line).destination == 7
+
+    def test_custom_destination(self):
+        line = LineTopology(8)
+        assert PeakToSink(line, destination=5).destination == 5
+
+    def test_invalid_destination(self):
+        line = LineTopology(8)
+        with pytest.raises(ConfigurationError):
+            PeakToSink(line, destination=0)
+        with pytest.raises(ConfigurationError):
+            PeakToSink(line, destination=9)
+
+    def test_wrong_destination_packet_rejected(self):
+        line = LineTopology(8)
+        algorithm = PeakToSink(line, destination=7)
+        pattern = InjectionPattern.from_tuples([(0, 0, 5)])
+        with pytest.raises(SchedulingError):
+            run_simulation(line, algorithm, pattern)
+
+    def test_theoretical_bound(self):
+        line = LineTopology(8)
+        assert PeakToSink(line).theoretical_bound(3) == 5
+
+
+class TestForwardingRule:
+    def test_no_bad_buffer_means_no_forwarding(self):
+        line = LineTopology(6)
+        algorithm = PeakToSink(line)
+        # One packet in each of two buffers: nothing is bad, nothing moves.
+        pattern = InjectionPattern.from_tuples([(0, 0, 5), (0, 2, 5)])
+        result = run_simulation(line, algorithm, pattern, drain=False)
+        assert result.packets_delivered == 0
+        assert algorithm.occupancy(0) == 1
+        assert algorithm.occupancy(2) == 1
+
+    def test_bad_buffer_triggers_suffix_forwarding(self):
+        line = LineTopology(6)
+        algorithm = PeakToSink(line)
+        # Two packets at buffer 1 (bad) and one at buffer 3: both 1 and 3 forward.
+        pattern = InjectionPattern.from_tuples([(0, 1, 5), (0, 1, 5), (0, 3, 5)])
+        simulator = Simulator(line, algorithm, pattern, record_history=True)
+        result = simulator.run(num_rounds=1, drain=False)
+        assert result.history[0].forwarded == 2
+        assert algorithm.occupancy(1) == 1
+        assert algorithm.occupancy(2) == 1
+        assert algorithm.occupancy(4) == 1
+
+    def test_buffers_left_of_bad_buffer_do_not_forward(self):
+        line = LineTopology(6)
+        algorithm = PeakToSink(line)
+        pattern = InjectionPattern.from_tuples([(0, 0, 5), (0, 3, 5), (0, 3, 5)])
+        simulator = Simulator(line, algorithm, pattern)
+        simulator.run(num_rounds=1, drain=False)
+        # Buffer 0 is left of the left-most bad buffer (3), so it kept its packet.
+        assert algorithm.occupancy(0) == 1
+        assert algorithm.occupancy(3) == 1
+
+    def test_work_conserving_variant_forwards_without_badness(self):
+        line = LineTopology(6)
+        algorithm = PeakToSink(line, work_conserving=True)
+        pattern = InjectionPattern.from_tuples([(0, 0, 5)])
+        result = run_simulation(line, algorithm, pattern)
+        assert result.packets_delivered == 1
+        assert result.drained
+
+
+class TestProposition31:
+    @pytest.mark.parametrize("sigma", [0, 1, 2, 4, 8])
+    def test_burst_stress_respects_bound(self, sigma):
+        line = LineTopology(32)
+        pattern = pts_burst_stress(line, rho=1.0, sigma=sigma, num_rounds=150)
+        result = run_simulation(line, PeakToSink(line), pattern)
+        assert result.max_occupancy <= pts_upper_bound(sigma)
+
+    @pytest.mark.parametrize("rho", [0.25, 0.5, 1.0])
+    def test_random_adversaries_respect_bound(self, rho):
+        line = LineTopology(24)
+        sigma = 3
+        pattern = single_destination_adversary(
+            line, rho, sigma, num_rounds=120, seed=17
+        )
+        result = run_simulation(line, PeakToSink(line), pattern)
+        assert result.max_occupancy <= pts_upper_bound(sigma)
+
+    def test_bound_is_nearly_tight_under_stress(self):
+        """The burst workload should reach at least half of the 2 + sigma bound."""
+        line = LineTopology(32)
+        sigma = 6
+        pattern = pts_burst_stress(line, rho=1.0, sigma=sigma, num_rounds=200)
+        result = run_simulation(line, PeakToSink(line), pattern)
+        assert result.max_occupancy >= (2 + sigma) / 2
+
+    def test_virtual_sink_destination_supported(self):
+        line = LineTopology(16, allow_virtual_sink=True)
+        pattern = pts_burst_stress(line, 1.0, 2, 80, destination=16)
+        result = run_simulation(
+            line, PeakToSink(line, destination=16), pattern
+        )
+        assert result.max_occupancy <= pts_upper_bound(2)

@@ -1,0 +1,97 @@
+"""Unit tests for the ell-reduction (Definition 2.4, Lemma 2.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import InjectionPattern
+from repro.adversary.bounded import tightest_sigma
+from repro.adversary.generators import random_line_adversary
+from repro.adversary.reduction import (
+    compressed_reduction,
+    ell_reduction,
+    phase_of_round,
+    phase_start,
+)
+from repro.network.errors import ConfigurationError
+from repro.network.topology import LineTopology
+
+
+class TestPhaseArithmetic:
+    def test_phase_of_round(self):
+        assert phase_of_round(0, 4) == 0
+        assert phase_of_round(3, 4) == 0
+        assert phase_of_round(4, 4) == 1
+        assert phase_of_round(11, 4) == 2
+
+    def test_phase_start(self):
+        assert phase_start(0, 4) == 0
+        assert phase_start(3, 4) == 12
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            phase_of_round(-1, 2)
+        with pytest.raises(ConfigurationError):
+            phase_of_round(0, 0)
+        with pytest.raises(ConfigurationError):
+            phase_start(0, 0)
+
+
+class TestEllReduction:
+    def test_retimes_to_next_phase_start(self):
+        pattern = InjectionPattern.from_tuples(
+            [(0, 0, 3), (2, 0, 3), (3, 1, 3), (5, 0, 2)]
+        )
+        reduced = ell_reduction(pattern, ell=3)
+        rounds = sorted(p.round for p in reduced.all_injections())
+        # Rounds 0-2 belong to phase 0 -> accepted at round 3;
+        # rounds 3-5 belong to phase 1 -> accepted at round 6.
+        assert rounds == [3, 3, 6, 6]
+
+    def test_routes_and_ids_preserved(self):
+        pattern = InjectionPattern.from_tuples([(1, 2, 7)])
+        original = pattern.all_injections()[0]
+        reduced = ell_reduction(pattern, ell=4).all_injections()[0]
+        assert (reduced.source, reduced.destination) == (2, 7)
+        assert reduced.packet_id == original.packet_id
+
+    def test_ell_one_shifts_each_round_by_one(self):
+        pattern = InjectionPattern.from_tuples([(0, 0, 1), (5, 0, 1)])
+        reduced = ell_reduction(pattern, ell=1)
+        assert sorted(p.round for p in reduced.all_injections()) == [1, 6]
+
+    def test_declared_rho_scaled(self):
+        pattern = InjectionPattern.from_tuples([(0, 0, 1)], rho=0.25, sigma=1)
+        assert ell_reduction(pattern, 4).rho == pytest.approx(1.0)
+        assert ell_reduction(pattern, 4).sigma == 1
+
+    def test_invalid_ell(self):
+        with pytest.raises(ConfigurationError):
+            ell_reduction(InjectionPattern([]), 0)
+
+
+class TestCompressedReduction:
+    def test_maps_rounds_to_phase_indices(self):
+        pattern = InjectionPattern.from_tuples([(0, 0, 1), (2, 0, 1), (3, 0, 1)])
+        compressed = compressed_reduction(pattern, ell=3)
+        assert sorted(p.round for p in compressed.all_injections()) == [0, 0, 1]
+
+    def test_lemma_2_5_bound_scaling(self):
+        """If A is (rho, sigma)-bounded then A_ell is (ell rho, sigma)-bounded."""
+        line = LineTopology(24)
+        rho, sigma, ell = 0.25, 2.0, 4
+        pattern = random_line_adversary(
+            line, rho, sigma, num_rounds=80, num_destinations=4, seed=11
+        )
+        assert tightest_sigma(pattern, line, rho) <= sigma + 1e-9
+        compressed = compressed_reduction(pattern, ell)
+        assert tightest_sigma(compressed, line, ell * rho) <= sigma + 1e-9
+
+    def test_lemma_2_5_multiple_parameter_sets(self):
+        line = LineTopology(16)
+        for rho, ell in ((0.5, 2), (1.0 / 3.0, 3), (0.2, 5)):
+            pattern = random_line_adversary(
+                line, rho, 1.0, num_rounds=60, num_destinations=3, seed=int(ell)
+            )
+            compressed = compressed_reduction(pattern, ell)
+            assert tightest_sigma(compressed, line, ell * rho) <= 1.0 + 1e-9

@@ -1,0 +1,81 @@
+"""Unit tests for the text report builder (repro.analysis.report)."""
+
+from __future__ import annotations
+
+from repro.adversary.stress import round_robin_destination_stress
+from repro.analysis.report import build_report, report_sections
+from repro.baselines.greedy import GreedyForwarding
+from repro.core.ppts import ParallelPeakToSink
+from repro.network.simulator import Simulator
+from repro.network.topology import LineTopology
+
+
+def _run(line, algorithm, pattern, **kwargs):
+    simulator = Simulator(line, algorithm, pattern, **kwargs)
+    result = simulator.run()
+    return simulator, result
+
+
+class TestReportSections:
+    def test_sections_present(self):
+        line = LineTopology(24)
+        pattern = round_robin_destination_stress(line, 1.0, 2, 80, 4)
+        simulator, result = _run(line, ParallelPeakToSink(line), pattern)
+        sections = report_sections(simulator, result, sigma=2)
+        assert {"summary", "hotspots", "latency", "latency_by_distance"} <= set(sections)
+        assert "max occupancy" in sections["summary"]
+        summary_lines = {
+            line.split(":")[0].strip(): line.split(":", 1)[1].strip()
+            for line in sections["summary"].splitlines()
+            if ":" in line
+        }
+        assert summary_lines["within bound"] == "yes"
+
+    def test_trajectory_only_with_history(self):
+        line = LineTopology(24)
+        pattern = round_robin_destination_stress(line, 1.0, 2, 80, 4)
+        without_history = report_sections(
+            *_run(line, ParallelPeakToSink(line), pattern), sigma=2
+        )
+        assert "trajectory" not in without_history
+        with_history = report_sections(
+            *_run(line, ParallelPeakToSink(line), pattern, record_history=True),
+            sigma=2,
+        )
+        assert "trajectory" in with_history
+        assert "peak=" in with_history["trajectory"]
+
+    def test_no_bound_when_sigma_unknown(self):
+        line = LineTopology(16)
+        pattern = round_robin_destination_stress(line, 1.0, 1, 40, 2)
+        sections = report_sections(*_run(line, GreedyForwarding(line), pattern))
+        summary_lines = {
+            line.split(":")[0].strip(): line.split(":", 1)[1].strip()
+            for line in sections["summary"].splitlines()
+            if ":" in line
+        }
+        assert summary_lines["bound"] == "-"
+
+
+class TestBuildReport:
+    def test_full_report_structure(self):
+        line = LineTopology(24)
+        pattern = round_robin_destination_stress(line, 1.0, 2, 80, 4)
+        simulator, result = _run(
+            line, ParallelPeakToSink(line), pattern, record_history=True
+        )
+        report = build_report(simulator, result, sigma=2, title="PPTS run")
+        lines = report.splitlines()
+        assert lines[0] == "PPTS run"
+        assert lines[1].startswith("=")
+        assert "Most loaded buffers" in report
+        assert "Latency by route length" in report
+        assert report.endswith("\n")
+
+    def test_report_for_fully_draining_algorithm(self):
+        line = LineTopology(16)
+        pattern = round_robin_destination_stress(line, 1.0, 1, 50, 3)
+        simulator, result = _run(line, GreedyForwarding(line), pattern)
+        report = build_report(simulator, result)
+        assert "drained" in report
+        assert "undelivered  : 0" in report or "packets undelivered : 0" in report

@@ -1,0 +1,98 @@
+"""Unit tests for sweep statistics (repro.analysis.statistics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.statistics import (
+    aggregate_rows,
+    group_by,
+    linear_fit,
+    summarise,
+)
+
+
+class TestSummarise:
+    def test_basic_statistics(self):
+        summary = summarise([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+        assert summary.median == 3
+
+    def test_empty_series(self):
+        summary = summarise([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_p95(self):
+        summary = summarise(list(range(1, 101)))
+        assert 95 <= summary.p95 <= 96
+
+    def test_as_dict_rounding(self):
+        row = summarise([1, 2]).as_dict()
+        assert row["mean"] == 1.5
+        assert set(row) == {"count", "mean", "std", "min", "max", "median", "p95"}
+
+
+class TestGrouping:
+    ROWS = [
+        {"d": 2, "seed": 0, "occ": 3},
+        {"d": 2, "seed": 1, "occ": 5},
+        {"d": 4, "seed": 0, "occ": 6},
+        {"d": 4, "seed": 1, "occ": 8},
+    ]
+
+    def test_group_by_single_key(self):
+        groups = group_by(self.ROWS, ["d"])
+        assert set(groups) == {(2,), (4,)}
+        assert len(groups[(2,)]) == 2
+
+    def test_group_by_missing_key(self):
+        groups = group_by([{"a": 1}], ["a", "b"])
+        assert set(groups) == {(1, None)}
+
+    def test_aggregate_rows(self):
+        aggregated = aggregate_rows(self.ROWS, ["d"], "occ")
+        assert len(aggregated) == 2
+        first = next(row for row in aggregated if row["d"] == 2)
+        assert first["occ_mean"] == pytest.approx(4.0)
+        assert first["occ_max"] == 5
+
+    def test_aggregate_rows_with_extractor(self):
+        aggregated = aggregate_rows(
+            self.ROWS, ["d"], "occ", extractor=lambda row: row["occ"] * 2
+        )
+        first = next(row for row in aggregated if row["d"] == 4)
+        assert first["occ_mean"] == pytest.approx(14.0)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        slope, intercept = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_ppts_occupancy_curve_is_linear_in_d(self):
+        """End-to-end: the E2 series measured by simulation has slope ~1."""
+        from repro.adversary.stress import round_robin_destination_stress
+        from repro.core.ppts import ParallelPeakToSink
+        from repro.network.simulator import run_simulation
+        from repro.network.topology import LineTopology
+
+        line = LineTopology(64)
+        ds = [2, 4, 8, 16]
+        occupancies = []
+        for d in ds:
+            pattern = round_robin_destination_stress(line, 1.0, 1, 200, d)
+            result = run_simulation(line, ParallelPeakToSink(line), pattern)
+            occupancies.append(result.max_occupancy)
+        slope, _ = linear_fit(ds, occupancies)
+        assert 0.8 <= slope <= 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])

@@ -1,0 +1,143 @@
+"""Unit tests for the deterministic stress adversaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.bounded import check_bounded
+from repro.adversary.stress import (
+    evenly_spaced_destinations,
+    hierarchy_stress,
+    nested_route_stress,
+    pts_burst_stress,
+    round_robin_destination_stress,
+    tree_convergecast_stress,
+)
+from repro.network.errors import ConfigurationError
+from repro.network.topology import LineTopology, caterpillar_tree
+
+
+class TestEvenlySpacedDestinations:
+    def test_count_and_range(self):
+        destinations = evenly_spaced_destinations(33, 8)
+        assert len(destinations) == 8
+        assert destinations == sorted(destinations)
+        assert destinations[-1] == 32
+        assert all(1 <= w <= 32 for w in destinations)
+
+    def test_single_destination_is_last_node(self):
+        assert evenly_spaced_destinations(10, 1) == [9]
+
+    def test_dense_destination_request(self):
+        destinations = evenly_spaced_destinations(9, 8)
+        assert len(destinations) == 8
+        assert len(set(destinations)) == 8
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evenly_spaced_destinations(5, 5)
+        with pytest.raises(ConfigurationError):
+            evenly_spaced_destinations(5, 0)
+
+
+class TestPtsBurstStress:
+    def test_bounded_by_construction(self):
+        line = LineTopology(20)
+        for sigma in (0, 1, 4):
+            pattern = pts_burst_stress(line, 1.0, sigma, 60)
+            assert check_bounded(pattern, line, 1.0, sigma).bounded
+
+    def test_single_destination(self):
+        line = LineTopology(20)
+        pattern = pts_burst_stress(line, 1.0, 2, 50)
+        assert pattern.destinations() == [19]
+
+    def test_first_round_spends_burst_budget(self):
+        line = LineTopology(20)
+        pattern = pts_burst_stress(line, 1.0, 3, 50)
+        assert len(pattern.injections_for_round(0)) == 4  # sigma + rho packets
+
+    def test_sustains_rate_rho(self):
+        line = LineTopology(20)
+        pattern = pts_burst_stress(line, 1.0, 0, 50)
+        # After the (empty) burst, exactly one packet per round fits.
+        assert len(pattern) == 50
+
+
+class TestRoundRobinDestinationStress:
+    def test_bounded(self):
+        line = LineTopology(32)
+        pattern = round_robin_destination_stress(line, 1.0, 2, 100, 8)
+        assert check_bounded(pattern, line, 1.0, 2).bounded
+
+    def test_covers_all_destinations(self):
+        line = LineTopology(32)
+        pattern = round_robin_destination_stress(line, 1.0, 2, 100, 8)
+        assert pattern.num_destinations == 8
+
+    def test_all_from_single_source(self):
+        line = LineTopology(32)
+        pattern = round_robin_destination_stress(line, 1.0, 1, 60, 4, source=3)
+        assert pattern.sources() == [3]
+
+    def test_source_beyond_destinations_rejected(self):
+        line = LineTopology(8)
+        with pytest.raises(ConfigurationError):
+            round_robin_destination_stress(line, 1.0, 1, 10, 1, source=7)
+
+
+class TestNestedRouteStress:
+    def test_bounded(self):
+        line = LineTopology(40)
+        pattern = nested_route_stress(line, 1.0, 1, 80, 5)
+        assert check_bounded(pattern, line, 1.0, 1).bounded
+
+    def test_wave_routes_are_edge_disjoint(self):
+        # With sigma = 0 exactly one wave fits per round, so the first round
+        # is a single wave and its routes must not overlap.
+        line = LineTopology(40)
+        pattern = nested_route_stress(line, 1.0, 0, 10, 5)
+        first_round = pattern.injections_for_round(0)
+        covered = []
+        for injection in first_round:
+            covered.extend(range(injection.source, injection.destination))
+        assert len(covered) == len(set(covered))
+
+    def test_injects_one_packet_per_destination_per_wave(self):
+        line = LineTopology(40)
+        pattern = nested_route_stress(line, 1.0, 0, 1, 5)
+        assert len(pattern.injections_for_round(0)) == 5
+
+
+class TestHierarchyStress:
+    def test_bounded(self):
+        line = LineTopology(64)
+        pattern = hierarchy_stress(line, 1.0 / 3, 2, 120, branching=4, levels=3)
+        assert check_bounded(pattern, line, 1.0 / 3, 2).bounded
+
+    def test_destinations_touch_multiple_levels(self):
+        line = LineTopology(64)
+        pattern = hierarchy_stress(line, 0.25, 2, 120, branching=4, levels=3)
+        destinations = pattern.destinations()
+        assert len(destinations) >= 3
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hierarchy_stress(LineTopology(60), 0.5, 1, 10, branching=4, levels=3)
+
+
+class TestTreeConvergecastStress:
+    def test_routes_valid_and_leaves_fire(self):
+        tree = caterpillar_tree(5, 2)
+        pattern = tree_convergecast_stress(tree, 1.0, 2, 60)
+        assert len(pattern) > 0
+        leaves = set(tree.leaves())
+        for injection in pattern.all_injections():
+            assert injection.source in leaves
+            tree.validate_route(injection.source, injection.destination)
+
+    def test_respects_destination_set(self):
+        tree = caterpillar_tree(6, 1)
+        spine = [v for v in tree.nodes if tree.children(v)]
+        pattern = tree_convergecast_stress(tree, 0.5, 1, 40, destinations=spine)
+        assert set(pattern.destinations()).issubset(set(spine))

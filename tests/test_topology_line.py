@@ -1,0 +1,98 @@
+"""Unit tests for the line topology (repro.network.topology.LineTopology)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.errors import TopologyError
+from repro.network.topology import LineTopology
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self):
+        line = LineTopology(5)
+        assert list(line.nodes) == [0, 1, 2, 3, 4]
+        assert list(line.edges) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+        assert line.num_nodes == 5
+        assert line.num_edges == 4
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            LineTopology(1)
+
+
+class TestRouting:
+    def test_next_hop_interior(self):
+        line = LineTopology(6)
+        assert line.next_hop(2) == 3
+
+    def test_next_hop_last_node_virtual_sink(self):
+        line = LineTopology(6, allow_virtual_sink=True)
+        assert line.next_hop(5) == 6
+
+    def test_next_hop_last_node_without_sink(self):
+        line = LineTopology(6, allow_virtual_sink=False)
+        assert line.next_hop(5) is None
+
+    def test_next_hop_out_of_range(self):
+        line = LineTopology(4)
+        with pytest.raises(TopologyError):
+            line.next_hop(4)
+
+    def test_path_inclusive(self):
+        line = LineTopology(8)
+        assert line.path(2, 5) == [2, 3, 4, 5]
+
+    def test_path_to_virtual_sink(self):
+        line = LineTopology(4, allow_virtual_sink=True)
+        assert line.path(2, 4) == [2, 3, 4]
+
+    def test_distance(self):
+        line = LineTopology(10)
+        assert line.distance(3, 9) == 6
+
+    def test_backward_route_rejected(self):
+        line = LineTopology(6)
+        with pytest.raises(TopologyError):
+            line.path(4, 2)
+
+    def test_self_route_rejected(self):
+        line = LineTopology(6)
+        with pytest.raises(TopologyError):
+            line.validate_route(3, 3)
+
+    def test_destination_beyond_sink_rejected(self):
+        line = LineTopology(6, allow_virtual_sink=True)
+        with pytest.raises(TopologyError):
+            line.validate_route(0, 7)
+
+    def test_virtual_sink_destination_rejected_when_disabled(self):
+        line = LineTopology(6, allow_virtual_sink=False)
+        with pytest.raises(TopologyError):
+            line.validate_route(0, 6)
+
+
+class TestPathContains:
+    def test_buffers_crossed_excludes_destination(self):
+        line = LineTopology(10)
+        assert list(line.buffers_crossed(2, 5)) == [2, 3, 4]
+        assert line.path_contains(2, 5, 2)
+        assert line.path_contains(2, 5, 4)
+        assert not line.path_contains(2, 5, 5)
+        assert not line.path_contains(2, 5, 1)
+
+    def test_path_contains_matches_crossed_range(self):
+        line = LineTopology(12)
+        for source in range(0, 6):
+            for destination in range(source + 1, 12):
+                crossed = set(line.buffers_crossed(source, destination))
+                for v in range(12):
+                    assert line.path_contains(source, destination, v) == (v in crossed)
+
+
+class TestExport:
+    def test_to_networkx_shape(self):
+        graph = LineTopology(7).to_networkx()
+        assert graph.number_of_nodes() == 7
+        assert graph.number_of_edges() == 6
+        assert all(v == u + 1 for u, v in graph.edges)

@@ -1,0 +1,176 @@
+"""Unit tests for the tree variants of PTS and PPTS (Appendix B.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import InjectionPattern
+from repro.adversary.generators import random_tree_adversary
+from repro.adversary.stress import tree_convergecast_stress
+from repro.core.bounds import pts_upper_bound, tree_ppts_upper_bound
+from repro.core.tree import TreeParallelPeakToSink, TreePeakToSink
+from repro.network.errors import ConfigurationError, SchedulingError
+from repro.network.simulator import Simulator, run_simulation
+from repro.network.topology import (
+    TreeTopology,
+    binary_tree,
+    caterpillar_tree,
+    random_tree,
+    star_tree,
+)
+
+
+class TestTreePTSConfiguration:
+    def test_default_destination_is_root(self):
+        tree = star_tree(4)
+        assert TreePeakToSink(tree).destination == tree.root
+
+    def test_wrong_destination_packet_rejected(self):
+        # Chain 2 -> 1 -> 0: a packet destined for node 1 is a valid route but
+        # not the algorithm's single destination (the root), so it is rejected.
+        tree = TreeTopology({0: None, 1: 0, 2: 1})
+        algorithm = TreePeakToSink(tree, destination=tree.root)
+        pattern = InjectionPattern.from_tuples([(0, 2, 1)])
+        with pytest.raises(SchedulingError):
+            run_simulation(tree, algorithm, pattern)
+
+    def test_theoretical_bound(self):
+        tree = star_tree(4)
+        assert TreePeakToSink(tree).theoretical_bound(3) == 5
+
+
+class TestTreePTSForwarding:
+    def test_no_bad_buffer_means_no_forwarding(self):
+        tree = star_tree(3)
+        algorithm = TreePeakToSink(tree)
+        pattern = InjectionPattern.from_tuples([(0, 1, 0), (0, 2, 0)])
+        result = run_simulation(tree, algorithm, pattern, drain=False)
+        assert result.packets_delivered == 0
+
+    def test_bad_buffer_activates_path_to_root(self):
+        tree = TreeTopology({0: None, 1: 0, 2: 1, 3: 2})
+        algorithm = TreePeakToSink(tree)
+        # Two packets at the deepest node 3 (bad), one at node 1 on its path.
+        pattern = InjectionPattern.from_tuples([(0, 3, 0), (0, 3, 0), (0, 1, 0)])
+        simulator = Simulator(tree, algorithm, pattern, record_history=True)
+        result = simulator.run(num_rounds=1, drain=False)
+        # Nodes 3 and 1 forward (node 2 is empty): the packet at 1 is delivered.
+        assert result.history[0].forwarded == 2
+        assert result.history[0].delivered == 1
+
+    def test_branches_without_bad_buffers_stay_idle(self):
+        tree = TreeTopology({0: None, 1: 0, 2: 0, 3: 1, 4: 2})
+        algorithm = TreePeakToSink(tree)
+        pattern = InjectionPattern.from_tuples([(0, 3, 0), (0, 3, 0), (0, 4, 0)])
+        simulator = Simulator(tree, algorithm, pattern)
+        simulator.run(num_rounds=1, drain=False)
+        # The packet under node 2's branch (at node 4) did not move.
+        assert algorithm.occupancy(4) == 1
+
+
+class TestPropositionB3:
+    @pytest.mark.parametrize("sigma", [0, 1, 3])
+    def test_convergecast_respects_bound_on_caterpillar(self, sigma):
+        tree = caterpillar_tree(6, 2)
+        pattern = tree_convergecast_stress(tree, 1.0, sigma, 120)
+        result = run_simulation(tree, TreePeakToSink(tree), pattern)
+        assert result.max_occupancy <= pts_upper_bound(sigma)
+
+    @pytest.mark.parametrize("builder", [star_tree, lambda n: binary_tree(3)])
+    def test_other_topologies(self, builder):
+        tree = builder(8)
+        sigma = 2
+        pattern = tree_convergecast_stress(tree, 1.0, sigma, 80)
+        result = run_simulation(tree, TreePeakToSink(tree), pattern)
+        assert result.max_occupancy <= pts_upper_bound(sigma)
+
+    def test_random_trees_random_traffic(self):
+        for seed in range(3):
+            tree = random_tree(30, seed=seed)
+            sigma = 2
+            pattern = random_tree_adversary(tree, 1.0, sigma, 100, seed=seed)
+            result = run_simulation(tree, TreePeakToSink(tree), pattern)
+            assert result.max_occupancy <= pts_upper_bound(sigma)
+
+
+class TestTreePPTSConfiguration:
+    def test_destination_discovery_and_order(self):
+        tree = TreeTopology({0: None, 1: 0, 2: 1, 3: 2})
+        algorithm = TreeParallelPeakToSink(tree)
+        pattern = InjectionPattern.from_tuples([(0, 3, 1), (0, 3, 0)])
+        run_simulation(tree, algorithm, pattern, drain=False)
+        destinations = algorithm.destinations()
+        # Topological order: deeper destination (1) before its ancestor (0).
+        assert destinations == [1, 0]
+
+    def test_declared_destination_validation(self):
+        tree = star_tree(3)
+        with pytest.raises(ConfigurationError):
+            TreeParallelPeakToSink(tree, destinations=[42])
+
+    def test_destination_depth_and_bound(self):
+        tree = TreeTopology({0: None, 1: 0, 2: 1, 3: 2})
+        algorithm = TreeParallelPeakToSink(tree, destinations=[0, 1, 2])
+        assert algorithm.destination_depth() == 3
+        assert algorithm.theoretical_bound(2) == 1 + 3 + 2
+
+    def test_bound_none_before_traffic(self):
+        tree = star_tree(3)
+        assert TreeParallelPeakToSink(tree).theoretical_bound(1) is None
+
+
+class TestProposition35:
+    def test_spine_destinations_on_caterpillar(self):
+        """d' equals the spine length when every spine node is a destination."""
+        tree = caterpillar_tree(5, 2)
+        spine = [v for v in tree.nodes if tree.children(v)]
+        sigma = 2
+        pattern = tree_convergecast_stress(tree, 1.0, sigma, 150, destinations=spine)
+        algorithm = TreeParallelPeakToSink(tree, destinations=spine)
+        result = run_simulation(tree, algorithm, pattern)
+        d_prime = tree.destination_depth(spine)
+        assert d_prime == len(spine)
+        assert result.max_occupancy <= tree_ppts_upper_bound(d_prime, sigma)
+
+    def test_star_with_root_destination(self):
+        tree = star_tree(10)
+        sigma = 1
+        pattern = tree_convergecast_stress(tree, 1.0, sigma, 80)
+        algorithm = TreeParallelPeakToSink(tree, destinations=[tree.root])
+        result = run_simulation(tree, algorithm, pattern)
+        assert result.max_occupancy <= tree_ppts_upper_bound(1, sigma)
+
+    def test_binary_tree_with_internal_destinations(self):
+        tree = binary_tree(3)
+        destinations = [0, 1, 2, 3]
+        sigma = 2
+        pattern = tree_convergecast_stress(tree, 1.0, sigma, 120, destinations=destinations)
+        algorithm = TreeParallelPeakToSink(tree, destinations=destinations)
+        result = run_simulation(tree, algorithm, pattern)
+        d_prime = tree.destination_depth(destinations)
+        assert result.max_occupancy <= tree_ppts_upper_bound(d_prime, sigma)
+
+    def test_random_trees_random_traffic_respect_bound(self):
+        for seed in range(3):
+            tree = random_tree(25, seed=seed + 100)
+            internal = [v for v in tree.nodes if tree.children(v)][:4]
+            sigma = 2
+            pattern = random_tree_adversary(
+                tree, 1.0, sigma, 80, destinations=internal, seed=seed
+            )
+            if len(pattern) == 0:
+                continue
+            algorithm = TreeParallelPeakToSink(tree, destinations=internal)
+            result = run_simulation(tree, algorithm, pattern)
+            d_prime = tree.destination_depth(internal)
+            assert result.max_occupancy <= tree_ppts_upper_bound(d_prime, sigma)
+
+    def test_capacity_never_violated_on_trees(self):
+        tree = caterpillar_tree(6, 3)
+        spine = [v for v in tree.nodes if tree.children(v)]
+        pattern = tree_convergecast_stress(tree, 1.0, 3, 100, destinations=spine)
+        # Default validate_capacity=True would raise on a violation.
+        result = run_simulation(
+            tree, TreeParallelPeakToSink(tree, destinations=spine), pattern
+        )
+        assert result.packets_injected > 0
