@@ -4,7 +4,8 @@ HPTS combines three mechanisms (DESIGN.md lists them as explicit design
 decisions): phase batching (the ell-reduction), the time-division level
 schedule, and pre-bad activation across segment hand-offs.  This benchmark
 re-runs the Theorem 4.1 workloads with each mechanism toggled and reports the
-measured occupancy of every variant against the bound.
+measured occupancy of every variant against the bound.  Variants are plain
+algorithm-spec params, so the whole ablation is a list of declarative specs.
 
 Expected shape: the full algorithm (descending schedule, pre-bad activation,
 phase batching) meets the bound on every workload; ablated variants may or may
@@ -14,11 +15,10 @@ point of an ablation.
 
 from __future__ import annotations
 
-from repro.core.bounds import hpts_upper_bound
-from repro.core.hpts import HierarchicalPeakToSink
-from repro.experiments.workloads import hierarchical_workload
+from repro.adversary.generators import hierarchy_random_destinations
 from repro.analysis.tables import format_table
-from repro.network.simulator import run_simulation
+from repro.api import Scenario, Session
+from repro.core.bounds import hpts_upper_bound
 
 SIGMA = 2
 
@@ -34,33 +34,50 @@ VARIANTS = {
 
 
 def _build_table():
-    rows = []
+    specs = []
+    extras = []
     for branching, levels in GRID:
         rho = 1.0 / levels
         n = branching**levels
         bound = hpts_upper_bound(n, levels, SIGMA)
         for kind in ("hierarchy", "random"):
-            workload = hierarchical_workload(
-                branching, levels, rho, SIGMA, num_rounds=60 * levels,
-                kind=kind, seed=7 * branching + levels,
-            )
             for variant, options in VARIANTS.items():
-                algorithm = HierarchicalPeakToSink(
-                    workload.topology, levels, branching, rho=rho, **options
+                scenario = Scenario.line(n).algorithm(
+                    "hpts", levels=levels, branching=branching, rho=rho, **options
                 )
-                result = run_simulation(workload.topology, algorithm, workload.pattern)
-                rows.append(
+                if kind == "hierarchy":
+                    scenario.adversary(
+                        "hierarchy", rho=rho, sigma=SIGMA, rounds=60 * levels,
+                        branching=branching, levels=levels,
+                    )
+                else:
+                    scenario.adversary(
+                        "bounded", rho=rho, sigma=SIGMA, rounds=60 * levels,
+                        num_destinations=hierarchy_random_destinations(
+                            n, branching, levels
+                        ),
+                    ).seed(7 * branching + levels)
+                specs.append(scenario.named(f"hierarchy/{kind}").build())
+                extras.append(
                     {
                         "m": branching,
                         "ell": levels,
                         "kind": kind,
                         "variant": variant,
-                        "max_occupancy": result.max_occupancy,
-                        "max_staged": result.max_staged,
                         "bound": round(bound, 2),
-                        "within_bound": result.max_occupancy <= bound,
                     }
                 )
+    reports = Session().run_many(specs)
+    rows = []
+    for report, extra in zip(reports, extras):
+        rows.append(
+            {
+                **extra,
+                "max_occupancy": report.result.max_occupancy,
+                "max_staged": report.result.max_staged,
+                "within_bound": report.result.max_occupancy <= extra["bound"],
+            }
+        )
     return rows
 
 

@@ -5,53 +5,64 @@ greedy baselines, reporting worst-case occupancy (the paper's metric) together
 with delivery statistics (where greedy, being work-conserving, naturally
 shines).  Expected shape: PPTS never exceeds its ``1 + d + sigma`` guarantee,
 while the greedy policies have no such guarantee and exceed it on at least one
-of the adversarial workloads.
+of the adversarial workloads.  Each (workload, algorithm) pair is one
+declarative spec; identical adversary parameters and seeds guarantee all
+algorithms face identical traffic.
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.baselines.greedy import GreedyForwarding
+from repro.api import Scenario, Session
 from repro.baselines.policies import ALL_POLICIES
 from repro.core.bounds import ppts_upper_bound
-from repro.core.ppts import ParallelPeakToSink
-from repro.experiments.workloads import multi_destination_workload
-from repro.network.simulator import run_simulation
 
 SIGMA = 2
+#: (label, number of destinations, adversary registry name)
 SCENARIOS = [
-    ("round_robin d=8", 8, "round_robin"),
-    ("round_robin d=32", 32, "round_robin"),
+    ("round_robin d=8", 8, "round-robin"),
+    ("round_robin d=32", 32, "round-robin"),
     ("nested d=8", 8, "nested"),
-    ("random d=8", 8, "random"),
+    ("random d=8", 8, "bounded"),
 ]
 
 
+def _algorithms():
+    yield "PPTS", ("ppts", {})
+    for policy in ALL_POLICIES:
+        yield f"Greedy-{policy.name}", ("greedy", {"policy": policy.name})
+
+
 def _build_table():
+    specs = []
+    extras = []
+    for name, d, adversary in SCENARIOS:
+        for label, (algorithm, params) in _algorithms():
+            specs.append(
+                Scenario.line(64)
+                .algorithm(algorithm, **params)
+                .adversary(
+                    adversary, rho=1.0, sigma=SIGMA, rounds=250, num_destinations=d
+                )
+                .seed(d)
+                .named(name)
+                .build()
+            )
+            extras.append({"workload": name, "ppts_bound": ppts_upper_bound(d, SIGMA)})
+    reports = Session().run_many(specs)
     rows = []
-    for name, d, kind in SCENARIOS:
-        workload = multi_destination_workload(
-            64, d, rho=1.0, sigma=SIGMA, num_rounds=250, kind=kind, seed=d
+    for report, extra in zip(reports, extras):
+        rows.append(
+            {
+                "workload": extra["workload"],
+                "algorithm": report.algorithm,
+                "max_occupancy": report.result.max_occupancy,
+                "ppts_bound": extra["ppts_bound"],
+                "within_ppts_bound": report.result.max_occupancy <= extra["ppts_bound"],
+                "delivered": report.result.packets_delivered,
+                "injected": report.result.packets_injected,
+            }
         )
-        bound = ppts_upper_bound(d, SIGMA)
-        algorithms = {"PPTS": ParallelPeakToSink(workload.topology)}
-        for policy in ALL_POLICIES:
-            algorithms[f"Greedy-{policy.name}"] = GreedyForwarding(
-                workload.topology, policy
-            )
-        for label, algorithm in algorithms.items():
-            result = run_simulation(workload.topology, algorithm, workload.pattern)
-            rows.append(
-                {
-                    "workload": name,
-                    "algorithm": label,
-                    "max_occupancy": result.max_occupancy,
-                    "ppts_bound": bound,
-                    "within_ppts_bound": result.max_occupancy <= bound,
-                    "delivered": result.packets_delivered,
-                    "injected": result.packets_injected,
-                }
-            )
     return rows
 
 

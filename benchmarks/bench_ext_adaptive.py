@@ -8,82 +8,79 @@ extension benchmark runs the configuration-aware Hotspot and Blocking
 adversaries against PTS, PPTS and HPTS and records the measured occupancy
 against each algorithm's bound, plus the audited burstiness of what the
 adversary actually injected.
+
+Each scenario is a declarative spec; because the audit needs the adversary
+instance after the run, specs are resolved with :meth:`Session.prepare` and
+executed as prepared runs.
 """
 
 from __future__ import annotations
 
-from repro.adversary.adaptive import BlockingAdversary, HotspotAdversary
 from repro.adversary.bounded import tightest_sigma
 from repro.analysis.tables import format_table
-from repro.core.bounds import hpts_upper_bound, ppts_upper_bound, pts_upper_bound
-from repro.core.hpts import HierarchicalPeakToSink
-from repro.core.ppts import ParallelPeakToSink
-from repro.core.pts import PeakToSink
-from repro.network.simulator import run_simulation
-from repro.network.topology import LineTopology
+from repro.api import Scenario, Session
 
 SIGMA = 2
 ROUNDS = 200
 
 
-def _scenarios():
-    # (label, line, adversary factory, algorithm factory, bound)
-    line32 = LineTopology(32)
-    line48 = LineTopology(48)
-    line16 = LineTopology(16)
+def _specs():
     return [
         (
             "PTS vs Hotspot",
-            line32,
-            lambda: HotspotAdversary(line32, 1.0, SIGMA, ROUNDS, seed=1),
-            lambda: PeakToSink(line32),
-            pts_upper_bound(SIGMA),
+            Scenario.line(32)
+            .algorithm("pts")
+            .adversary("hotspot", rho=1.0, sigma=SIGMA, rounds=ROUNDS)
+            .seed(1),
         ),
         (
             "PTS vs Blocking",
-            line32,
-            lambda: BlockingAdversary(line32, 1.0, SIGMA, ROUNDS),
-            lambda: PeakToSink(line32),
-            pts_upper_bound(SIGMA),
+            Scenario.line(32)
+            .algorithm("pts")
+            .adversary("blocking", rho=1.0, sigma=SIGMA, rounds=ROUNDS),
         ),
         (
             "PPTS vs Hotspot (d=4)",
-            line48,
-            lambda: HotspotAdversary(
-                line48, 1.0, SIGMA, ROUNDS, destinations=[12, 24, 36, 47], seed=2
-            ),
-            lambda: ParallelPeakToSink(line48),
-            ppts_upper_bound(4, SIGMA),
+            Scenario.line(48)
+            .algorithm("ppts")
+            .adversary(
+                "hotspot", rho=1.0, sigma=SIGMA, rounds=ROUNDS,
+                destinations=[12, 24, 36, 47],
+            )
+            .seed(2),
         ),
         (
             "HPTS vs Hotspot (ell=2)",
-            line16,
-            lambda: HotspotAdversary(
-                line16, 0.5, SIGMA, ROUNDS, destinations=[5, 9, 13, 15], seed=3
-            ),
-            lambda: HierarchicalPeakToSink(line16, 2, 4, rho=0.5),
-            hpts_upper_bound(16, 2, SIGMA),
+            Scenario.line(16)
+            .algorithm("hpts", levels=2, branching=4, rho=0.5)
+            .adversary(
+                "hotspot", rho=0.5, sigma=SIGMA, rounds=ROUNDS,
+                destinations=[5, 9, 13, 15],
+            )
+            .seed(3),
         ),
     ]
 
 
 def _build_table():
+    session = Session()
     rows = []
-    for label, line, adversary_factory, algorithm_factory, bound in _scenarios():
-        adversary = adversary_factory()
-        result = run_simulation(
-            line, algorithm_factory(), adversary, num_rounds=ROUNDS
-        )
-        realized = adversary.realized_pattern()
+    for label, scenario in _specs():
+        spec = scenario.named(label).policy(rounds=ROUNDS).build()
+        prepared = session.prepare(spec)
+        report = session.run(prepared)
+        realized = prepared.adversary.realized_pattern()
         rows.append(
             {
                 "scenario": label,
-                "n": line.num_nodes,
+                "n": prepared.topology.num_nodes,
                 "packets": len(realized),
-                "audited_sigma": round(tightest_sigma(realized, line, adversary.rho), 2),
-                "max_occupancy": result.max_occupancy,
-                "bound": round(bound, 2),
-                "within_bound": result.max_occupancy <= bound,
+                "audited_sigma": round(
+                    tightest_sigma(realized, prepared.topology, prepared.adversary.rho), 2
+                ),
+                "max_occupancy": report.result.max_occupancy,
+                "bound": None if report.bound is None else round(report.bound, 2),
+                "within_bound": report.within_bound,
             }
         )
     return rows

@@ -5,41 +5,32 @@ many routing algorithms") as an important next step.  Because forest
 components are node-disjoint, the tree algorithms and their ``1 + d' + sigma``
 guarantee apply component-wise with ``d'`` the maximum component destination
 depth — this benchmark validates exactly that on forests assembled from the
-tree families used in E3.
+tree families used in E3.  Forests are declared as ``"forest"`` topology
+specs (per-component tree families with id offsets) and executed through
+:class:`repro.api.Session`.
 """
 
 from __future__ import annotations
 
-from repro.adversary.stress import tree_convergecast_stress
 from repro.analysis.tables import format_table
+from repro.api import Scenario, Session, TopologySpec
 from repro.core.bounds import tree_ppts_upper_bound
-from repro.core.tree import TreeParallelPeakToSink
-from repro.network.forest import ForestTopology
-from repro.network.simulator import run_simulation
-from repro.network.topology import TreeTopology, binary_tree, caterpillar_tree, star_tree
 
 SIGMA = 2
 
 
-def _relabel(tree: TreeTopology, offset: int) -> TreeTopology:
-    """Shift every node id by ``offset`` so components stay disjoint."""
-    return TreeTopology(
-        {
-            node + offset: (None if tree.parent(node) is None else tree.parent(node) + offset)
-            for node in tree.nodes
-        }
-    )
-
-
 def _scenarios():
-    small_forest = ForestTopology(
-        [caterpillar_tree(4, 1), _relabel(star_tree(8), 100)]
-    )
-    mixed_forest = ForestTopology(
+    small_forest = TopologySpec.forest(
         [
-            caterpillar_tree(6, 2),
-            _relabel(binary_tree(3), 200),
-            _relabel(star_tree(12), 400),
+            {"family": "caterpillar", "spine_length": 4, "legs_per_node": 1},
+            {"family": "star", "num_leaves": 8, "offset": 100},
+        ]
+    )
+    mixed_forest = TopologySpec.forest(
+        [
+            {"family": "caterpillar", "spine_length": 6, "legs_per_node": 2},
+            {"family": "binary", "depth": 3, "offset": 200},
+            {"family": "star", "num_leaves": 12, "offset": 400},
         ]
     )
     return [
@@ -49,28 +40,49 @@ def _scenarios():
 
 
 def _build_table():
-    rows = []
-    for name, forest in _scenarios():
+    session = Session()
+    specs = []
+    extras = []
+    for name, forest_spec in _scenarios():
+        forest = session.topology(forest_spec)
         destinations = []
         for tree in forest.trees:
             internal = [v for v in tree.nodes if tree.children(v)]
             destinations.extend(internal[:3])
-        pattern = tree_convergecast_stress(forest, 1.0, SIGMA, 150, destinations)
-        algorithm = TreeParallelPeakToSink(forest, destinations=destinations)
-        result = run_simulation(forest, algorithm, pattern)
         d_prime = forest.destination_depth(destinations)
-        bound = tree_ppts_upper_bound(d_prime, SIGMA)
-        rows.append(
+        specs.append(
+            Scenario(forest_spec)
+            .algorithm("tree-ppts", destinations=destinations)
+            .adversary(
+                "convergecast", rho=1.0, sigma=SIGMA, rounds=150,
+                destinations=destinations,
+            )
+            .named(name)
+            .build()
+        )
+        extras.append(
             {
                 "forest": name,
                 "components": forest.num_components,
-                "n": forest.num_nodes,
                 "destinations": len(destinations),
                 "d_prime": d_prime,
-                "max_occupancy": result.max_occupancy,
-                "bound": bound,
-                "within_bound": result.max_occupancy <= bound,
-                "packets": result.packets_injected,
+                "bound": tree_ppts_upper_bound(d_prime, SIGMA),
+            }
+        )
+    reports = session.run_many(specs)
+    rows = []
+    for report, extra in zip(reports, extras):
+        rows.append(
+            {
+                "forest": extra["forest"],
+                "components": extra["components"],
+                "n": report.result.num_nodes,
+                "destinations": extra["destinations"],
+                "d_prime": extra["d_prime"],
+                "max_occupancy": report.result.max_occupancy,
+                "bound": extra["bound"],
+                "within_bound": report.result.max_occupancy <= extra["bound"],
+                "packets": report.result.packets_injected,
             }
         )
     return rows

@@ -10,61 +10,61 @@ locality-``r`` threshold rule (``repro.core.local``) decays as ``r`` grows
 from 0 (purely local) to ``n`` (which provably recovers PTS and its
 ``2 + sigma`` bound), alongside the fully-local Downhill baseline.  No bound
 from the paper is claimed for intermediate radii; the table records the
-empirical tradeoff.
+empirical tradeoff.  Every (workload, algorithm) pair is a declarative spec;
+identical adversary params/seeds keep the traffic identical across radii.
 """
 
 from __future__ import annotations
 
-from repro.adversary.generators import single_destination_adversary
-from repro.adversary.stress import pts_burst_stress
 from repro.analysis.tables import format_table
+from repro.api import Scenario, Session
 from repro.core.bounds import pts_upper_bound
-from repro.core.local import DownhillForwarding, LocalThresholdForwarding
-from repro.core.pts import PeakToSink
-from repro.network.simulator import run_simulation
-from repro.network.topology import LineTopology
 
 NUM_NODES = 128
 SIGMA = 4
 RADII = [0, 1, 2, 4, 8, 16, 32, 64, 128]
 
+#: (workload label, adversary registry name, seed)
+WORKLOADS = [
+    ("burst-stress", "burst", 0),
+    ("random", "single", 13),
+]
+
+
+def _algorithms():
+    for radius in RADII:
+        yield f"Local-r{radius}", radius, ("local", {"locality": radius})
+    yield "Downhill", 1, ("downhill", {})
+    yield "PTS", NUM_NODES, ("pts", {})
+
 
 def _build_table():
-    line = LineTopology(NUM_NODES)
-    workloads = {
-        "burst-stress": pts_burst_stress(line, 1.0, SIGMA, 300),
-        "random": single_destination_adversary(line, 1.0, SIGMA, 300, seed=13),
-    }
+    specs = []
+    extras = []
+    for workload_name, adversary, seed in WORKLOADS:
+        for label, radius, (algorithm, params) in _algorithms():
+            specs.append(
+                Scenario.line(NUM_NODES)
+                .algorithm(algorithm, **params)
+                .adversary(adversary, rho=1.0, sigma=SIGMA, rounds=300)
+                .seed(seed)
+                .named(workload_name)
+                .build()
+            )
+            extras.append(
+                {"workload": workload_name, "algorithm": label, "radius": radius}
+            )
+    reports = Session().run_many(specs)
     rows = []
-    for workload_name, pattern in workloads.items():
-        for radius in RADII:
-            algorithm = LocalThresholdForwarding(line, locality=radius)
-            result = run_simulation(line, algorithm, pattern)
-            rows.append(
-                {
-                    "workload": workload_name,
-                    "algorithm": algorithm.name,
-                    "radius": radius,
-                    "max_occupancy": result.max_occupancy,
-                    "pts_bound": pts_upper_bound(SIGMA),
-                    "delivered": result.packets_delivered,
-                }
-            )
-        for name, algorithm in (
-            ("Downhill", DownhillForwarding(line)),
-            ("PTS", PeakToSink(line)),
-        ):
-            result = run_simulation(line, algorithm, pattern)
-            rows.append(
-                {
-                    "workload": workload_name,
-                    "algorithm": name,
-                    "radius": NUM_NODES if name == "PTS" else 1,
-                    "max_occupancy": result.max_occupancy,
-                    "pts_bound": pts_upper_bound(SIGMA),
-                    "delivered": result.packets_delivered,
-                }
-            )
+    for report, extra in zip(reports, extras):
+        rows.append(
+            {
+                **extra,
+                "max_occupancy": report.result.max_occupancy,
+                "pts_bound": pts_upper_bound(SIGMA),
+                "delivered": report.result.packets_delivered,
+            }
+        )
     return rows
 
 
@@ -81,7 +81,11 @@ def test_ext_locality_tradeoff(run_once):
         )
     )
     # The r = n rule equals PTS and therefore meets the 2 + sigma bound.
-    full_view = [row for row in rows if row["radius"] == NUM_NODES and row["algorithm"].startswith("Local")]
+    full_view = [
+        row
+        for row in rows
+        if row["radius"] == NUM_NODES and row["algorithm"].startswith("Local")
+    ]
     assert all(row["max_occupancy"] <= row["pts_bound"] for row in full_view)
     pts_rows = {row["workload"]: row for row in rows if row["algorithm"] == "PTS"}
     for row in full_view:

@@ -3,14 +3,15 @@
 Regenerates the single-destination result as a table: for a grid of line
 lengths, rates and burst parameters, run PTS against both the deterministic
 burst stress and a random bounded adversary, and report the measured maximum
-occupancy next to the ``2 + sigma`` bound.
+occupancy next to the ``2 + sigma`` bound.  Every run is declared as a
+:class:`repro.api.ScenarioSpec` and executed through one shared
+:class:`repro.api.Session`.
 """
 
 from __future__ import annotations
 
-from repro.core.pts import PeakToSink
-from repro.experiments.harness import rows_to_table, run_workload
-from repro.experiments.workloads import single_destination_workload
+from repro.api import Scenario, Session
+from repro.analysis.tables import format_table
 
 #: (n, rho, sigma) grid — the sweep DESIGN.md lists for E1.
 GRID = [
@@ -28,25 +29,35 @@ COLUMNS = [
 ]
 
 
-def _build_table():
-    rows = []
+def _specs():
     for n, rho, sigma in GRID:
         for kind in ("stress", "random"):
-            workload = single_destination_workload(
-                n, rho, sigma, num_rounds=200, kind=kind, seed=n
+            adversary = "burst" if kind == "stress" else "single"
+            yield kind, (
+                Scenario.line(n)
+                .algorithm("pts")
+                .adversary(adversary, rho=rho, sigma=sigma, rounds=200)
+                .seed(n)
+                .named(f"single-dest/{kind}")
+                .build()
             )
-            row = run_workload(workload, lambda w: PeakToSink(w.topology))
-            row.params.update({"rho": rho, "sigma": sigma})
-            rows.append(row)
-    return rows
+
+
+def _build_table():
+    pairs = list(_specs())
+    reports = Session().run_many([spec for _, spec in pairs])
+    return [
+        report.as_row({"kind": kind})
+        for (kind, _), report in zip(pairs, reports)
+    ]
 
 
 def test_e1_pts_single_destination_table(run_once):
     rows = run_once(_build_table)
     print()
-    print(rows_to_table(rows, COLUMNS, title="E1  Proposition 3.1 — PTS, single destination"))
-    assert all(row.within_bound for row in rows)
+    print(format_table(rows, COLUMNS, title="E1  Proposition 3.1 — PTS, single destination"))
+    assert all(row["within_bound"] for row in rows)
     # Shape check: the bound is nearly saturated under stress (the +sigma term
     # is really needed), demonstrating the result is tight, not vacuous.
-    stressed = [row for row in rows if row.params["kind"] == "stress"]
-    assert any(row.max_occupancy >= row.bound - 1 for row in stressed)
+    stressed = [row for row in rows if row["kind"] == "stress"]
+    assert any(row["max_occupancy"] >= row["bound"] - 1 for row in stressed)

@@ -4,14 +4,14 @@ Regenerates the multi-destination result: sweep the number of destinations
 (and the burst budget), run PPTS on the round-robin stress that forces the
 ``+ d`` term, and report measured occupancy against ``1 + d + sigma``.  The
 series should grow linearly in ``d`` — matching both the upper bound and the
-Omega(d) lower bound (for rho > 1/2) cited in the introduction.
+Omega(d) lower bound (for rho > 1/2) cited in the introduction.  All runs go
+through :class:`repro.api.Session` as declarative specs.
 """
 
 from __future__ import annotations
 
-from repro.core.ppts import ParallelPeakToSink
-from repro.experiments.harness import rows_to_table, run_workload
-from repro.experiments.workloads import multi_destination_workload
+from repro.api import Scenario, Session
+from repro.analysis.tables import format_table
 
 NUM_NODES = 128
 DESTINATIONS = [1, 2, 4, 8, 16, 32, 64]
@@ -21,29 +21,33 @@ COLUMNS = ["d", "sigma", "kind", "max_occupancy", "bound", "within_bound", "pack
 
 
 def _build_table():
-    rows = []
-    for sigma in SIGMAS:
-        for d in DESTINATIONS:
-            workload = multi_destination_workload(
-                NUM_NODES, d, rho=1.0, sigma=sigma, num_rounds=300, kind="round_robin"
-            )
-            row = run_workload(workload, lambda w: ParallelPeakToSink(w.topology))
-            row.params.update({"sigma": sigma})
-            rows.append(row)
-    return rows
+    specs = [
+        Scenario.line(NUM_NODES)
+        .algorithm("ppts")
+        .adversary("round-robin", rho=1.0, sigma=sigma, rounds=300, num_destinations=d)
+        .named("multi-dest/round_robin")
+        .build()
+        for sigma in SIGMAS
+        for d in DESTINATIONS
+    ]
+    reports = Session().run_many(specs)
+    return [
+        report.as_row({"d": report.params["num_destinations"], "kind": "round_robin"})
+        for report in reports
+    ]
 
 
 def test_e2_ppts_destination_sweep_table(run_once):
     rows = run_once(_build_table)
     print()
     print(
-        rows_to_table(
+        format_table(
             rows, COLUMNS, title="E2  Proposition 3.2 — PPTS, d destinations (n = 128)"
         )
     )
-    assert all(row.within_bound for row in rows)
+    assert all(row["within_bound"] for row in rows)
     # Shape check: measured occupancy grows (roughly linearly) with d.
     for sigma in SIGMAS:
-        series = [row.max_occupancy for row in rows if row.params["sigma"] == sigma]
+        series = [row["max_occupancy"] for row in rows if row["sigma"] == sigma]
         assert series == sorted(series)
         assert series[-1] >= max(4 * series[0], DESTINATIONS[-1] // 2)

@@ -4,15 +4,16 @@ Regenerates the directed-tree result over several tree families (caterpillar,
 star, complete binary, random recursive) and destination placements, reporting
 measured occupancy against ``1 + d' + sigma`` where ``d'`` is the destination
 depth.  The point of the table: the buffer requirement tracks ``d'`` rather
-than the number of nodes or the total number of destinations.
+than the number of nodes or the total number of destinations.  Each scenario
+is a declarative :class:`repro.api.ScenarioSpec`; the tree topologies are
+built once through the session's cache and shared between destination-set
+computation and the runs.
 """
 
 from __future__ import annotations
 
-from repro.core.tree import TreeParallelPeakToSink, TreePeakToSink
-from repro.experiments.harness import rows_to_table, run_workload
-from repro.experiments.workloads import tree_workload
-from repro.network.topology import binary_tree, caterpillar_tree, random_tree, star_tree
+from repro.api import Scenario, Session, TopologySpec
+from repro.analysis.tables import format_table
 
 SIGMA = 2
 COLUMNS = [
@@ -21,61 +22,67 @@ COLUMNS = [
 ]
 
 
-def _scenarios():
-    caterpillar = caterpillar_tree(spine_length=8, legs_per_node=2)
+def _scenarios(session: Session):
+    caterpillar_spec = TopologySpec.tree("caterpillar", spine_length=8, legs_per_node=2)
+    star_spec = TopologySpec.tree("star", num_leaves=32)
+    binary_spec = TopologySpec.tree("binary", depth=5)
+    random_spec = TopologySpec.tree("random", num_nodes=127, seed=3)
+
+    caterpillar = session.topology(caterpillar_spec)
+    star = session.topology(star_spec)
+    btree = session.topology(binary_spec)
+    rtree = session.topology(random_spec)
+
     spine = [v for v in caterpillar.nodes if caterpillar.children(v)]
-    star = star_tree(32)
-    btree = binary_tree(5)
-    rtree = random_tree(127, seed=3)
     r_internal = [v for v in rtree.nodes if rtree.children(v)][:6]
     return [
-        ("star-32/root", star, [star.root]),
-        ("caterpillar-8/root", caterpillar, [caterpillar.root]),
-        ("caterpillar-8/spine", caterpillar, spine),
-        ("binary-d5/root", btree, [btree.root]),
-        ("binary-d5/one-path", btree, [0, 1, 3, 7, 15]),
-        ("random-127/internal", rtree, r_internal),
+        ("star-32/root", star_spec, star, [star.root]),
+        ("caterpillar-8/root", caterpillar_spec, caterpillar, [caterpillar.root]),
+        ("caterpillar-8/spine", caterpillar_spec, caterpillar, spine),
+        ("binary-d5/root", binary_spec, btree, [btree.root]),
+        ("binary-d5/one-path", binary_spec, btree, [0, 1, 3, 7, 15]),
+        ("random-127/internal", random_spec, rtree, r_internal),
     ]
 
 
 def _build_table():
-    rows = []
-    for name, tree, destinations in _scenarios():
-        workload = tree_workload(
-            tree, rho=1.0, sigma=SIGMA, num_rounds=200, destinations=destinations
+    session = Session()
+    specs = []
+    extras = []
+    for name, topology_spec, tree, destinations in _scenarios(session):
+        scenario = Scenario(topology_spec).adversary(
+            "convergecast", rho=1.0, sigma=SIGMA, rounds=200, destinations=destinations
         )
         if destinations == [tree.root]:
-            factory = lambda w: TreePeakToSink(w.topology)
+            scenario.algorithm("tree-pts")
         else:
-            factory = lambda w: TreeParallelPeakToSink(
-                w.topology, destinations=w.params["destinations"]
-            )
-        row = run_workload(workload, factory)
-        row.params.update(
+            scenario.algorithm("tree-ppts", destinations=destinations)
+        specs.append(scenario.named(f"tree/{name}").build())
+        extras.append(
             {
                 "tree": name,
-                "n": len(tree.nodes),
                 "num_destinations": len(destinations),
+                "d_prime": tree.destination_depth(destinations),
             }
         )
-        rows.append(row)
-    return rows
+    reports = session.run_many(specs)
+    return [report.as_row(extra) for report, extra in zip(reports, extras)]
 
 
 def test_e3_tree_destination_depth_table(run_once):
     rows = run_once(_build_table)
     print()
     print(
-        rows_to_table(
+        format_table(
             rows, COLUMNS, title="E3  Proposition 3.5 — directed trees (sigma = 2)"
         )
     )
-    assert all(row.within_bound for row in rows)
+    assert all(row["within_bound"] for row in rows)
     # Shape checks: the *guarantee* scales with d' rather than tree size (the
     # 127-node random tree has a smaller bound than the 24-node caterpillar
     # whose destinations stack on one path), and at least one workload pushes
     # its bound hard enough to show the guarantee is not vacuous.
-    by_name = {row.params["tree"]: row for row in rows}
-    assert by_name["caterpillar-8/spine"].bound > by_name["random-127/internal"].bound
-    assert by_name["star-32/root"].bound == by_name["binary-d5/root"].bound
-    assert any(row.max_occupancy >= row.bound / 2 for row in rows)
+    by_name = {row["tree"]: row for row in rows}
+    assert by_name["caterpillar-8/spine"]["bound"] > by_name["random-127/internal"]["bound"]
+    assert by_name["star-32/root"]["bound"] == by_name["binary-d5/root"]["bound"]
+    assert any(row["max_occupancy"] >= row["bound"] / 2 for row in rows)

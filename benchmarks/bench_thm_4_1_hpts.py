@@ -5,15 +5,16 @@ number of levels ``ell`` (with the rate at the theorem's limit
 ``rho = 1/ell``), run HPTS on level-spanning stress and random traffic, and
 report measured occupancy against the bound.  The comparison column shows the
 PPTS bound ``1 + d + sigma`` with ``d = n - 1`` — the guarantee one would be
-stuck with without the hierarchy — to exhibit the exponential gap.
+stuck with without the hierarchy — to exhibit the exponential gap.  All runs
+are declarative specs executed by one :class:`repro.api.Session`.
 """
 
 from __future__ import annotations
 
+from repro.adversary.generators import hierarchy_random_destinations
+from repro.api import Scenario, Session
+from repro.analysis.tables import format_table
 from repro.core.bounds import ppts_upper_bound
-from repro.core.hpts import HierarchicalPeakToSink
-from repro.experiments.harness import rows_to_table, run_workload
-from repro.experiments.workloads import hierarchical_workload
 
 SIGMA = 2
 
@@ -34,26 +35,43 @@ COLUMNS = [
 ]
 
 
-def _build_table():
-    rows = []
+def _specs():
     for branching, levels in GRID:
         rho = 1.0 / levels
+        n = branching**levels
         for kind in ("hierarchy", "random"):
-            workload = hierarchical_workload(
-                branching, levels, rho, SIGMA, num_rounds=60 * levels,
-                kind=kind, seed=branching * levels,
+            scenario = Scenario.line(n).algorithm(
+                "hpts", levels=levels, branching=branching, rho=rho
             )
-            row = run_workload(
-                workload,
-                lambda w, b=branching, l=levels, r=rho: HierarchicalPeakToSink(
-                    w.topology, l, b, rho=r
-                ),
+            if kind == "hierarchy":
+                scenario.adversary(
+                    "hierarchy", rho=rho, sigma=SIGMA, rounds=60 * levels,
+                    branching=branching, levels=levels,
+                )
+            else:
+                scenario.adversary(
+                    "bounded", rho=rho, sigma=SIGMA, rounds=60 * levels,
+                    num_destinations=hierarchy_random_destinations(n, branching, levels),
+                ).seed(branching * levels)
+            yield (branching, levels, kind), scenario.named(f"hierarchy/{kind}").build()
+
+
+def _build_table():
+    pairs = list(_specs())
+    reports = Session().run_many([spec for _, spec in pairs])
+    rows = []
+    for ((branching, levels, kind), _), report in zip(pairs, reports):
+        n = branching**levels
+        rows.append(
+            report.as_row(
+                {
+                    "m": branching,
+                    "ell": levels,
+                    "kind": kind,
+                    "flat_ppts_bound": ppts_upper_bound(max(1, n - 1), SIGMA),
+                }
             )
-            n = branching**levels
-            row.params.update(
-                {"flat_ppts_bound": ppts_upper_bound(max(1, n - 1), SIGMA)}
-            )
-            rows.append(row)
+        )
     return rows
 
 
@@ -61,16 +79,14 @@ def test_e4_hpts_hierarchy_sweep_table(run_once):
     rows = run_once(_build_table)
     print()
     print(
-        rows_to_table(
+        format_table(
             rows,
             COLUMNS,
             title="E4  Theorem 4.1 — HPTS with ell levels at rho = 1/ell (sigma = 2)",
         )
     )
-    assert all(row.within_bound for row in rows)
+    assert all(row["within_bound"] for row in rows)
     # Shape check: for every multi-level configuration the HPTS guarantee is
     # strictly below the flat PPTS guarantee, and the gap widens with n.
-    multi_level = [row for row in rows if row.params["ell"] > 1]
-    assert all(
-        row.bound < row.params["flat_ppts_bound"] for row in multi_level
-    )
+    multi_level = [row for row in rows if row["ell"] > 1]
+    assert all(row["bound"] < row["flat_ppts_bound"] for row in multi_level)

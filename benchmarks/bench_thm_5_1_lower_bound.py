@@ -8,17 +8,17 @@ buffer occupancy each protocol was forced into, next to the theoretical floor
 
 Expected shape: every protocol's measured occupancy is at least the floor, and
 the forced occupancy grows with ``n^(1/ell)`` as the construction scales.
+Every run is a declarative spec using the registered ``"lower-bound"``
+adversary; the audited burstiness column is measured from an independently
+materialised copy of the pattern.
 """
 
 from __future__ import annotations
 
 from repro.adversary.bounded import tightest_sigma
-from repro.baselines.greedy import GreedyForwarding
-from repro.baselines.policies import fifo, longest_in_system, nearest_to_go
-from repro.core.ppts import ParallelPeakToSink
-from repro.experiments.workloads import lower_bound_workload
+from repro.adversary.lower_bound import LowerBoundConstruction
 from repro.analysis.tables import format_table
-from repro.network.simulator import run_simulation
+from repro.api import Scenario, Session
 
 #: (branching m, levels ell, rho) grid; rho > 1/(ell+1) keeps the bound positive.
 GRID = [
@@ -29,36 +29,56 @@ GRID = [
     (3, 3, 0.5),
 ]
 
+#: protocol label -> (algorithm name, params) for the spec.
 PROTOCOLS = {
-    "PPTS": lambda topology: ParallelPeakToSink(topology),
-    "Greedy-FIFO": lambda topology: GreedyForwarding(topology, fifo),
-    "Greedy-LIS": lambda topology: GreedyForwarding(topology, longest_in_system),
-    "Greedy-NTG": lambda topology: GreedyForwarding(topology, nearest_to_go),
+    "PPTS": ("ppts", {}),
+    "Greedy-FIFO": ("greedy", {"policy": "FIFO"}),
+    "Greedy-LIS": ("greedy", {"policy": "LIS"}),
+    "Greedy-NTG": ("greedy", {"policy": "NTG"}),
 }
 
 
 def _build_table():
-    rows = []
+    session = Session()
+    specs = []
+    extras = []
     for branching, levels, rho in GRID:
-        workload = lower_bound_workload(branching, levels, rho)
-        topology = workload.topology
-        floor = workload.params["theoretical_bound"]
-        sigma = tightest_sigma(workload.pattern, topology, rho)
-        for name, factory in PROTOCOLS.items():
-            result = run_simulation(topology, factory(topology), workload.pattern, drain=False)
-            rows.append(
+        construction = LowerBoundConstruction(branching, levels, rho)
+        floor = construction.theoretical_bound()
+        sigma = tightest_sigma(
+            construction.build_pattern(), construction.topology(), rho
+        )
+        for name, (algorithm, params) in PROTOCOLS.items():
+            specs.append(
+                Scenario.line(construction.num_nodes)
+                .algorithm(algorithm, **params)
+                .adversary(
+                    "lower-bound", rho=rho, sigma=1.0,
+                    rounds=construction.num_rounds,
+                    branching=branching, levels=levels,
+                )
+                .drain(False)
+                .named(f"lower-bound/m{branching}-ell{levels}")
+                .build()
+            )
+            extras.append(
                 {
                     "m": branching,
                     "ell": levels,
                     "rho": rho,
-                    "n": workload.params["n"],
                     "sigma_measured": round(sigma, 2),
                     "protocol": name,
-                    "max_occupancy": result.max_occupancy,
                     "theoretical_floor": round(floor, 2),
-                    "above_floor": result.max_occupancy >= floor - 1e-9,
+                    "floor": floor,
                 }
             )
+    reports = session.run_many(specs)
+    rows = []
+    for report, extra in zip(reports, extras):
+        floor = extra.pop("floor")
+        row = report.as_row(extra)
+        row["above_floor"] = report.result.max_occupancy >= floor - 1e-9
+        rows.append(row)
     return rows
 
 
@@ -68,6 +88,10 @@ def test_e5_lower_bound_forces_all_protocols(run_once):
     print(
         format_table(
             rows,
+            [
+                "m", "ell", "rho", "n", "sigma_measured", "protocol",
+                "max_occupancy", "theoretical_floor", "above_floor",
+            ],
             title="E5  Theorem 5.1 — forced occupancy under the Section 5 adversary",
         )
     )

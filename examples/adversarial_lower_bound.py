@@ -15,14 +15,12 @@ Run with::
 from __future__ import annotations
 
 from repro import (
-    GreedyForwarding,
     LowerBoundConstruction,
-    ParallelPeakToSink,
+    Scenario,
+    Session,
     format_table,
-    run_simulation,
     tightest_sigma,
 )
-from repro.baselines import fifo, longest_in_system, nearest_to_go
 
 
 def describe_construction(construction: LowerBoundConstruction) -> None:
@@ -57,20 +55,34 @@ def run_all_protocols(construction: LowerBoundConstruction) -> None:
         f"sigma = {sigma:.2f} at rate rho = {construction.rho}\n"
     )
     protocols = {
-        "PPTS": lambda: ParallelPeakToSink(topology),
-        "Greedy-FIFO": lambda: GreedyForwarding(topology, fifo),
-        "Greedy-LIS": lambda: GreedyForwarding(topology, longest_in_system),
-        "Greedy-NTG": lambda: GreedyForwarding(topology, nearest_to_go),
+        "PPTS": ("ppts", {}),
+        "Greedy-FIFO": ("greedy", {"policy": "FIFO"}),
+        "Greedy-LIS": ("greedy", {"policy": "LIS"}),
+        "Greedy-NTG": ("greedy", {"policy": "NTG"}),
     }
+    session = Session()
+    specs = [
+        Scenario.line(construction.num_nodes)
+        .algorithm(algorithm, **params)
+        .adversary(
+            "lower-bound", rho=construction.rho, sigma=1.0,
+            rounds=construction.num_rounds,
+            branching=construction.branching, levels=construction.levels,
+        )
+        .drain(False)
+        .named(name)
+        .build()
+        for name, (algorithm, params) in protocols.items()
+    ]
     rows = []
-    for name, factory in protocols.items():
-        result = run_simulation(topology, factory(), pattern, drain=False)
+    for name, report in zip(protocols, session.run_many(specs)):
         rows.append(
             {
                 "protocol": name,
-                "max_occupancy": result.max_occupancy,
+                "max_occupancy": report.result.max_occupancy,
                 "theoretical_floor": round(construction.theoretical_bound(), 2),
-                "above_floor": result.max_occupancy >= construction.theoretical_bound(),
+                "above_floor": report.result.max_occupancy
+                >= construction.theoretical_bound(),
             }
         )
     print(

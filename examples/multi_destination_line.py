@@ -14,6 +14,9 @@ identical traffic:
   ``ell * n^(1/ell) + sigma + 1`` buffers,
 * **Greedy FIFO** — the classical work-conserving baseline, with no guarantee.
 
+Each design/destination-count pair is one declarative ``ScenarioSpec``; the
+whole sweep is a single ``Session.run_many`` batch.
+
 Run with::
 
     python examples/multi_destination_line.py
@@ -21,51 +24,43 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    GreedyForwarding,
-    HierarchicalPeakToSink,
-    LineTopology,
-    ParallelPeakToSink,
-    bounds,
-    format_table,
-    run_simulation,
-)
-from repro.adversary import round_robin_destination_stress
-from repro.baselines import fifo
+from repro import Scenario, Session, bounds, format_table
 
 
 def run_sweep(num_nodes: int = 64, sigma: int = 2, num_rounds: int = 300) -> list:
-    line = LineTopology(num_nodes)
     levels = 2
     branching = int(round(num_nodes ** (1.0 / levels)))
+    session = Session()
     rows = []
     for d in (2, 4, 8, 16, 32):
-        # Full-rate traffic for PPTS and the greedy baseline.
-        pattern = round_robin_destination_stress(line, 1.0, sigma, num_rounds, d)
-        ppts = run_simulation(line, ParallelPeakToSink(line), pattern)
-        greedy = run_simulation(line, GreedyForwarding(line, fifo), pattern)
-
-        # Half-rate traffic for HPTS (the ell = 2 hierarchy needs rho <= 1/2;
-        # in deployment terms: double the link bandwidth).
-        hpts_pattern = round_robin_destination_stress(
-            line, 1.0 / levels, sigma, num_rounds, d
+        # Full-rate traffic for PPTS and the greedy baseline; half-rate
+        # traffic for HPTS (the ell = 2 hierarchy needs rho <= 1/2; in
+        # deployment terms: double the link bandwidth).
+        full_rate = dict(rho=1.0, sigma=sigma, rounds=num_rounds, num_destinations=d)
+        half_rate = dict(
+            rho=1.0 / levels, sigma=sigma, rounds=num_rounds, num_destinations=d
         )
-        hpts = run_simulation(
-            line,
-            HierarchicalPeakToSink(line, levels, branching, rho=1.0 / levels),
-            hpts_pattern,
+        ppts, greedy, hpts = session.run_many(
+            [
+                Scenario.line(num_nodes).algorithm("ppts")
+                .adversary("round-robin", **full_rate).build(),
+                Scenario.line(num_nodes).algorithm("greedy", policy="FIFO")
+                .adversary("round-robin", **full_rate).build(),
+                Scenario.line(num_nodes)
+                .algorithm("hpts", levels=levels, branching=branching, rho=1.0 / levels)
+                .adversary("round-robin", **half_rate).build(),
+            ]
         )
-
         rows.append(
             {
                 "destinations": d,
-                "ppts_measured": ppts.max_occupancy,
+                "ppts_measured": ppts.result.max_occupancy,
                 "ppts_bound": bounds.ppts_upper_bound(d, sigma),
-                "hpts_measured": hpts.max_occupancy,
+                "hpts_measured": hpts.result.max_occupancy,
                 "hpts_bound": round(
                     bounds.hpts_upper_bound(num_nodes, levels, sigma), 1
                 ),
-                "greedy_fifo": greedy.max_occupancy,
+                "greedy_fifo": greedy.result.max_occupancy,
             }
         )
     return rows

@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Quickstart: route adversarial traffic on a line and check the paper's bounds.
+"""Quickstart: declare a scenario, run it, check the paper's bounds.
 
-This example walks through the library's core loop in four steps:
+Every simulation in this library is one declarative object — a
+``ScenarioSpec`` composing *topology x adversary x algorithm x run policy* —
+and the fluent ``Scenario`` builder is the quickest way to make one:
 
-1. build a topology (a directed line of buffers),
-2. build a ``(rho, sigma)``-bounded adversary,
-3. run a forwarding algorithm (PTS, PPTS, HPTS) against it,
-4. compare the measured worst-case buffer occupancy with the closed-form
-   bound from the paper.
+1. pick a topology entry point (``Scenario.line(n)``, ``Scenario.tree(...)``),
+2. pick a registered forwarding algorithm (``.algorithm("pts")``),
+3. pick a registered adversary with its ``(rho, sigma)`` envelope
+   (``.adversary("burst", rho=1.0, sigma=3, rounds=200)``),
+4. ``.run()`` — and compare the measured worst-case buffer occupancy with the
+   closed-form bound from the paper, which the report carries along.
+
+Specs serialise to JSON (``spec.to_json()``), so any run below can also be
+replayed from the command line::
+
+    python -m repro simulate --spec scenario.json --json
 
 Run with::
 
@@ -16,77 +24,58 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    HierarchicalPeakToSink,
-    LineTopology,
-    ParallelPeakToSink,
-    PeakToSink,
-    bounds,
-    check_bounded,
-    format_table,
-    run_simulation,
-)
-from repro.adversary import (
-    pts_burst_stress,
-    round_robin_destination_stress,
-    hierarchy_stress,
-)
+from repro import Scenario, Session, format_table
 
 
-def single_destination_demo() -> dict:
+def single_destination_demo(session: Session) -> dict:
     """Proposition 3.1: one destination, occupancy stays below 2 + sigma."""
-    line = LineTopology(64)
-    rho, sigma = 1.0, 3
-    pattern = pts_burst_stress(line, rho, sigma, num_rounds=200)
-
-    # The generator guarantees boundedness; verify it anyway with the
-    # independent checker (Definition 2.1).
-    report = check_bounded(pattern, line, rho, sigma)
-    assert report.bounded, "stress generator produced an over-budget pattern"
-
-    result = run_simulation(line, PeakToSink(line), pattern)
-    return {
-        "scenario": "single destination (PTS)",
-        "packets": result.packets_injected,
-        "max_occupancy": result.max_occupancy,
-        "bound": bounds.pts_upper_bound(sigma),
-    }
+    report = (
+        Scenario.line(64)
+        .algorithm("pts")
+        .adversary("burst", rho=1.0, sigma=3, rounds=200)
+        .named("single destination (PTS)")
+        .run(session)
+    )
+    return report.as_row()
 
 
-def multi_destination_demo() -> dict:
+def multi_destination_demo(session: Session) -> dict:
     """Proposition 3.2: d destinations, occupancy stays below 1 + d + sigma."""
-    line = LineTopology(64)
-    rho, sigma, d = 1.0, 2, 12
-    pattern = round_robin_destination_stress(line, rho, sigma, 300, d)
-    result = run_simulation(line, ParallelPeakToSink(line), pattern)
-    return {
-        "scenario": f"{d} destinations (PPTS)",
-        "packets": result.packets_injected,
-        "max_occupancy": result.max_occupancy,
-        "bound": bounds.ppts_upper_bound(d, sigma),
-    }
+    report = (
+        Scenario.line(64)
+        .algorithm("ppts")
+        .adversary("round-robin", rho=1.0, sigma=2, rounds=300, num_destinations=12)
+        .named("12 destinations (PPTS)")
+        .run(session)
+    )
+    return report.as_row()
 
 
-def hierarchical_demo() -> dict:
+def hierarchical_demo(session: Session) -> dict:
     """Theorem 4.1: ell levels at rate <= 1/ell, occupancy <= ell n^(1/ell) + sigma + 1."""
     branching, levels = 4, 3
-    line = LineTopology(branching**levels)
-    rho, sigma = 1.0 / levels, 2
-    pattern = hierarchy_stress(line, rho, sigma, 300, branching, levels)
-    algorithm = HierarchicalPeakToSink(line, levels, branching, rho=rho)
-    result = run_simulation(line, algorithm, pattern)
-    return {
-        "scenario": f"hierarchy m={branching}, ell={levels} (HPTS)",
-        "packets": result.packets_injected,
-        "max_occupancy": result.max_occupancy,
-        "bound": round(bounds.hpts_upper_bound(line.num_nodes, levels, sigma), 2),
-    }
+    spec = (
+        Scenario.line(branching**levels)
+        .algorithm("hpts", levels=levels, branching=branching, rho=1.0 / levels)
+        .adversary(
+            "hierarchy", rho=1.0 / levels, sigma=2, rounds=300,
+            branching=branching, levels=levels,
+        )
+        .named(f"hierarchy m={branching}, ell={levels} (HPTS)")
+        .build()
+    )
+    # .build() returns the frozen spec: inspect it, save it, then run it.
+    assert spec == type(spec).from_json(spec.to_json())  # JSON round-trip
+    return session.run(spec).as_row()
 
 
 def main() -> None:
-    rows = [single_destination_demo(), multi_destination_demo(), hierarchical_demo()]
-    for row in rows:
-        row["within_bound"] = row["max_occupancy"] <= row["bound"]
+    session = Session()  # one session = shared topology cache across runs
+    rows = [
+        single_destination_demo(session),
+        multi_destination_demo(session),
+        hierarchical_demo(session),
+    ]
     print(
         format_table(
             rows,

@@ -11,6 +11,10 @@ adversarial traffic intensity and shows that the buffer requirement tracks the
 *destination depth* ``d'`` (the maximum number of collection points on any
 leaf-root path), not the total number of nodes or destinations.
 
+Each tree is a declarative ``TopologySpec`` (a named family plus params); the
+session's topology cache shares the built tree between aggregator selection
+and the run itself.
+
 Run with::
 
     python examples/tree_information_gathering.py
@@ -18,67 +22,64 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    TreeParallelPeakToSink,
-    TreePeakToSink,
-    binary_tree,
-    bounds,
-    caterpillar_tree,
-    format_table,
-    random_tree,
-    run_simulation,
-    star_tree,
-)
-from repro.adversary import tree_convergecast_stress
+from repro import Scenario, Session, TopologySpec, format_table
 
 
-def scenario(name, tree, destinations, rho=1.0, sigma=2, num_rounds=200) -> dict:
-    pattern = tree_convergecast_stress(
-        tree, rho, sigma, num_rounds, destinations=destinations
+def scenario(session, name, tree_spec, pick_destinations, rho=1.0, sigma=2,
+             num_rounds=200) -> dict:
+    tree = session.topology(tree_spec)
+    destinations = pick_destinations(tree)
+    builder = Scenario(tree_spec).adversary(
+        "convergecast", rho=rho, sigma=sigma, rounds=num_rounds,
+        destinations=destinations,
     )
-    if len(destinations) == 1 and destinations[0] == tree.root:
-        algorithm = TreePeakToSink(tree)
-        bound = bounds.pts_upper_bound(sigma)
+    if destinations == [tree.root]:
+        builder.algorithm("tree-pts")
     else:
-        algorithm = TreeParallelPeakToSink(tree, destinations=destinations)
-        bound = bounds.tree_ppts_upper_bound(
-            tree.destination_depth(destinations), sigma
-        )
-    result = run_simulation(tree, algorithm, pattern)
+        builder.algorithm("tree-ppts", destinations=destinations)
+    report = builder.named(name).run(session)
     return {
         "tree": name,
         "nodes": len(tree.nodes),
         "destinations": len(destinations),
         "d_prime": tree.destination_depth(destinations),
-        "algorithm": algorithm.name,
-        "max_occupancy": result.max_occupancy,
-        "bound": bound,
-        "within_bound": result.max_occupancy <= bound,
+        "algorithm": report.algorithm,
+        "max_occupancy": report.result.max_occupancy,
+        "bound": report.bound,
+        "within_bound": report.within_bound,
     }
 
 
 def main() -> None:
-    rows = []
-
-    # A star: many sensors, one sink — the easiest case (d' = 1).
-    star = star_tree(24)
-    rows.append(scenario("star (24 leaves)", star, [star.root]))
-
-    # A binary aggregation tree with collection points on one root-leaf path.
-    btree = binary_tree(4)
-    aggregators = [0, 1, 3, 7]
-    rows.append(scenario("binary depth 4", btree, aggregators))
-
-    # A caterpillar where *every* spine node aggregates: the worst case, since
-    # a single leaf-root path passes through all of them (d' = spine length).
-    caterpillar = caterpillar_tree(spine_length=8, legs_per_node=2)
-    spine = [v for v in caterpillar.nodes if caterpillar.children(v)]
-    rows.append(scenario("caterpillar (8-spine)", caterpillar, spine))
-
-    # A random recursive tree with a few random aggregators.
-    tree = random_tree(40, seed=7)
-    internal = [v for v in tree.nodes if tree.children(v)][:5]
-    rows.append(scenario("random (40 nodes)", tree, internal))
+    session = Session()
+    rows = [
+        # A star: many sensors, one sink — the easiest case (d' = 1).
+        scenario(
+            session, "star (24 leaves)",
+            TopologySpec.tree("star", num_leaves=24),
+            lambda tree: [tree.root],
+        ),
+        # A binary aggregation tree with collection points on one root-leaf path.
+        scenario(
+            session, "binary depth 4",
+            TopologySpec.tree("binary", depth=4),
+            lambda tree: [0, 1, 3, 7],
+        ),
+        # A caterpillar where *every* spine node aggregates: the worst case,
+        # since a single leaf-root path passes through all of them
+        # (d' = spine length).
+        scenario(
+            session, "caterpillar (8-spine)",
+            TopologySpec.tree("caterpillar", spine_length=8, legs_per_node=2),
+            lambda tree: [v for v in tree.nodes if tree.children(v)],
+        ),
+        # A random recursive tree with a few random aggregators.
+        scenario(
+            session, "random (40 nodes)",
+            TopologySpec.tree("random", num_nodes=40, seed=7),
+            lambda tree: [v for v in tree.nodes if tree.children(v)][:5],
+        ),
+    ]
 
     print(
         format_table(

@@ -10,16 +10,39 @@ experiment harness that regenerates every bound as a measured-vs-theory table.
 Quickstart
 ----------
 
->>> from repro import LineTopology, ParallelPeakToSink, run_simulation
->>> from repro.adversary import round_robin_destination_stress
->>> line = LineTopology(64)
->>> pattern = round_robin_destination_stress(line, rho=1.0, sigma=2, num_rounds=200,
-...                                          num_destinations=8)
->>> result = run_simulation(line, ParallelPeakToSink(line), pattern)
->>> result.max_occupancy <= 1 + 8 + 2   # Proposition 3.2
+Every run is one declarative scenario — *topology x adversary x algorithm x
+run policy* — built with the fluent front door (:mod:`repro.api`):
+
+>>> from repro import Scenario
+>>> report = (Scenario.line(64)
+...           .algorithm("ppts")
+...           .adversary("round-robin", rho=1.0, sigma=2, rounds=200,
+...                      num_destinations=8)
+...           .run())
+>>> report.result.max_occupancy <= 1 + 8 + 2   # Proposition 3.2
 True
+
+The lower-level pieces (topologies, algorithms, adversaries, the simulator)
+remain importable directly and are what the registered names resolve to.
 """
 
+from .api import (
+    ADVERSARIES,
+    ALGORITHMS,
+    TOPOLOGIES,
+    AdversarySpec,
+    AlgorithmSpec,
+    RunPolicy,
+    RunReport,
+    Scenario,
+    ScenarioSpec,
+    Session,
+    TopologySpec,
+    register_adversary,
+    register_algorithm,
+    register_topology,
+    reports_to_table,
+)
 from .adversary import (
     HotspotAdversary,
     InjectionPattern,
@@ -80,6 +103,21 @@ from .network import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ADVERSARIES",
+    "ALGORITHMS",
+    "TOPOLOGIES",
+    "AdversarySpec",
+    "AlgorithmSpec",
+    "RunPolicy",
+    "RunReport",
+    "Scenario",
+    "ScenarioSpec",
+    "Session",
+    "TopologySpec",
+    "register_adversary",
+    "register_algorithm",
+    "register_topology",
+    "reports_to_table",
     "HotspotAdversary",
     "InjectionPattern",
     "LowerBoundConstruction",

@@ -21,6 +21,7 @@ import random
 from abc import abstractmethod
 from typing import Dict, List, Optional, Sequence
 
+from ..api.registry import register_adversary
 from ..core.packet import Injection, make_injection
 from ..network.errors import ConfigurationError
 from ..network.topology import LineTopology
@@ -211,3 +212,35 @@ class BlockingAdversary(AdaptiveAdversary):
             source = max(0, best_node - offset)
             routes.append((source, self.destination))
         return routes
+
+
+# ---------------------------------------------------------------------------
+# Registry entry points (repro.api), uniform convention:
+# (topology, *, rho, sigma, rounds, **params).  Adaptive adversaries are
+# stateful, so a fresh instance is built per run.
+# ---------------------------------------------------------------------------
+
+
+@register_adversary("hotspot")
+def build_hotspot_adversary(
+    topology: LineTopology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    destinations: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+) -> HotspotAdversary:
+    return HotspotAdversary(topology, rho, sigma, rounds, destinations, seed=seed)
+
+
+@register_adversary("blocking")
+def build_blocking_adversary(
+    topology: LineTopology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    destination: Optional[int] = None,
+) -> BlockingAdversary:
+    return BlockingAdversary(topology, rho, sigma, rounds, destination=destination)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
+from ..api.registry import register_adversary
 from ..core.packet import Injection, make_injection
 from ..network.errors import ConfigurationError
 from ..network.topology import LineTopology, Topology, TreeTopology
@@ -28,6 +29,7 @@ __all__ = [
     "single_destination_adversary",
     "random_tree_adversary",
     "bursty_adversary",
+    "hierarchy_random_destinations",
 ]
 
 
@@ -266,3 +268,94 @@ def random_tree_adversary(
                 bucket.inject(crossed)
                 injections.append(make_injection(t, source, destination))
     return InjectionPattern(injections, rho=rho, sigma=sigma)
+
+
+# ---------------------------------------------------------------------------
+# Registry entry points (repro.api).  Each builder follows the uniform
+# adversary convention: (topology, *, rho, sigma, rounds, **params).
+# ---------------------------------------------------------------------------
+
+
+def hierarchy_random_destinations(num_nodes: int, branching: int, levels: int) -> int:
+    """Destination count for the "random" variant of the Theorem 4.1 workloads.
+
+    One site per (level, branch) up to the obvious ``n - 1`` cap — the single
+    source of truth shared by the CLI, the E4/E9 benchmarks and the
+    hierarchical workload builder.
+    """
+    return min(num_nodes - 1, branching * levels)
+
+
+@register_adversary("bounded", aliases=("random",))
+def build_bounded_adversary(
+    topology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    seed: Optional[int] = None,
+    num_destinations: int = 1,
+    destinations: Optional[Sequence[int]] = None,
+    intensity: float = 1.0,
+) -> InjectionPattern:
+    """A random ``(rho, sigma)``-bounded adversary on any supported topology.
+
+    Lines use :func:`random_line_adversary` (``num_destinations`` random
+    sites); trees and forests use :func:`random_tree_adversary` with the
+    given ``destinations`` (default: the root).
+    """
+    if isinstance(topology, LineTopology):
+        return random_line_adversary(
+            topology, rho, sigma, rounds, num_destinations,
+            seed=seed, intensity=intensity,
+        )
+    return random_tree_adversary(
+        topology, rho, sigma, rounds, destinations, seed=seed
+    )
+
+
+@register_adversary("single", aliases=("single-destination",))
+def build_single_destination_adversary(
+    topology: LineTopology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    destination: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> InjectionPattern:
+    return single_destination_adversary(
+        topology, rho, sigma, rounds, destination=destination, seed=seed
+    )
+
+
+@register_adversary("saturating")
+def build_saturating_adversary(
+    topology: LineTopology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    num_destinations: int = 1,
+    seed: Optional[int] = None,
+) -> InjectionPattern:
+    return saturating_line_adversary(
+        topology, rho, sigma, rounds, num_destinations, seed=seed
+    )
+
+
+@register_adversary("bursty")
+def build_bursty_adversary(
+    topology: LineTopology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    num_destinations: int = 1,
+    burst_period: int = 16,
+    seed: Optional[int] = None,
+) -> InjectionPattern:
+    return bursty_adversary(
+        topology, rho, sigma, rounds, num_destinations,
+        burst_period=burst_period, seed=seed,
+    )

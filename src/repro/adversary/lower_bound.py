@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
+from ..api.registry import register_adversary
 from ..core.packet import Injection, make_injection
 from ..network.errors import ConfigurationError
 from ..network.topology import LineTopology
@@ -266,3 +267,31 @@ class LowerBoundConstruction:
             f"LowerBoundConstruction(m={self.branching}, ell={self.levels}, "
             f"rho={self.rho}, n={self.num_nodes}, rounds={self.num_rounds})"
         )
+
+
+@register_adversary("lower-bound", aliases=("lower_bound",))
+def build_lower_bound_adversary(
+    topology: LineTopology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    branching: int,
+    levels: int,
+    num_phases: Optional[int] = None,
+) -> InjectionPattern:
+    """Registry entry point for the Theorem 5.1 construction.
+
+    ``sigma`` and ``rounds`` are ignored: the construction fixes its own
+    horizon and its effective burst is close to 1 by design (the returned
+    pattern declares ``sigma=None`` so no upper bound is claimed against it).
+    The topology must be the construction's own line,
+    ``LineTopology(lower_bound_network_size(branching, levels))``.
+    """
+    construction = LowerBoundConstruction(branching, levels, rho)
+    if topology.num_nodes != construction.num_nodes:
+        raise ConfigurationError(
+            f"lower-bound adversary with m={branching}, ell={levels} needs a line "
+            f"of {construction.num_nodes} nodes, got {topology.num_nodes}"
+        )
+    return construction.build_pattern(num_phases)

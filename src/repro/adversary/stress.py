@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..api.registry import register_adversary
 from ..core.packet import Injection, make_injection
 from ..network.errors import ConfigurationError
 from ..network.topology import LineTopology, TreeTopology
@@ -277,3 +278,73 @@ def tree_convergecast_stress(
                     counters[leaf] += 1
                     progress = True
     return InjectionPattern(injections, rho=rho, sigma=sigma)
+
+
+# ---------------------------------------------------------------------------
+# Registry entry points (repro.api), uniform convention:
+# (topology, *, rho, sigma, rounds, **params).
+# ---------------------------------------------------------------------------
+
+
+@register_adversary("burst", aliases=("stress",))
+def build_burst_stress(
+    topology: LineTopology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    destination: Optional[int] = None,
+) -> InjectionPattern:
+    return pts_burst_stress(topology, rho, sigma, rounds, destination=destination)
+
+
+@register_adversary("round-robin", aliases=("round_robin",))
+def build_round_robin_stress(
+    topology: LineTopology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    num_destinations: int = 8,
+    source: int = 0,
+) -> InjectionPattern:
+    return round_robin_destination_stress(
+        topology, rho, sigma, rounds, num_destinations, source=source
+    )
+
+
+@register_adversary("nested")
+def build_nested_stress(
+    topology: LineTopology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    num_destinations: int = 8,
+) -> InjectionPattern:
+    return nested_route_stress(topology, rho, sigma, rounds, num_destinations)
+
+
+@register_adversary("hierarchy")
+def build_hierarchy_stress(
+    topology: LineTopology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    branching: int,
+    levels: int,
+) -> InjectionPattern:
+    return hierarchy_stress(topology, rho, sigma, rounds, branching, levels)
+
+
+@register_adversary("convergecast")
+def build_convergecast_stress(
+    topology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    destinations: Optional[Sequence[int]] = None,
+) -> InjectionPattern:
+    return tree_convergecast_stress(topology, rho, sigma, rounds, destinations)

@@ -20,12 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..adversary.stress import round_robin_destination_stress
 from ..core import bounds
-from ..core.hpts import HierarchicalPeakToSink
-from ..core.ppts import ParallelPeakToSink
-from ..network.simulator import run_simulation
-from ..network.topology import LineTopology
 
 __all__ = ["TradeoffPoint", "analytic_tradeoff_curve", "empirical_tradeoff_point"]
 
@@ -93,33 +88,43 @@ def empirical_tradeoff_point(
     branching = max(2, math.ceil(num_nodes ** (1.0 / levels)))
     hpts_nodes = branching**levels
 
+    # Imported lazily: repro.api pulls in this module via repro.analysis, so a
+    # top-level import would be circular.
+    from ..api.builder import Scenario
+    from ..api.session import Session
+
+    session = Session()
+
     # PPTS at the original rate on the original line.
-    ppts_line = LineTopology(num_nodes)
-    ppts_pattern = round_robin_destination_stress(
-        ppts_line, rho, sigma, num_rounds, num_destinations
-    )
-    ppts_result = run_simulation(
-        ppts_line, ParallelPeakToSink(ppts_line), ppts_pattern
+    ppts_spec = (
+        Scenario.line(num_nodes)
+        .algorithm("ppts")
+        .adversary(
+            "round-robin", rho=rho, sigma=sigma, rounds=num_rounds,
+            num_destinations=num_destinations,
+        )
+        .build()
     )
 
     # HPTS with ell levels: each level's time slice sees rate rho / ell.
-    hpts_line = LineTopology(hpts_nodes)
     hpts_rho = min(1.0 / levels, rho)
-    hpts_pattern = round_robin_destination_stress(
-        hpts_line, hpts_rho, sigma, num_rounds, num_destinations
+    hpts_spec = (
+        Scenario.line(hpts_nodes)
+        .algorithm("hpts", levels=levels, branching=branching, rho=hpts_rho)
+        .adversary(
+            "round-robin", rho=hpts_rho, sigma=sigma, rounds=num_rounds,
+            num_destinations=num_destinations,
+        )
+        .build()
     )
-    hpts_result = run_simulation(
-        hpts_line,
-        HierarchicalPeakToSink(hpts_line, levels, branching, rho=hpts_rho),
-        hpts_pattern,
-    )
+    ppts_report, hpts_report = session.run_many([ppts_spec, hpts_spec])
 
     return {
         "destinations": num_destinations,
         "levels": levels,
-        "ppts_measured": ppts_result.max_occupancy,
+        "ppts_measured": ppts_report.result.max_occupancy,
         "ppts_bound": bounds.ppts_upper_bound(num_destinations, sigma),
-        "hpts_measured": hpts_result.max_occupancy,
+        "hpts_measured": hpts_report.result.max_occupancy,
         "hpts_bound": bounds.hpts_upper_bound(hpts_nodes, levels, sigma),
         "bandwidth_multiplier": levels,
     }

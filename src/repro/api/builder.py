@@ -1,0 +1,152 @@
+"""The fluent front door: compose a :class:`ScenarioSpec` one call at a time.
+
+>>> from repro.api import Scenario
+>>> report = (
+...     Scenario.line(64)
+...     .algorithm("ppts")
+...     .adversary("round-robin", rho=1.0, sigma=2, rounds=300, num_destinations=8)
+...     .run()
+... )
+>>> report.within_bound
+True
+
+Each chained call returns the same builder; :meth:`Scenario.build` freezes
+the accumulated choices into an immutable :class:`ScenarioSpec`, and
+:meth:`Scenario.run` builds + executes in one step (on a private
+:class:`~repro.api.session.Session` unless one is passed in, e.g. to share a
+topology cache across a sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from .specs import (
+    AdversarySpec,
+    AlgorithmSpec,
+    RunPolicy,
+    ScenarioSpec,
+    SpecError,
+    TopologySpec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import RunReport, Session
+
+__all__ = ["Scenario"]
+
+
+class Scenario:
+    """Mutable builder for :class:`ScenarioSpec` with topology entry points."""
+
+    def __init__(self, topology: TopologySpec) -> None:
+        self._topology = topology
+        self._algorithm: Optional[AlgorithmSpec] = None
+        self._adversary: Optional[AdversarySpec] = None
+        self._policy = RunPolicy()
+        self._name: Optional[str] = None
+
+    # -- topology entry points ----------------------------------------------------
+
+    @classmethod
+    def line(cls, num_nodes: int, **params: Any) -> "Scenario":
+        """Start from the directed line ``0 -> 1 -> ... -> n-1``."""
+        return cls(TopologySpec.line(num_nodes, **params))
+
+    @classmethod
+    def tree(cls, family: str, **params: Any) -> "Scenario":
+        """Start from a registered in-tree family (caterpillar/star/binary/...)."""
+        return cls(TopologySpec.tree(family, **params))
+
+    @classmethod
+    def forest(cls, components: list, **params: Any) -> "Scenario":
+        """Start from a forest given per-component tree descriptions."""
+        return cls(TopologySpec.forest(components, **params))
+
+    @classmethod
+    def topology(cls, kind: str, **params: Any) -> "Scenario":
+        """Start from any registered topology kind."""
+        return cls(TopologySpec(kind, params))
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "Scenario":
+        """A builder pre-loaded from an existing spec (for tweaking)."""
+        builder = cls(spec.topology)
+        builder._algorithm = spec.algorithm
+        builder._adversary = spec.adversary
+        builder._policy = spec.policy
+        builder._name = spec.name
+        return builder
+
+    # -- fluent configuration -----------------------------------------------------
+
+    def algorithm(self, name: str, **params: Any) -> "Scenario":
+        """Select the forwarding algorithm by registry name."""
+        self._algorithm = AlgorithmSpec(name, params)
+        return self
+
+    def adversary(
+        self,
+        name: str,
+        *,
+        rho: float = 1.0,
+        sigma: float = 2.0,
+        rounds: int = 200,
+        **params: Any,
+    ) -> "Scenario":
+        """Select the injection process by registry name."""
+        self._adversary = AdversarySpec(name, rho, sigma, rounds, params)
+        return self
+
+    def policy(self, **overrides: Any) -> "Scenario":
+        """Override run-policy fields (drain, seed, record_history, ...)."""
+        merged = dict(self._policy.to_dict())
+        merged.update(overrides)
+        self._policy = RunPolicy.from_dict(merged)
+        return self
+
+    def rounds(self, rounds: int) -> "Scenario":
+        """Cap the injection rounds executed (see :class:`RunPolicy`)."""
+        return self.policy(rounds=rounds)
+
+    def drain(self, drain: bool = True) -> "Scenario":
+        return self.policy(drain=drain)
+
+    def seed(self, seed: int) -> "Scenario":
+        return self.policy(seed=seed)
+
+    def record_history(self, record: bool = True) -> "Scenario":
+        return self.policy(record_history=record)
+
+    def named(self, name: str) -> "Scenario":
+        """Attach a display label used in result tables."""
+        self._name = name
+        return self
+
+    # -- terminal operations ------------------------------------------------------
+
+    def build(self) -> ScenarioSpec:
+        """Freeze into an immutable, JSON-serialisable :class:`ScenarioSpec`."""
+        if self._algorithm is None:
+            raise SpecError("Scenario is missing .algorithm(...)")
+        if self._adversary is None:
+            raise SpecError("Scenario is missing .adversary(...)")
+        return ScenarioSpec(
+            topology=self._topology,
+            algorithm=self._algorithm,
+            adversary=self._adversary,
+            policy=self._policy,
+            name=self._name,
+        )
+
+    def run(self, session: Optional["Session"] = None) -> "RunReport":
+        """Build the spec and execute it immediately."""
+        from .session import Session
+
+        return (session or Session()).run(self.build())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Scenario(topology={self._topology!r}, algorithm={self._algorithm!r}, "
+            f"adversary={self._adversary!r})"
+        )

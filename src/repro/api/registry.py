@@ -1,0 +1,147 @@
+"""String-keyed registries behind the declarative scenario API.
+
+Three registries back :mod:`repro.api`: one per axis of the paper's scenario
+quadruple *topology x adversary x forwarding algorithm* (the fourth axis, the
+run policy, is pure data and needs no registry).  Components self-register at
+definition time with the decorators exported here::
+
+    from repro.api.registry import register_algorithm
+
+    @register_algorithm("ppts")
+    class ParallelPeakToSink(ForwardingAlgorithm):
+        ...
+
+    @register_adversary("round-robin", aliases=("round_robin",))
+    def _build_round_robin(topology, *, rho, sigma, rounds, num_destinations):
+        return round_robin_destination_stress(topology, rho, sigma, rounds,
+                                              num_destinations)
+
+Entry calling conventions (what :class:`repro.api.session.Session` expects):
+
+* **topology** entries: ``entry(**params) -> Topology``;
+* **algorithm** entries: ``entry(topology, **params) -> ForwardingAlgorithm``;
+* **adversary** entries: ``entry(topology, *, rho, sigma, rounds, **params)
+  -> Adversary`` (``seed`` is passed through only when the entry accepts it).
+
+This module deliberately imports nothing from the rest of the library except
+the leaf ``network.errors`` module, so that ``core/``, ``adversary/`` and
+``network/`` modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar
+
+from ..network.errors import ReproError
+
+__all__ = [
+    "Registry",
+    "RegistryError",
+    "ALGORITHMS",
+    "ADVERSARIES",
+    "TOPOLOGIES",
+    "register_algorithm",
+    "register_adversary",
+    "register_topology",
+]
+
+T = TypeVar("T")
+
+
+class RegistryError(ReproError, KeyError):
+    """An unknown registry key (carries the list of known keys).
+
+    Subclasses both :class:`~repro.network.errors.ReproError` (so the CLI and
+    ``except ReproError`` callers handle it like every other library error)
+    and :class:`KeyError`; the message names the registry and every
+    registered key to make typos self-diagnosing.
+    """
+
+    def __init__(self, kind: str, name: str, known: Iterable[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.known = sorted(known)
+        super().__init__(
+            f"unknown {kind} {name!r}; known {kind} names: "
+            + (", ".join(self.known) if self.known else "(none)")
+        )
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
+class Registry:
+    """A named string -> factory mapping with decorator registration."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, object] = {}
+        #: alias -> canonical name (aliases resolve but are not listed).
+        self._aliases: Dict[str, str] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        obj: Optional[T] = None,
+        *,
+        aliases: Iterable[str] = (),
+    ):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        Re-registering an existing name replaces the entry (so reloading a
+        module, or a downstream package shadowing a built-in, just works).
+        """
+
+        def _store(target: T) -> T:
+            # A canonical registration always wins over a same-named alias,
+            # so shadowing a built-in alias (e.g. "random") works too.
+            self._aliases.pop(name, None)
+            self._entries[name] = target
+            for alias in aliases:
+                self._aliases[alias] = name
+            return target
+
+        if obj is not None:
+            return _store(obj)
+        return _store
+
+    # -- lookup -----------------------------------------------------------------
+
+    def canonical(self, name: str) -> str:
+        """Resolve an alias to its canonical key (identity for canonical keys)."""
+        return self._aliases.get(name, name)
+
+    def get(self, name: str):
+        """The registered entry, or raise :class:`RegistryError`."""
+        key = self.canonical(name)
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise RegistryError(self.kind, name, self._entries) from None
+
+    def names(self) -> List[str]:
+        """All canonical keys, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return self.canonical(name) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, entries={self.names()})"
+
+
+#: Forwarding algorithms: ``entry(topology, **params) -> ForwardingAlgorithm``.
+ALGORITHMS = Registry("algorithm")
+#: Injection processes: ``entry(topology, *, rho, sigma, rounds, **params)``.
+ADVERSARIES = Registry("adversary")
+#: Topology builders: ``entry(**params) -> Topology``.
+TOPOLOGIES = Registry("topology")
+
+register_algorithm = ALGORITHMS.register
+register_adversary = ADVERSARIES.register
+register_topology = TOPOLOGIES.register

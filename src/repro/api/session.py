@@ -1,0 +1,312 @@
+"""The Session runner: build a :class:`ScenarioSpec` and execute it.
+
+A :class:`Session` turns declarative specs into simulations:
+
+* registry lookups resolve the topology / adversary / algorithm names,
+* shared topology construction is cached per topology-spec hash (building a
+  127-node random tree once per sweep, not once per run),
+* every run executes inside a fresh :func:`repro.core.packet.packet_id_scope`,
+  so packet ids (and therefore results) are deterministic and independent of
+  what ran before — which also makes :meth:`Session.run_many`'s thread-pool
+  fan-out safe,
+* results come back as :class:`RunReport` rows carrying the measured maximum
+  occupancy next to the algorithm's closed-form bound.
+"""
+
+from __future__ import annotations
+
+import inspect
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..analysis.metrics import check_against_bound
+from ..analysis.tables import format_table
+from ..core.packet import packet_id_scope
+from ..core.pseudobuffer import QueueDiscipline
+from ..core.scheduler import ForwardingAlgorithm
+from ..network.events import SimulationResult
+from ..network.simulator import Simulator
+from ..network.topology import Topology
+from .registry import ADVERSARIES, ALGORITHMS, TOPOLOGIES
+from .specs import RunPolicy, ScenarioSpec, SpecError, TopologySpec
+
+__all__ = [
+    "Session",
+    "RunReport",
+    "PreparedRun",
+    "build_topology",
+    "reports_to_table",
+]
+
+
+@dataclass
+class RunReport:
+    """One executed scenario: the spec, the result, and the bound comparison."""
+
+    name: str
+    algorithm: str
+    result: SimulationResult
+    bound: Optional[float]
+    within_bound: bool
+    #: Scenario parameters worth reporting (merged topology/adversary/algorithm).
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: The originating spec (``None`` for compatibility-layer runs).
+    spec: Optional[ScenarioSpec] = None
+
+    @property
+    def max_occupancy(self) -> int:
+        return self.result.max_occupancy
+
+    def as_row(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Flatten to a dict row for the ASCII table formatter / JSON output."""
+        row: Dict[str, Any] = {"scenario": self.name, "algorithm": self.algorithm}
+        row.update(self.params)
+        row.update(
+            {
+                "max_occupancy": self.result.max_occupancy,
+                "bound": None if self.bound is None else round(self.bound, 2),
+                "within_bound": self.within_bound,
+                "packets": self.result.packets_injected,
+                "delivered": self.result.packets_delivered,
+                "max_latency": self.result.max_latency,
+            }
+        )
+        if extra:
+            row.update(extra)
+        return row
+
+
+@dataclass
+class PreparedRun:
+    """A scenario with its three ingredients already constructed.
+
+    The compatibility layer (:func:`repro.experiments.harness.run_workload`,
+    hand-built objects in tests) funnels through this so every execution path
+    shares one engine: :meth:`Session.run`.
+    """
+
+    topology: Topology
+    algorithm: ForwardingAlgorithm
+    adversary: Any
+    policy: RunPolicy = field(default_factory=RunPolicy)
+    name: str = "prepared"
+    #: Reporting params merged into the resulting row.
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Declared burst envelope used for the bound comparison; ``None`` falls
+    #: back to the adversary's own ``sigma`` attribute (which equals the
+    #: spec-declared value for every registered builder except the
+    #: lower-bound construction, which intentionally claims no bound).
+    sigma: Optional[float] = None
+
+
+Runnable = Union[ScenarioSpec, PreparedRun]
+
+
+def _accepts_keyword(callable_obj: Any, keyword: str) -> bool:
+    """Whether ``callable_obj`` can take ``keyword`` as a keyword argument."""
+    try:
+        signature = inspect.signature(callable_obj)
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == keyword and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+def _coerce_discipline(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Allow ``"FIFO"`` / ``"LIFO"`` strings for the queue-discipline enum in
+    JSON specs."""
+    discipline = params.get("discipline")
+    if isinstance(discipline, str):
+        try:
+            params = dict(params)
+            params["discipline"] = QueueDiscipline[discipline.upper()]
+        except KeyError:
+            raise SpecError(
+                f"unknown queue discipline {discipline!r}; "
+                f"expected one of {[d.name for d in QueueDiscipline]}"
+            ) from None
+    return params
+
+
+def build_topology(spec: TopologySpec) -> Topology:
+    """Construct the topology described by ``spec`` (uncached)."""
+    builder = TOPOLOGIES.get(spec.kind)
+    return builder(**spec.params)
+
+
+class Session:
+    """Executes scenario specs, one at a time or as batched sweeps.
+
+    Parameters
+    ----------
+    max_workers:
+        Default thread-pool width for :meth:`run_many` (``None`` lets the
+        executor pick).  Simulations are pure-Python and GIL-bound, so the win
+        is overlap of independent runs, not raw parallel speed-up; pass
+        ``max_workers=0`` to force sequential execution.
+    cache_topologies:
+        Reuse one :class:`Topology` instance per distinct
+        :class:`TopologySpec` (topologies are read-only during simulation, so
+        sharing across concurrent runs is safe).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        cache_topologies: bool = True,
+    ) -> None:
+        self.max_workers = max_workers
+        self.cache_topologies = cache_topologies
+        self._topology_cache: Dict[str, Topology] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def topology(self, spec: TopologySpec) -> Topology:
+        """The (cached) topology for ``spec``."""
+        if not self.cache_topologies:
+            return build_topology(spec)
+        key = spec.spec_hash()
+        if key not in self._topology_cache:
+            self._topology_cache[key] = build_topology(spec)
+        return self._topology_cache[key]
+
+    def prepare(self, spec: ScenarioSpec) -> PreparedRun:
+        """Resolve a spec's registry names into live objects.
+
+        Called inside the run's packet-id scope by :meth:`run`; also usable
+        directly to inspect what a spec would build.
+        """
+        topology = self.topology(spec.topology)
+
+        adversary_builder = ADVERSARIES.get(spec.adversary.name)
+        adversary_params = dict(spec.adversary.params)
+        if (
+            spec.policy.seed is not None
+            and "seed" not in adversary_params
+            and _accepts_keyword(adversary_builder, "seed")
+        ):
+            adversary_params["seed"] = spec.policy.seed
+        adversary = adversary_builder(
+            topology,
+            rho=spec.adversary.rho,
+            sigma=spec.adversary.sigma,
+            rounds=spec.adversary.rounds,
+            **adversary_params,
+        )
+
+        algorithm_builder = ALGORITHMS.get(spec.algorithm.name)
+        algorithm = algorithm_builder(
+            topology, **_coerce_discipline(spec.algorithm.params)
+        )
+
+        params: Dict[str, Any] = {"n": topology.num_nodes}
+        params.update(spec.topology.params)
+        params.pop("num_nodes", None)  # reported as "n"
+        params.update(
+            {"rho": spec.adversary.rho, "sigma": spec.adversary.sigma,
+             "rounds": spec.adversary.rounds}
+        )
+        params.update(spec.adversary.params)
+        params.update(spec.algorithm.params)
+        return PreparedRun(
+            topology=topology,
+            algorithm=algorithm,
+            adversary=adversary,
+            policy=spec.policy,
+            name=spec.label,
+            params=params,
+        )
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, scenario: Runnable) -> RunReport:
+        """Execute one scenario and report the measured-vs-bound outcome."""
+        if isinstance(scenario, ScenarioSpec):
+            with packet_id_scope():
+                prepared = self.prepare(scenario)
+                return self._execute(prepared, spec=scenario)
+        if isinstance(scenario, PreparedRun):
+            # Pre-built ingredients already carry their packet ids; no scope.
+            return self._execute(scenario, spec=None)
+        raise SpecError(
+            f"Session.run expects a ScenarioSpec or PreparedRun, "
+            f"got {type(scenario).__name__}"
+        )
+
+    def run_many(
+        self,
+        scenarios: Iterable[Runnable],
+        *,
+        max_workers: Optional[int] = None,
+    ) -> List[RunReport]:
+        """Execute a batch of scenarios, fanned out over a thread pool.
+
+        Results come back in input order.  Topologies are constructed up
+        front through the shared cache (so concurrent runs never race on
+        construction); each spec then executes in its own packet-id scope.
+        (:class:`PreparedRun` items carry pre-built, pre-numbered ingredients
+        and run unscoped, exactly as :meth:`run` would execute them.)
+        """
+        items: Sequence[Runnable] = list(scenarios)
+        if self.cache_topologies:  # warm the topology cache sequentially
+            for item in items:
+                if isinstance(item, ScenarioSpec):
+                    self.topology(item.topology)
+        workers = self.max_workers if max_workers is None else max_workers
+        if workers == 0 or len(items) <= 1:
+            return [self.run(item) for item in items]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.run, items))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _execute(self, prepared: PreparedRun, *, spec: Optional[ScenarioSpec]) -> RunReport:
+        policy = prepared.policy
+        simulator = Simulator(
+            prepared.topology,
+            prepared.algorithm,
+            prepared.adversary,
+            record_history=policy.record_history,
+            record_occupancy_vectors=policy.record_occupancy_vectors,
+            validate_capacity=policy.validate_capacity,
+        )
+        result = simulator.run(
+            policy.rounds,
+            drain=policy.drain,
+            max_drain_rounds=policy.max_drain_rounds,
+        )
+        sigma = prepared.sigma
+        if sigma is None:
+            sigma = getattr(prepared.adversary, "sigma", None)
+        bound = (
+            prepared.algorithm.theoretical_bound(sigma) if sigma is not None else None
+        )
+        within = check_against_bound(result, bound).satisfied
+        return RunReport(
+            name=prepared.name,
+            algorithm=prepared.algorithm.name,
+            result=result,
+            bound=bound,
+            within_bound=within,
+            params=dict(prepared.params),
+            spec=spec,
+        )
+
+
+def reports_to_table(
+    reports: Iterable[RunReport],
+    columns: Optional[List[str]] = None,
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render run reports with the shared ASCII table formatter."""
+    return format_table([report.as_row() for report in reports], columns, title=title)

@@ -1,0 +1,287 @@
+"""Frozen declarative specs for the scenario quadruple.
+
+Every simulation the library can run is described by a
+:class:`ScenarioSpec` — the composition of
+
+* a :class:`TopologySpec` (*where* packets travel),
+* an :class:`AdversarySpec` (*what* traffic arrives, and its declared
+  ``(rho, sigma)`` bound),
+* an :class:`AlgorithmSpec` (*how* packets are forwarded), and
+* a :class:`RunPolicy` (*how* the execution is driven and observed).
+
+Specs are frozen dataclasses with strict validation, dict/JSON round-tripping
+(``ScenarioSpec.from_dict(spec.to_dict()) == spec``) and a stable canonical
+hash used by :class:`repro.api.session.Session` to cache shared topology
+construction.  ``params`` mappings are normalised through JSON at
+construction time, so a spec is JSON-serialisable by construction — putting a
+non-serialisable object in ``params`` fails fast, not at save time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional
+
+from ..network.errors import ConfigurationError
+
+__all__ = [
+    "SpecError",
+    "TopologySpec",
+    "AdversarySpec",
+    "AlgorithmSpec",
+    "RunPolicy",
+    "ScenarioSpec",
+]
+
+
+class SpecError(ConfigurationError):
+    """A malformed or inconsistent scenario spec."""
+
+
+def _normalize_params(params: Optional[Mapping[str, Any]], owner: str) -> Dict[str, Any]:
+    """Copy ``params`` through JSON: validates serialisability and makes the
+    stored form identical to what ``from_dict`` reconstructs (tuples become
+    lists, keys become strings), so round-trip equality holds."""
+    if params is None:
+        return {}
+    if not isinstance(params, Mapping):
+        raise SpecError(f"{owner} params must be a mapping, got {type(params).__name__}")
+    try:
+        return json.loads(json.dumps(dict(params), sort_keys=True))
+    except TypeError as error:
+        raise SpecError(f"{owner} params are not JSON-serialisable: {error}") from None
+
+
+def _require_str(value: Any, what: str) -> None:
+    if not isinstance(value, str) or not value:
+        raise SpecError(f"{what} must be a non-empty string, got {value!r}")
+
+
+def _check_keys(payload: Mapping[str, Any], allowed: set, what: str) -> None:
+    if not isinstance(payload, Mapping):
+        raise SpecError(f"{what} must be a mapping, got {type(payload).__name__}")
+    unknown = set(payload) - allowed
+    if unknown:
+        raise SpecError(
+            f"unknown key(s) {sorted(unknown)} in {what}; allowed: {sorted(allowed)}"
+        )
+
+
+class _SpecBase:
+    """Shared dict/JSON plumbing for the frozen spec dataclasses."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        result: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, _SpecBase):
+                value = value.to_dict()
+            result[spec_field.name] = value
+        return result
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]):
+        _check_keys(payload, {f.name for f in fields(cls)}, cls.__name__)
+        return cls(**dict(payload))
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"invalid spec JSON: {error}") from None
+        return cls.from_dict(payload)
+
+    def canonical_json(self) -> str:
+        """A stable serialisation: equal specs produce identical strings."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """A short stable digest (cache keys, run labels)."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_json())
+
+
+@dataclass(frozen=True)
+class TopologySpec(_SpecBase):
+    """Which network to build: a registered topology kind plus its params.
+
+    ``kind`` is a key of :data:`repro.api.registry.TOPOLOGIES` (seed library:
+    ``"line"``, ``"tree"``, ``"forest"``); ``params`` are passed verbatim to
+    the registered builder.
+    """
+
+    kind: str = "line"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require_str(self.kind, "TopologySpec.kind")
+        object.__setattr__(self, "params", _normalize_params(self.params, "topology"))
+
+    # -- convenience constructors ------------------------------------------------
+
+    @classmethod
+    def line(cls, num_nodes: int, **params: Any) -> "TopologySpec":
+        return cls("line", {"num_nodes": num_nodes, **params})
+
+    @classmethod
+    def tree(cls, family: str, **params: Any) -> "TopologySpec":
+        return cls("tree", {"family": family, **params})
+
+    @classmethod
+    def forest(cls, components: list, **params: Any) -> "TopologySpec":
+        return cls("forest", {"components": components, **params})
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec(_SpecBase):
+    """Which forwarding algorithm to run: a registered name plus constructor
+    params (everything after the topology argument)."""
+
+    name: str = "ppts"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require_str(self.name, "AlgorithmSpec.name")
+        object.__setattr__(self, "params", _normalize_params(self.params, "algorithm"))
+
+
+@dataclass(frozen=True)
+class AdversarySpec(_SpecBase):
+    """Which injection process to run and its declared envelope.
+
+    ``rho``/``sigma`` are the paper's ``(rho, sigma)``-boundedness parameters
+    (Definition 2.1); ``rounds`` is the injection horizon handed to the
+    registered builder; ``params`` are builder-specific extras (destination
+    counts, seeds, burst periods, ...).
+    """
+
+    name: str = "bounded"
+    rho: float = 1.0
+    sigma: float = 2.0
+    rounds: int = 200
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require_str(self.name, "AdversarySpec.name")
+        if not isinstance(self.rho, (int, float)) or not (0 < float(self.rho) <= 1):
+            raise SpecError(f"AdversarySpec.rho must be in (0, 1], got {self.rho!r}")
+        if not isinstance(self.sigma, (int, float)) or float(self.sigma) < 0:
+            raise SpecError(f"AdversarySpec.sigma must be >= 0, got {self.sigma!r}")
+        if not isinstance(self.rounds, int) or isinstance(self.rounds, bool) or self.rounds < 0:
+            raise SpecError(
+                f"AdversarySpec.rounds must be a non-negative int, got {self.rounds!r}"
+            )
+        object.__setattr__(self, "rho", float(self.rho))
+        object.__setattr__(self, "sigma", float(self.sigma))
+        object.__setattr__(self, "params", _normalize_params(self.params, "adversary"))
+
+
+@dataclass(frozen=True)
+class RunPolicy(_SpecBase):
+    """How the simulator drives and observes the run.
+
+    Attributes
+    ----------
+    rounds:
+        Injection-round override for :meth:`Simulator.run` (``None`` = the
+        adversary's horizon).
+    drain:
+        Keep executing after the horizon until all packets deliver.
+    max_drain_rounds:
+        Safety cap on drain rounds (``None`` = automatic).
+    record_history / record_occupancy_vectors:
+        Per-round measurement detail (memory grows with execution length).
+    validate_capacity:
+        Raise on infeasible activation sets (the paper proves the bundled
+        algorithms never produce one; keep on unless profiling).
+    seed:
+        Per-run RNG seed, forwarded to adversary builders that accept one
+        (unless the adversary spec pins its own ``seed`` param).
+    """
+
+    rounds: Optional[int] = None
+    drain: bool = True
+    max_drain_rounds: Optional[int] = None
+    record_history: bool = False
+    record_occupancy_vectors: bool = False
+    validate_capacity: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rounds is not None and (not isinstance(self.rounds, int) or self.rounds < 0):
+            raise SpecError(f"RunPolicy.rounds must be None or int >= 0, got {self.rounds!r}")
+        if self.max_drain_rounds is not None and (
+            not isinstance(self.max_drain_rounds, int) or self.max_drain_rounds < 0
+        ):
+            raise SpecError(
+                f"RunPolicy.max_drain_rounds must be None or int >= 0, "
+                f"got {self.max_drain_rounds!r}"
+            )
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise SpecError(f"RunPolicy.seed must be None or int, got {self.seed!r}")
+        for flag in ("drain", "record_history", "record_occupancy_vectors", "validate_capacity"):
+            if not isinstance(getattr(self, flag), bool):
+                raise SpecError(f"RunPolicy.{flag} must be a bool")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec(_SpecBase):
+    """The full declarative description of one simulation run."""
+
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    algorithm: AlgorithmSpec = field(default_factory=AlgorithmSpec)
+    adversary: AdversarySpec = field(default_factory=AdversarySpec)
+    policy: RunPolicy = field(default_factory=RunPolicy)
+    #: Optional human-readable label used in result tables.
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for attr, expected in (
+            ("topology", TopologySpec),
+            ("algorithm", AlgorithmSpec),
+            ("adversary", AdversarySpec),
+            ("policy", RunPolicy),
+        ):
+            if not isinstance(getattr(self, attr), expected):
+                raise SpecError(
+                    f"ScenarioSpec.{attr} must be a {expected.__name__}, "
+                    f"got {type(getattr(self, attr)).__name__}"
+                )
+        if self.name is not None:
+            _require_str(self.name, "ScenarioSpec.name")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        _check_keys(payload, {f.name for f in fields(cls)}, "ScenarioSpec")
+        data = dict(payload)
+        for attr, spec_cls in (
+            ("topology", TopologySpec),
+            ("algorithm", AlgorithmSpec),
+            ("adversary", AdversarySpec),
+            ("policy", RunPolicy),
+        ):
+            if attr in data and isinstance(data[attr], Mapping):
+                data[attr] = spec_cls.from_dict(data[attr])
+        return cls(**data)
+
+    @property
+    def label(self) -> str:
+        """The display name: explicit ``name`` or a compact derived one."""
+        if self.name is not None:
+            return self.name
+        return f"{self.topology.kind}/{self.adversary.name}/{self.algorithm.name}"
+
+
+# @dataclass(frozen=True, eq=True) generates a field-based __hash__ that would
+# choke on the dict-valued ``params`` fields; restore the canonical-JSON hash.
+for _spec_cls in (TopologySpec, AlgorithmSpec, AdversarySpec, RunPolicy, ScenarioSpec):
+    _spec_cls.__hash__ = _SpecBase.__hash__  # type: ignore[method-assign]
+del _spec_cls

@@ -12,13 +12,14 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional
 
+from ..api.registry import register_algorithm
 from ..core.packet import Packet
 from ..core.pseudobuffer import QueueDiscipline
 from ..core.scheduler import Activation, ForwardingAlgorithm
 from ..network.topology import Topology
-from .policies import GreedyPolicy, fifo
+from .policies import GreedyPolicy, fifo, policy_by_name
 
-__all__ = ["GreedyForwarding"]
+__all__ = ["GreedyForwarding", "build_greedy"]
 
 #: Single pseudo-buffer key used by greedy algorithms (no virtual output queuing).
 _SINGLE_QUEUE = "queue"
@@ -80,3 +81,13 @@ class GreedyForwarding(ForwardingAlgorithm):
                 Activation(node=node, key=_SINGLE_QUEUE, packet=chosen)
             )
         return activations
+
+
+@register_algorithm("greedy")
+def build_greedy(
+    topology: Topology, policy: object = "FIFO", **params: object
+) -> GreedyForwarding:
+    """Registry entry point: ``policy`` may be a name ("FIFO", "NTG", ...) or
+    a :class:`GreedyPolicy` instance."""
+    resolved = policy_by_name(policy) if isinstance(policy, str) else policy
+    return GreedyForwarding(topology, resolved, **params)  # type: ignore[arg-type]

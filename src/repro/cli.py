@@ -9,12 +9,15 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Sub-commands:
     Show the full metadata of one experiment.
 
 ``simulate``
-    Build a workload + algorithm from command-line options, run it, and print
-    the measured-vs-bound row.  This is the quickest way to poke at the system
-    without writing a script.
+    Build a :class:`~repro.api.ScenarioSpec` from command-line options (or
+    load one from ``--spec file.json``), run it through
+    :class:`~repro.api.Session`, and print the measured-vs-bound row.  With
+    ``--json`` the row is emitted as machine-readable JSON; the exit code is
+    non-zero when the measured occupancy exceeds the algorithm's bound.
 
 ``bounds``
-    Print every closed-form bound for a given ``(n, d, d', ell, rho, sigma)``.
+    Print every closed-form bound for a given ``(n, d, d', ell, rho, sigma)``
+    (``--json`` for machine-readable output).
 
 ``figure1``
     Render the Figure 1 hierarchy (optionally with a sample trajectory).
@@ -27,32 +30,25 @@ Examples
     python -m repro simulate --algorithm ppts --nodes 64 --destinations 12 \
         --rho 1.0 --sigma 2 --rounds 300
     python -m repro simulate --algorithm hpts --levels 3 --nodes 64 --rho 0.33
-    python -m repro bounds --nodes 64 --destinations 12 --rho 0.5 --sigma 2
+    python -m repro simulate --spec scenario.json --json
+    python -m repro bounds --nodes 64 --destinations 12 --rho 0.5 --sigma 2 --json
     python -m repro figure1 --branching 2 --levels 4 --source 2 --destination 13
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
+from .adversary.generators import hierarchy_random_destinations
 from .analysis.tables import format_kv, format_table
-from .baselines.greedy import GreedyForwarding
-from .baselines.policies import policy_by_name
+from .api import ScenarioSpec, Session, reports_to_table
+from .api.builder import Scenario
 from .core import bounds
-from .core.hpts import HierarchicalPeakToSink
-from .core.local import DownhillForwarding, LocalThresholdForwarding
-from .core.ppts import ParallelPeakToSink
-from .core.pts import PeakToSink
 from .experiments.figures import render_figure1, trajectory_table
-from .experiments.harness import rows_to_table, run_workload
 from .experiments.registry import get_experiment, list_experiments
-from .experiments.workloads import (
-    hierarchical_workload,
-    multi_destination_workload,
-    single_destination_workload,
-)
 from .network.errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -75,7 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
     show = subparsers.add_parser("experiment", help="show one experiment's metadata")
     show.add_argument("id", help="experiment id, e.g. E4")
 
-    simulate = subparsers.add_parser("simulate", help="run one workload/algorithm pair")
+    simulate = subparsers.add_parser("simulate", help="run one scenario spec")
     simulate.add_argument("--algorithm", choices=ALGORITHMS, default="ppts")
     simulate.add_argument("--nodes", type=int, default=64, help="line length n")
     simulate.add_argument("--destinations", type=int, default=8, help="number of destinations d")
@@ -92,6 +88,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload kind (defaults to the natural one for the algorithm)",
     )
     simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="load a full ScenarioSpec from this JSON file (other scenario "
+        "options are ignored; see repro.api for the schema)",
+    )
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result row as JSON instead of an ASCII table",
+    )
 
     bounds_cmd = subparsers.add_parser("bounds", help="print the closed-form bounds")
     bounds_cmd.add_argument("--nodes", type=int, default=64)
@@ -100,6 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     bounds_cmd.add_argument("--levels", type=int, default=None)
     bounds_cmd.add_argument("--rho", type=float, default=0.5)
     bounds_cmd.add_argument("--sigma", type=float, default=2.0)
+    bounds_cmd.add_argument(
+        "--json", action="store_true", help="emit the bounds as JSON"
+    )
 
     figure = subparsers.add_parser("figure1", help="render the Figure 1 hierarchy")
     figure.add_argument("--branching", type=int, default=2)
@@ -142,62 +153,86 @@ def _command_experiment(experiment_id: str) -> int:
     return 0
 
 
-def _build_workload(args: argparse.Namespace):
+def _finish_spec(
+    scenario: Scenario, name: str, seed: Optional[int]
+) -> ScenarioSpec:
+    """Label the scenario, apply the seed only when one was given (keeping
+    unseeded random workloads fresh per invocation), and freeze it."""
+    scenario.named(name)
+    if seed is not None:
+        scenario.seed(seed)
+    return scenario.build()
+
+
+def _build_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Map the flat command-line options onto a declarative scenario spec."""
     if args.algorithm == "hpts":
-        branching = round(args.nodes ** (1.0 / args.levels))
-        kind = args.workload or "hierarchy"
-        if kind not in ("hierarchy", "random"):
-            kind = "hierarchy"
-        return hierarchical_workload(
-            max(2, branching), args.levels, args.rho, args.sigma, args.rounds,
-            kind=kind, seed=args.seed,
+        branching = max(2, round(args.nodes ** (1.0 / args.levels)))
+        num_nodes = branching**args.levels
+        kind = args.workload if args.workload in ("hierarchy", "random") else "hierarchy"
+        scenario = Scenario.line(num_nodes).algorithm(
+            "hpts", levels=args.levels, branching=branching, rho=args.rho
         )
+        if kind == "hierarchy":
+            scenario.adversary(
+                "hierarchy", rho=args.rho, sigma=args.sigma, rounds=args.rounds,
+                branching=branching, levels=args.levels,
+            )
+        else:
+            scenario.adversary(
+                "bounded", rho=args.rho, sigma=args.sigma, rounds=args.rounds,
+                num_destinations=hierarchy_random_destinations(
+                    num_nodes, branching, args.levels
+                ),
+            )
+        return _finish_spec(scenario, f"hierarchy/{kind}", args.seed)
+
     if args.algorithm in ("pts", "local", "downhill"):
-        kind = args.workload or "stress"
-        if kind not in ("stress", "random"):
-            kind = "stress"
-        return single_destination_workload(
-            args.nodes, args.rho, args.sigma, args.rounds, kind=kind, seed=args.seed
+        kind = args.workload if args.workload in ("stress", "random") else "stress"
+        scenario = Scenario.line(args.nodes)
+        if args.algorithm == "pts":
+            scenario.algorithm("pts")
+        elif args.algorithm == "local":
+            scenario.algorithm("local", locality=args.locality)
+        else:
+            scenario.algorithm("downhill")
+        adversary = "burst" if kind == "stress" else "single"
+        scenario.adversary(
+            adversary, rho=args.rho, sigma=args.sigma, rounds=args.rounds
         )
-    kind = args.workload or "round_robin"
-    if kind not in ("round_robin", "nested", "random"):
-        kind = "round_robin"
-    return multi_destination_workload(
-        args.nodes, args.destinations, args.rho, args.sigma, args.rounds,
-        kind=kind, seed=args.seed,
+        return _finish_spec(scenario, f"single-dest/{kind}", args.seed)
+
+    # ppts / greedy share the multi-destination line setting.
+    kind = (
+        args.workload
+        if args.workload in ("round_robin", "nested", "random")
+        else "round_robin"
     )
-
-
-def _build_algorithm_factory(args: argparse.Namespace):
-    if args.algorithm == "pts":
-        return lambda workload: PeakToSink(workload.topology)
-    if args.algorithm == "ppts":
-        return lambda workload: ParallelPeakToSink(workload.topology)
-    if args.algorithm == "hpts":
-        return lambda workload: HierarchicalPeakToSink(
-            workload.topology,
-            workload.params["ell"],
-            workload.params["m"],
-            rho=workload.rho,
-        )
-    if args.algorithm == "local":
-        return lambda workload: LocalThresholdForwarding(
-            workload.topology, locality=args.locality
-        )
-    if args.algorithm == "downhill":
-        return lambda workload: DownhillForwarding(workload.topology)
+    scenario = Scenario.line(args.nodes)
     if args.algorithm == "greedy":
-        policy = policy_by_name(args.policy)
-        return lambda workload: GreedyForwarding(workload.topology, policy)
-    raise ReproError(f"unknown algorithm {args.algorithm!r}")
+        scenario.algorithm("greedy", policy=args.policy)
+    else:
+        scenario.algorithm("ppts")
+    adversary = {"round_robin": "round-robin", "nested": "nested", "random": "bounded"}[kind]
+    scenario.adversary(
+        adversary, rho=args.rho, sigma=args.sigma, rounds=args.rounds,
+        num_destinations=args.destinations,
+    )
+    return _finish_spec(scenario, f"multi-dest/{kind}", args.seed)
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    workload = _build_workload(args)
-    factory = _build_algorithm_factory(args)
-    row = run_workload(workload, factory)
-    print(rows_to_table([row], title="Simulation result"))
-    return 0
+    if args.spec is not None:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+    else:
+        spec = _build_spec(args)
+    report = Session().run(spec)
+    if args.json:
+        print(json.dumps(report.as_row(), indent=2, sort_keys=True))
+    else:
+        print(reports_to_table([report], title="Simulation result"))
+    return 0 if report.within_bound else 1
 
 
 def _command_bounds(args: argparse.Namespace) -> int:
@@ -221,6 +256,20 @@ def _command_bounds(args: argparse.Namespace) -> int:
             bounds.destination_lower_bound(args.destinations, args.rho), 2
         ),
     }
+    if args.json:
+        payload = {
+            "parameters": {
+                "nodes": args.nodes,
+                "destinations": args.destinations,
+                "destination_depth": args.destination_depth,
+                "levels": levels,
+                "rho": args.rho,
+                "sigma": args.sigma,
+            },
+            "bounds": values,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(
         format_kv(
             values,
@@ -265,6 +314,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "figure1":
             return _command_figure1(args)
         parser.error(f"unknown command {args.command!r}")
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -12,7 +12,14 @@ from .hierarchy import (
 )
 from .hpts import HierarchicalPeakToSink
 from .local import DownhillForwarding, LocalThresholdForwarding
-from .packet import Injection, Packet, PacketState, make_injection, reset_packet_ids
+from .packet import (
+    Injection,
+    Packet,
+    PacketState,
+    make_injection,
+    packet_id_scope,
+    reset_packet_ids,
+)
 from .ppts import ParallelPeakToSink
 from .pseudobuffer import NodeBuffer, PseudoBuffer, QueueDiscipline
 from .pts import PeakToSink
@@ -37,6 +44,7 @@ __all__ = [
     "Packet",
     "PacketState",
     "make_injection",
+    "packet_id_scope",
     "reset_packet_ids",
     "ParallelPeakToSink",
     "NodeBuffer",

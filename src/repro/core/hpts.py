@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from ..api.registry import register_algorithm
 from ..network.errors import ConfigurationError
 from ..network.topology import LineTopology
 from .hierarchy import HierarchicalPartition
@@ -48,6 +49,7 @@ __all__ = ["HierarchicalPeakToSink"]
 LEVEL_SCHEDULES = ("descending", "ascending")
 
 
+@register_algorithm("hpts")
 class HierarchicalPeakToSink(ForwardingAlgorithm):
     """The HPTS algorithm on a line of ``n = m**ell`` buffers.
 

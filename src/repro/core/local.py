@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Hashable, List, Optional
 
+from ..api.registry import register_algorithm
 from ..network.errors import ConfigurationError, SchedulingError
 from ..network.topology import LineTopology
 from .packet import Packet
@@ -40,6 +41,7 @@ from . import bounds
 __all__ = ["LocalThresholdForwarding", "DownhillForwarding"]
 
 
+@register_algorithm("local")
 class LocalThresholdForwarding(ForwardingAlgorithm):
     """Single-destination forwarding using only an ``r``-neighbourhood view.
 
@@ -119,6 +121,7 @@ class LocalThresholdForwarding(ForwardingAlgorithm):
         return None
 
 
+@register_algorithm("downhill")
 class DownhillForwarding(ForwardingAlgorithm):
     """The gradient rule: forward iff my buffer is no smaller than my successor's.
 

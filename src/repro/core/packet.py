@@ -13,6 +13,7 @@ in-flight object is :class:`Packet`.
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
@@ -22,18 +23,82 @@ __all__ = [
     "Injection",
     "Packet",
     "PacketState",
+    "PacketIdAllocator",
+    "packet_id_scope",
     "packet_id_counter",
 ]
 
-#: Process-wide counter used to assign unique packet ids when the caller does
-#: not supply one.  Tests may reset it via :func:`reset_packet_ids`.
-packet_id_counter = itertools.count()
+
+class PacketIdAllocator:
+    """A scoped source of unique packet ids.
+
+    One process-wide allocator exists by default (ids shared by everything
+    built outside a scope, as before); :class:`packet_id_scope` installs a
+    fresh allocator for the current context so each :class:`repro.api.Session`
+    run numbers its packets from 0 independently — deterministic regardless of
+    what ran before, and safe under thread-pool fan-out because the scope is
+    backed by a :class:`contextvars.ContextVar` (per-thread by default).
+    """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+
+    def next_id(self) -> int:
+        return next(self._counter)
+
+    def reset(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+
+    # Iterator protocol, so the historical `next(packet_id_counter)` usage
+    # keeps working now that the module global is an allocator.
+    def __next__(self) -> int:
+        return self.next_id()
+
+    def __iter__(self) -> "PacketIdAllocator":
+        return self
+
+
+#: Process-wide fallback allocator (kept under the historical name).
+packet_id_counter = PacketIdAllocator()
+
+_active_allocator: contextvars.ContextVar[Optional[PacketIdAllocator]] = (
+    contextvars.ContextVar("repro_packet_id_allocator", default=None)
+)
+
+
+def current_allocator() -> PacketIdAllocator:
+    """The allocator for the current context (scoped if inside one)."""
+    return _active_allocator.get() or packet_id_counter
+
+
+class packet_id_scope:
+    """Context manager installing a fresh packet-id counter for this context.
+
+    >>> with packet_id_scope():
+    ...     first = make_injection(0, 0, 1)
+    >>> first.packet_id
+    0
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self.allocator = PacketIdAllocator(start)
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> PacketIdAllocator:
+        self._token = _active_allocator.set(self.allocator)
+        return self.allocator
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._token is not None:
+            _active_allocator.reset(self._token)
+            self._token = None
 
 
 def reset_packet_ids() -> None:
-    """Reset the global packet-id counter (useful for deterministic tests)."""
-    global packet_id_counter
-    packet_id_counter = itertools.count()
+    """Reset the current context's packet-id counter (deterministic tests)."""
+    current_allocator().reset()
 
 
 class PacketState(Enum):
@@ -177,5 +242,9 @@ class Packet:
 
 
 def make_injection(round: int, source: int, destination: int) -> Injection:
-    """Create an :class:`Injection` with a fresh unique packet id."""
-    return Injection(round, source, destination, next(packet_id_counter))
+    """Create an :class:`Injection` with a fresh unique packet id.
+
+    Ids come from the current :class:`packet_id_scope` if one is active, and
+    from the process-wide counter otherwise.
+    """
+    return Injection(round, source, destination, current_allocator().next_id())

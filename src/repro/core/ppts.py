@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Hashable, List, Optional, Sequence
 
+from ..api.registry import register_algorithm
 from ..network.errors import ConfigurationError
 from ..network.topology import LineTopology
 from .packet import Packet
@@ -27,6 +28,7 @@ from . import bounds
 __all__ = ["ParallelPeakToSink"]
 
 
+@register_algorithm("ppts")
 class ParallelPeakToSink(ForwardingAlgorithm):
     """The multi-destination PPTS algorithm on a line.
 

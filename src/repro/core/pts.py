@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Hashable, List, Optional
 
+from ..api.registry import register_algorithm
 from ..network.errors import ConfigurationError, SchedulingError
 from ..network.topology import LineTopology
 from .packet import Packet
@@ -23,6 +24,7 @@ from . import bounds
 __all__ = ["PeakToSink"]
 
 
+@register_algorithm("pts")
 class PeakToSink(ForwardingAlgorithm):
     """The single-destination PTS algorithm on a line.
 

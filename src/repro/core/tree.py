@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Hashable, List, Optional, Sequence
 
+from ..api.registry import register_algorithm
 from ..network.errors import ConfigurationError, SchedulingError
 from ..network.topology import TreeTopology
 from .packet import Packet
@@ -32,6 +33,7 @@ from . import bounds
 __all__ = ["TreePeakToSink", "TreeParallelPeakToSink"]
 
 
+@register_algorithm("tree-pts", aliases=("tree_pts",))
 class TreePeakToSink(ForwardingAlgorithm):
     """Single-destination PTS on a directed in-tree (Proposition B.3).
 
@@ -92,6 +94,7 @@ class TreePeakToSink(ForwardingAlgorithm):
         return bounds.pts_upper_bound(sigma)
 
 
+@register_algorithm("tree-ppts", aliases=("tree_ppts",))
 class TreeParallelPeakToSink(ForwardingAlgorithm):
     """Multi-destination PPTS on a directed in-tree (Algorithm 6, Proposition 3.5).
 

@@ -1,9 +1,13 @@
-"""The experiment harness: run a workload against one or more algorithms.
+"""The experiment harness — now a thin compatibility layer over the API.
 
-The harness is the glue between workloads, algorithms and result tables.  Each
-benchmark builds a list of :class:`ExperimentRow` objects via
-:func:`run_workload` / :func:`sweep` and prints them with the table formatter,
-mirroring the "rows/series the paper reports" requirement in DESIGN.md.
+Historically each benchmark hand-wired ``Simulator(...)`` through this
+module; today every execution path funnels into
+:class:`repro.api.session.Session`.  :func:`run_workload` wraps one
+``(workload, algorithm factory)`` pair as a :class:`repro.api.PreparedRun`
+and :func:`sweep` batches the cartesian product through
+:meth:`Session.run_many` (pass ``max_workers`` to fan the sweep out over a
+thread pool).  The row type (:class:`ExperimentRow`) and table helpers are
+unchanged, so existing callers keep working verbatim.
 """
 
 from __future__ import annotations
@@ -11,11 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
-from ..analysis.metrics import check_against_bound
 from ..analysis.tables import format_table
+from ..api.session import PreparedRun, RunReport, Session
+from ..api.specs import RunPolicy
 from ..core.scheduler import ForwardingAlgorithm
 from ..network.events import SimulationResult
-from ..network.simulator import Simulator
 from .workloads import Workload
 
 __all__ = ["ExperimentRow", "run_workload", "sweep", "rows_to_table"]
@@ -59,6 +63,39 @@ class ExperimentRow:
         return row
 
 
+def _prepare(
+    workload: Workload,
+    algorithm_factory: AlgorithmFactory,
+    *,
+    record_history: bool,
+    drain: bool,
+) -> PreparedRun:
+    return PreparedRun(
+        topology=workload.topology,  # type: ignore[arg-type]
+        algorithm=algorithm_factory(workload),
+        adversary=workload.pattern,
+        policy=RunPolicy(drain=drain, record_history=record_history),
+        name=workload.name,
+        params=dict(workload.params),
+        sigma=workload.sigma,
+    )
+
+
+def _report_to_row(report: RunReport, *, keep_result: bool) -> ExperimentRow:
+    return ExperimentRow(
+        workload=report.name,
+        algorithm=report.algorithm,
+        max_occupancy=report.result.max_occupancy,
+        bound=report.bound,
+        within_bound=report.within_bound,
+        packets=report.result.packets_injected,
+        delivered=report.result.packets_delivered,
+        max_latency=report.result.max_latency,
+        params=dict(report.params),
+        result=report.result if keep_result else None,
+    )
+
+
 def run_workload(
     workload: Workload,
     algorithm_factory: AlgorithmFactory,
@@ -66,30 +103,14 @@ def run_workload(
     record_history: bool = False,
     drain: bool = True,
     keep_result: bool = False,
+    session: Optional[Session] = None,
 ) -> ExperimentRow:
     """Run one workload against one algorithm and summarise the outcome."""
-    algorithm = algorithm_factory(workload)
-    simulator = Simulator(
-        workload.topology,  # type: ignore[arg-type]
-        algorithm,
-        workload.pattern,
-        record_history=record_history,
+    prepared = _prepare(
+        workload, algorithm_factory, record_history=record_history, drain=drain
     )
-    result = simulator.run(drain=drain)
-    bound = algorithm.theoretical_bound(workload.sigma)
-    check = check_against_bound(result, bound)
-    return ExperimentRow(
-        workload=workload.name,
-        algorithm=algorithm.name,
-        max_occupancy=result.max_occupancy,
-        bound=bound,
-        within_bound=check.satisfied,
-        packets=result.packets_injected,
-        delivered=result.packets_delivered,
-        max_latency=result.max_latency,
-        params=dict(workload.params),
-        result=result if keep_result else None,
-    )
+    report = (session or Session()).run(prepared)
+    return _report_to_row(report, keep_result=keep_result)
 
 
 def sweep(
@@ -98,20 +119,21 @@ def sweep(
     *,
     record_history: bool = False,
     drain: bool = True,
+    max_workers: Optional[int] = 0,
 ) -> List[ExperimentRow]:
-    """Cartesian product of workloads and algorithms, one row per pair."""
-    rows: List[ExperimentRow] = []
-    for workload in workloads:
-        for _, factory in algorithm_factories.items():
-            rows.append(
-                run_workload(
-                    workload,
-                    factory,
-                    record_history=record_history,
-                    drain=drain,
-                )
-            )
-    return rows
+    """Cartesian product of workloads and algorithms, one row per pair.
+
+    ``max_workers=0`` (default) runs sequentially, exactly as before; any
+    other value fans the batch out over :meth:`Session.run_many`'s thread
+    pool.
+    """
+    prepared = [
+        _prepare(workload, factory, record_history=record_history, drain=drain)
+        for workload in workloads
+        for _, factory in algorithm_factories.items()
+    ]
+    reports = Session().run_many(prepared, max_workers=max_workers)
+    return [_report_to_row(report, keep_result=False) for report in reports]
 
 
 def rows_to_table(

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence
 
 from ..adversary.base import InjectionPattern
 from ..adversary.generators import (
+    hierarchy_random_destinations,
     random_line_adversary,
     random_tree_adversary,
     single_destination_adversary,
@@ -146,7 +147,7 @@ def hierarchical_workload(
     if kind == "hierarchy":
         pattern = hierarchy_stress(topology, rho, sigma, num_rounds, branching, levels)
     elif kind == "random":
-        num_destinations = min(num_nodes - 1, branching * levels)
+        num_destinations = hierarchy_random_destinations(num_nodes, branching, levels)
         pattern = random_line_adversary(
             topology, rho, sigma, num_rounds, num_destinations, seed=seed
         )

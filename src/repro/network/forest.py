@@ -20,10 +20,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..api.registry import register_topology
 from .errors import TopologyError
-from .topology import Topology, TreeTopology
+from .topology import Topology, TreeTopology, build_tree_topology
 
-__all__ = ["ForestTopology", "forest_of"]
+__all__ = ["ForestTopology", "forest_of", "build_forest_topology"]
 
 Edge = Tuple[int, int]
 
@@ -176,3 +177,30 @@ def forest_of(
 ) -> ForestTopology:
     """Build a forest from one parent map per component (convenience helper)."""
     return ForestTopology([TreeTopology(parent_map) for parent_map in parent_maps])
+
+
+@register_topology("forest")
+def build_forest_topology(components: Sequence[Dict[str, object]]) -> ForestTopology:
+    """Registry entry point for forests: one tree-spec dict per component.
+
+    Each component dict uses the same schema as the ``"tree"`` topology kind
+    (``{"family": "star", "num_leaves": 8}``, ...).  Components whose node
+    ids collide can be shifted with an ``"offset"`` key, which relabels every
+    node by that amount before assembling the forest.
+    """
+    trees = []
+    for component in components:
+        params = dict(component)
+        offset = int(params.pop("offset", 0))
+        tree = build_tree_topology(**params)
+        if offset:
+            tree = TreeTopology(
+                {
+                    node + offset: (
+                        None if tree.parent(node) is None else tree.parent(node) + offset
+                    )
+                    for node in tree.nodes
+                }
+            )
+        trees.append(tree)
+    return ForestTopology(trees)

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from ..api.registry import register_topology
 from .errors import TopologyError
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "caterpillar_tree",
     "star_tree",
     "binary_tree",
+    "build_tree_topology",
 ]
 
 Edge = Tuple[int, int]
@@ -93,6 +95,7 @@ class Topology(ABC):
         return f"{type(self).__name__}(n={self.num_nodes})"
 
 
+@register_topology("line")
 class LineTopology(Topology):
     """The directed path ``0 -> 1 -> ... -> n-1`` used throughout the paper.
 
@@ -420,6 +423,45 @@ def star_tree(num_leaves: int) -> TreeTopology:
     for leaf in range(1, num_leaves + 1):
         parent[leaf] = 0
     return TreeTopology(parent)
+
+
+@register_topology("tree")
+def build_tree_topology(family: str = "caterpillar", **params) -> TreeTopology:
+    """Registry entry point for trees: build a named family from spec params.
+
+    Families and their params:
+
+    * ``"caterpillar"`` — ``spine_length``, ``legs_per_node``;
+    * ``"star"``        — ``num_leaves``;
+    * ``"binary"``      — ``depth``;
+    * ``"random"``      — ``num_nodes``, ``seed``;
+    * ``"parent"``      — ``parent``: an explicit child -> parent mapping
+      (string keys from JSON are coerced to ints; the root maps to ``None``).
+    """
+    builders = {
+        "caterpillar": caterpillar_tree,
+        "star": star_tree,
+        "binary": binary_tree,
+        "random": random_tree,
+    }
+    if family in builders:
+        return builders[family](**params)
+    if family == "parent":
+        try:
+            parent_map = params.pop("parent")
+        except KeyError:
+            raise TopologyError('tree family "parent" needs a "parent" mapping') from None
+        if params:
+            raise TopologyError(
+                f'unexpected params {sorted(params)} for tree family "parent"'
+            )
+        return TreeTopology(
+            {int(child): (None if p is None else int(p)) for child, p in parent_map.items()}
+        )
+    raise TopologyError(
+        f"unknown tree family {family!r}; expected one of "
+        f"{sorted(builders) + ['parent']}"
+    )
 
 
 def binary_tree(depth: int) -> TreeTopology:

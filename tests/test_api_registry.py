@@ -1,0 +1,130 @@
+"""Unit tests for the string-keyed registries (repro.api.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    ADVERSARIES,
+    ALGORITHMS,
+    TOPOLOGIES,
+    Registry,
+    RegistryError,
+    Scenario,
+    Session,
+    SpecError,
+)
+
+
+class TestBuiltInRegistration:
+    def test_seed_algorithms_registered(self):
+        for name in ("pts", "ppts", "hpts", "local", "downhill", "greedy",
+                     "tree-pts", "tree-ppts"):
+            assert name in ALGORITHMS
+
+    def test_seed_adversaries_registered(self):
+        for name in ("burst", "round-robin", "nested", "hierarchy", "bounded",
+                     "single", "bursty", "saturating", "convergecast",
+                     "hotspot", "blocking", "lower-bound"):
+            assert name in ADVERSARIES
+
+    def test_seed_topologies_registered(self):
+        for kind in ("line", "tree", "forest"):
+            assert kind in TOPOLOGIES
+
+    def test_aliases_resolve_to_canonical_entries(self):
+        assert ADVERSARIES.get("stress") is ADVERSARIES.get("burst")
+        assert ADVERSARIES.get("random") is ADVERSARIES.get("bounded")
+        assert ADVERSARIES.get("round_robin") is ADVERSARIES.get("round-robin")
+        assert ALGORITHMS.get("tree_ppts") is ALGORITHMS.get("tree-ppts")
+
+
+class TestLookupErrors:
+    def test_unknown_key_raises_registry_error_listing_known_keys(self):
+        with pytest.raises(RegistryError) as excinfo:
+            ALGORITHMS.get("magic")
+        message = str(excinfo.value)
+        assert "magic" in message
+        assert "ppts" in message  # the error names the registered keys
+
+    def test_registry_error_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            TOPOLOGIES.get("torus")
+
+    def test_unknown_names_surface_through_session(self):
+        with pytest.raises(RegistryError):
+            Session().run(
+                Scenario.line(8).algorithm("nope").adversary("burst").build()
+            )
+        with pytest.raises(RegistryError):
+            Session().run(
+                Scenario.line(8).algorithm("pts").adversary("nope").build()
+            )
+        with pytest.raises(RegistryError):
+            Session().run(
+                Scenario.topology("torus", num_nodes=8)
+                .algorithm("pts")
+                .adversary("burst")
+                .build()
+            )
+
+
+class TestCustomRegistration:
+    def test_decorator_registration_and_replacement(self):
+        registry = Registry("widget")
+
+        @registry.register("alpha", aliases=("a",))
+        def build_alpha():
+            return "alpha-1"
+
+        assert registry.get("a") is build_alpha
+        assert registry.names() == ["alpha"]
+
+        @registry.register("alpha")
+        def build_alpha_v2():
+            return "alpha-2"
+
+        assert registry.get("alpha") is build_alpha_v2  # replaced, not duplicated
+        assert len(registry) == 1
+
+    def test_canonical_registration_overrides_same_named_alias(self):
+        registry = Registry("widget")
+
+        @registry.register("alpha", aliases=("a",))
+        def build_alpha():
+            return "alpha"
+
+        @registry.register("a")
+        def build_a():
+            return "a"
+
+        assert registry.get("a") is build_a  # the alias no longer shadows it
+        assert registry.get("alpha") is build_alpha
+
+    def test_custom_algorithm_is_runnable_from_a_spec(self):
+        from repro.api import register_algorithm
+        from repro.core.pts import PeakToSink
+
+        @register_algorithm("test-pts-variant")
+        def build_variant(topology, **params):
+            return PeakToSink(topology, **params)
+
+        try:
+            report = (
+                Scenario.line(16)
+                .algorithm("test-pts-variant")
+                .adversary("burst", rho=1.0, sigma=1, rounds=30)
+                .run()
+            )
+            assert report.within_bound
+        finally:
+            ALGORITHMS._entries.pop("test-pts-variant", None)
+
+    def test_bad_discipline_string_is_a_spec_error(self):
+        with pytest.raises(SpecError):
+            Session().run(
+                Scenario.line(8)
+                .algorithm("pts", discipline="SILLY")
+                .adversary("burst", rounds=10)
+                .build()
+            )

@@ -96,6 +96,82 @@ class TestSimulateCommand:
         assert "nested" in capsys.readouterr().out
 
 
+class TestSpecAndJsonFlags:
+    def test_simulate_json_emits_machine_readable_row(self, capsys):
+        import json
+
+        assert main(
+            ["simulate", "--algorithm", "pts", "--nodes", "24", "--rounds", "50",
+             "--json"]
+        ) == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["algorithm"] == "PTS"
+        assert row["within_bound"] is True
+        assert row["max_occupancy"] <= row["bound"]
+
+    def test_simulate_from_spec_file(self, tmp_path, capsys):
+        import json
+
+        from repro.api import Scenario
+
+        spec = (
+            Scenario.line(24)
+            .algorithm("pts")
+            .adversary("burst", rho=1.0, sigma=2, rounds=50)
+            .named("from-file")
+            .build()
+        )
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(spec.to_json(indent=2))
+        assert main(["simulate", "--spec", str(spec_file), "--json"]) == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["scenario"] == "from-file"
+        assert row["n"] == 24
+
+    def test_simulate_missing_spec_file_is_an_error(self, tmp_path, capsys):
+        assert main(["simulate", "--spec", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_simulate_exits_nonzero_when_bound_exceeded(self, tmp_path, capsys):
+        import json
+
+        from repro.adversary.base import InjectionPattern
+        from repro.adversary.stress import pts_burst_stress
+        from repro.api import ADVERSARIES, Scenario, register_adversary
+
+        # An adversary that under-declares its burstiness: the real traffic is
+        # (1, 6)-bounded but the declared envelope is (rho, 0), so PTS's
+        # 2 + sigma bound is measured as violated and the CLI must exit 1.
+        @register_adversary("test-underdeclared")
+        def build_underdeclared(topology, *, rho, sigma, rounds, **_params):
+            pattern = pts_burst_stress(topology, 1.0, 6, rounds)
+            return InjectionPattern(pattern.all_injections(), rho=rho, sigma=0)
+
+        try:
+            spec = (
+                Scenario.line(16)
+                .algorithm("pts")
+                .adversary("test-underdeclared", rho=1.0, sigma=0, rounds=40)
+                .build()
+            )
+            spec_file = tmp_path / "hostile.json"
+            spec_file.write_text(spec.to_json())
+            code = main(["simulate", "--spec", str(spec_file), "--json"])
+            row = json.loads(capsys.readouterr().out)
+            assert row["within_bound"] is False
+            assert code == 1
+        finally:
+            ADVERSARIES._entries.pop("test-underdeclared", None)
+
+    def test_bounds_json(self, capsys):
+        import json
+
+        assert main(["bounds", "--nodes", "64", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parameters"]["nodes"] == 64
+        assert payload["bounds"]["PTS (Prop 3.1)"] == 4.0
+
+
 class TestBoundsAndFigureCommands:
     def test_bounds_table(self, capsys):
         assert main(
