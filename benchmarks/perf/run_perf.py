@@ -1,0 +1,286 @@
+#!/usr/bin/env python
+"""Engine micro-benchmarks: rounds/sec and end-to-end Session runs.
+
+This is the perf-regression harness the CI quick job runs (and the one to
+run by hand before/after engine changes):
+
+* **engine cases** time the raw round loop — ``Simulator.run`` with a fixed
+  number of injection rounds and no drain — and report rounds/sec;
+* **session cases** time a complete ``Session.run`` (spec resolution,
+  simulation, drain, result assembly) and report runs/sec.
+
+Cases cover line and tree topologies with PTS / PPTS / HPTS / greedy across
+``n`` in {64, 1k, 16k} (``--quick`` trims to {64, 256} with shorter horizons
+so CI stays fast).
+
+Throughput is also reported *normalized* by a small pure-Python calibration
+loop measured in the same process, so numbers from differently-sized machines
+(a laptop vs a CI runner) are comparable and the committed baseline does not
+encode one machine's clock speed.
+
+Usage::
+
+    python benchmarks/perf/run_perf.py --quick --output BENCH_engine.json
+    python benchmarks/perf/run_perf.py --quick --check benchmarks/perf/baseline.json
+
+``--check`` exits non-zero if any case's normalized throughput regressed more
+than ``--tolerance`` (default 30%) below the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+if not any(os.path.basename(p) == "src" for p in sys.path):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.api.session import Session  # noqa: E402
+from repro.api.specs import ScenarioSpec  # noqa: E402
+from repro.network.simulator import Simulator  # noqa: E402
+
+SCHEMA = "BENCH_engine/v1"
+
+#: (n, engine rounds) per scale tier.  Rounds shrink as n grows so the seed
+#: engine's O(n) rounds stay measurable in bounded time.
+FULL_SIZES = [(64, 4096), (1024, 1024), (16384, 256)]
+QUICK_SIZES = [(64, 1024), (256, 512)]
+
+#: Binary-tree depth giving roughly n nodes (2**(depth+1) - 1).
+TREE_DEPTHS = {64: 5, 256: 7, 1024: 9, 16384: 13}
+
+
+def _calibrate(iterations: int = 300_000, repeats: int = 3) -> float:
+    """Pure-Python ops/sec of this interpreter on this machine, best of N."""
+    best = 0.0
+    for _ in range(repeats):
+        accumulator = 0
+        start = time.perf_counter()
+        for i in range(iterations):
+            accumulator += i & 7
+        elapsed = time.perf_counter() - start
+        best = max(best, iterations / elapsed)
+    return best
+
+
+def _line_spec(algorithm: str, n: int, rounds: int) -> ScenarioSpec:
+    algo_params: Dict[str, Any] = {}
+    adversary: Dict[str, Any] = {
+        "name": "bounded",
+        "rho": 0.9,
+        "sigma": 4.0,
+        "rounds": rounds,
+        "params": {"num_destinations": 8},
+    }
+    if algorithm == "pts":
+        adversary = {
+            "name": "single",
+            "rho": 1.0,
+            "sigma": 4.0,
+            "rounds": rounds,
+            "params": {},
+        }
+    elif algorithm == "hpts":
+        algo_params = {"levels": 2}
+        adversary["rho"] = 0.5  # Theorem 4.1 needs rho * ell <= 1
+    return ScenarioSpec.from_dict(
+        {
+            "name": f"perf/line/{algorithm}/n{n}",
+            "topology": {"kind": "line", "params": {"num_nodes": n}},
+            "algorithm": {"name": algorithm, "params": algo_params},
+            "adversary": adversary,
+            "policy": {"seed": 7, "drain": True},
+        }
+    )
+
+
+def _tree_spec(n: int, rounds: int) -> ScenarioSpec:
+    depth = TREE_DEPTHS[n]
+    return ScenarioSpec.from_dict(
+        {
+            "name": f"perf/tree/tree-ppts/n{n}",
+            "topology": {"kind": "tree", "params": {"family": "binary", "depth": depth}},
+            "algorithm": {"name": "tree-ppts", "params": {}},
+            "adversary": {
+                "name": "bounded",
+                "rho": 0.9,
+                "sigma": 4.0,
+                "rounds": rounds,
+                "params": {},
+            },
+            "policy": {"seed": 7, "drain": True},
+        }
+    )
+
+
+def _specs(sizes: List[tuple]) -> List[ScenarioSpec]:
+    specs = []
+    for n, rounds in sizes:
+        for algorithm in ("pts", "ppts", "hpts", "greedy"):
+            specs.append(_line_spec(algorithm, n, rounds))
+        specs.append(_tree_spec(n, rounds))
+    return specs
+
+
+def _time_engine(session: Session, spec: ScenarioSpec, repeats: int) -> Dict[str, Any]:
+    """Time the raw round loop: fixed injection rounds, no drain, best of N.
+
+    Best-of-N (like :func:`_calibrate`) keeps a single GC pause or
+    noisy-neighbor burst on a shared CI runner from reading as a regression.
+    Each repeat rebuilds the run from the spec in a fresh packet-id scope, so
+    every timing measures the identical execution.
+    """
+    from repro.core.packet import packet_id_scope
+
+    rounds = spec.adversary.rounds
+    elapsed = float("inf")
+    for _ in range(repeats):
+        with packet_id_scope():
+            prepared = session.prepare(spec)
+            simulator = Simulator(
+                prepared.topology, prepared.algorithm, prepared.adversary
+            )
+            start = time.perf_counter()
+            simulator.run(rounds, drain=False)
+            elapsed = min(elapsed, time.perf_counter() - start)
+    return {
+        "case": f"engine/{spec.label}",
+        "kind": "engine",
+        "n": prepared.topology.num_nodes,
+        "algorithm": spec.algorithm.name,
+        "topology": spec.topology.kind,
+        "rounds": rounds,
+        "repeats": repeats,
+        "elapsed_sec": elapsed,
+        "rounds_per_sec": rounds / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def _time_session(session: Session, spec: ScenarioSpec, repeats: int) -> Dict[str, Any]:
+    """Time one complete Session.run (resolution + simulation + drain), best of N."""
+    elapsed = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = session.run(spec)
+        elapsed = min(elapsed, time.perf_counter() - start)
+    return {
+        "case": f"session/{spec.label}",
+        "kind": "session",
+        "n": report.result.num_nodes,
+        "algorithm": spec.algorithm.name,
+        "topology": spec.topology.kind,
+        "rounds": report.result.rounds_executed,
+        "max_occupancy": report.result.max_occupancy,
+        "repeats": repeats,
+        "elapsed_sec": elapsed,
+        "rounds_per_sec": (
+            report.result.rounds_executed / elapsed if elapsed > 0 else float("inf")
+        ),
+        "runs_per_sec": 1.0 / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def run_suite(quick: bool, repeats: int) -> Dict[str, Any]:
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    calibration = _calibrate()
+    session = Session()
+    cases: List[Dict[str, Any]] = []
+    for spec in _specs(sizes):
+        case = _time_engine(session, spec, repeats)
+        case["normalized_throughput"] = case["rounds_per_sec"] / (calibration / 1e6)
+        cases.append(case)
+        print(
+            f"{case['case']:<40} {case['rounds_per_sec']:>12.0f} rounds/s "
+            f"({case['normalized_throughput']:.1f} norm)"
+        )
+    # End-to-end Session timing on the smallest tier only: it exists to catch
+    # regressions in resolution/drain/result assembly, not to re-time the loop.
+    n0, rounds0 = sizes[0]
+    for algorithm in ("pts", "ppts", "hpts", "greedy"):
+        case = _time_session(session, _line_spec(algorithm, n0, rounds0), repeats)
+        case["normalized_throughput"] = case["rounds_per_sec"] / (calibration / 1e6)
+        cases.append(case)
+        print(
+            f"{case['case']:<40} {case['runs_per_sec']:>12.2f} runs/s   "
+            f"({case['normalized_throughput']:.1f} norm)"
+        )
+    return {
+        "schema": SCHEMA,
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "calibration_ops_per_sec": calibration,
+        "cases": cases,
+    }
+
+
+def check_regression(
+    current: Dict[str, Any], baseline_path: str, tolerance: float
+) -> List[str]:
+    """Compare normalized throughput per case; return failure messages."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    baseline_by_case = {case["case"]: case for case in baseline.get("cases", [])}
+    failures = []
+    matched = 0
+    for case in current["cases"]:
+        reference = baseline_by_case.get(case["case"])
+        if reference is None:
+            print(f"warning: no baseline entry for {case['case']} "
+                  f"(regenerate {baseline_path}?)")
+            continue
+        matched += 1
+        floor = reference["normalized_throughput"] * (1.0 - tolerance)
+        if case["normalized_throughput"] < floor:
+            failures.append(
+                f"{case['case']}: normalized throughput "
+                f"{case['normalized_throughput']:.1f} < "
+                f"{floor:.1f} (baseline {reference['normalized_throughput']:.1f} "
+                f"- {tolerance:.0%})"
+            )
+    if matched == 0:
+        # Renamed cases must not turn the gate green vacuously.
+        failures.append(
+            f"no current case matched any baseline entry in {baseline_path}; "
+            f"regenerate the baseline"
+        )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small n, short horizons (CI)")
+    parser.add_argument("--output", default="BENCH_engine.json", help="result JSON path")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail if throughput regressed vs this baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression for --check (default 0.30)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timings per case, best kept (default: 3 quick, 1 full)")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 1)
+    if repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {repeats}")
+    results = run_suite(quick=args.quick, repeats=repeats)
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"\nwrote {args.output} ({len(results['cases'])} cases, {results['mode']} mode)")
+
+    if args.check:
+        failures = check_regression(results, args.check, args.tolerance)
+        if failures:
+            print("\nPERF REGRESSION:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"no regression vs {args.check} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

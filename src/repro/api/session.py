@@ -16,8 +16,9 @@ A :class:`Session` turns declarative specs into simulations:
 from __future__ import annotations
 
 import inspect
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..analysis.metrics import check_against_bound
@@ -247,21 +248,46 @@ class Session:
         scenarios: Iterable[Runnable],
         *,
         max_workers: Optional[int] = None,
+        use_processes: bool = False,
     ) -> List[RunReport]:
-        """Execute a batch of scenarios, fanned out over a thread pool.
+        """Execute a batch of scenarios, fanned out over a worker pool.
 
         Results come back in input order.  Topologies are constructed up
         front through the shared cache (so concurrent runs never race on
         construction); each spec then executes in its own packet-id scope.
         (:class:`PreparedRun` items carry pre-built, pre-numbered ingredients
         and run unscoped, exactly as :meth:`run` would execute them.)
+
+        With ``use_processes=True`` the batch runs on a
+        :class:`~concurrent.futures.ProcessPoolExecutor` instead of threads.
+        Simulations are pure-Python and GIL-bound, so this is the option that
+        actually scales CPU-bound sweeps across cores.  Every item must be a
+        :class:`ScenarioSpec` (specs are plain picklable data; live
+        :class:`PreparedRun` ingredients stay in-process) and each worker
+        builds its own topology — results are identical to the thread path
+        because every run is seeded through its spec and executes in a fresh
+        packet-id scope either way.
         """
         items: Sequence[Runnable] = list(scenarios)
+        workers = self.max_workers if max_workers is None else max_workers
+        if use_processes:
+            for item in items:
+                if not isinstance(item, ScenarioSpec):
+                    raise SpecError(
+                        "run_many(use_processes=True) requires ScenarioSpec items; "
+                        f"got {type(item).__name__}"
+                    )
+            if workers == 0 or len(items) <= 1:
+                return [self.run(item) for item in items]
+            worker = partial(
+                _run_spec_in_worker, cache_topologies=self.cache_topologies
+            )
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(worker, items))
         if self.cache_topologies:  # warm the topology cache sequentially
             for item in items:
                 if isinstance(item, ScenarioSpec):
                     self.topology(item.topology)
-        workers = self.max_workers if max_workers is None else max_workers
         if workers == 0 or len(items) <= 1:
             return [self.run(item) for item in items]
         with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -300,6 +326,16 @@ class Session:
             params=dict(prepared.params),
             spec=spec,
         )
+
+
+def _run_spec_in_worker(spec: ScenarioSpec, *, cache_topologies: bool = True) -> RunReport:
+    """Process-pool entry point: execute one spec in a fresh Session.
+
+    Module-level so it pickles by reference; each worker process gets its own
+    topology cache (sharing across processes is impossible anyway), configured
+    to match the dispatching Session.
+    """
+    return Session(cache_topologies=cache_topologies).run(spec)
 
 
 def reports_to_table(

@@ -107,11 +107,29 @@ class HierarchicalPeakToSink(ForwardingAlgorithm):
         self.batch_acceptance = batch_acceptance
         #: Packets injected but not yet accepted (phase batching).
         self._staged: List[Packet] = []
+        #: Per hierarchy level, the intermediate destinations with at least
+        #: one nonempty ``(level, w)`` pseudo-buffer somewhere on the line.
+        self._level_destinations: Dict[int, set] = {}
+
+    #: Debug/equivalence switch: ``False`` restores the seed engine's
+    #: per-round interval scans (the indices stay maintained either way).
+    use_incremental_selection = True
 
     # -- packet placement --------------------------------------------------------
 
     def classify(self, packet: Packet, node: int) -> Hashable:
         return self.partition.pseudo_buffer_key(node, packet.destination)
+
+    def on_buffer_change(
+        self, node: int, key: Hashable, old_len: int, new_len: int
+    ) -> None:
+        level, intermediate = key  # keys are (level, intermediate destination)
+        if new_len > 0 and old_len == 0:
+            self._level_destinations.setdefault(level, set()).add(intermediate)
+        elif new_len == 0 and old_len > 0 and not self._index.nonempty(key):
+            existing = self._level_destinations.get(level)
+            if existing is not None:
+                existing.discard(intermediate)
 
     def on_inject(self, round_number: int, packets: List[Packet]) -> None:
         if self.batch_acceptance:
@@ -170,25 +188,35 @@ class HierarchicalPeakToSink(ForwardingAlgorithm):
         activations: List[Activation],
     ) -> None:
         """Algorithm 4 restricted to the level-``level`` interval ``[start, end]``."""
-        destinations = sorted(
-            {
-                key[1]
-                for i in range(start, end + 1)
-                for key in self.buffers[i].nonempty_keys()
-                if isinstance(key, tuple) and key[0] == level
-            }
-        )
+        if self.use_incremental_selection:
+            destinations = sorted(
+                w
+                for w in self._level_destinations.get(level, ())
+                if self._index.has_nonempty_in((level, w), start, end)
+            )
+        else:
+            destinations = sorted(
+                {
+                    key[1]
+                    for i in range(start, end + 1)
+                    for key in self.buffers[i].nonempty_keys()
+                    if isinstance(key, tuple) and key[0] == level
+                }
+            )
         if not destinations:
             return
         frontier = max(destinations)
         for w in reversed(destinations):
             key = (level, w)
             last = min(frontier - 1, w - 1, end)
-            bad = None
-            for i in range(start, last + 1):
-                if self.buffers[i].load_of(key) >= 2:
-                    bad = i
-                    break
+            if self.use_incremental_selection:
+                bad = self._index.leftmost_bad(key, start, last)
+            else:
+                bad = None
+                for i in range(start, last + 1):
+                    if self.buffers[i].load_of(key) >= 2:
+                        bad = i
+                        break
             if bad is None:
                 continue
             for i in range(bad, last + 1):

@@ -75,11 +75,15 @@ class LocalThresholdForwarding(ForwardingAlgorithm):
         threshold: int = 2,
         discipline: QueueDiscipline = QueueDiscipline.LIFO,
     ) -> None:
-        super().__init__(topology, discipline=discipline)
         if locality < 0:
             raise ConfigurationError(f"locality must be >= 0, got {locality}")
         if threshold < 1:
             raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+        # "Bad" for this rule means load >= threshold (2 recovers the paper's
+        # badness); the base class's index then makes each node's
+        # congestion-window check a single sorted-set lookup instead of an
+        # O(r) scan.
+        super().__init__(topology, discipline=discipline, bad_threshold=threshold)
         if destination is None:
             destination = topology.num_nodes - 1
         max_destination = (
@@ -104,13 +108,10 @@ class LocalThresholdForwarding(ForwardingAlgorithm):
 
     def select_activations(self, round_number: int) -> List[Activation]:
         last_buffer = min(self.destination - 1, self.topology.num_nodes - 1)
-        loads = [self.buffers[i].load for i in range(last_buffer + 1)]
         activations: List[Activation] = []
-        for i in range(last_buffer + 1):
-            if loads[i] == 0:
-                continue
+        for i in self._index.nonempty_in(self.destination, 0, last_buffer):
             window_start = max(0, i - self.locality)
-            if any(loads[j] >= self.threshold for j in range(window_start, i + 1)):
+            if self._index.leftmost_bad(self.destination, window_start, i) is not None:
                 activations.append(Activation(node=i, key=self.destination))
         return activations
 
@@ -157,15 +158,16 @@ class DownhillForwarding(ForwardingAlgorithm):
 
     def select_activations(self, round_number: int) -> List[Activation]:
         last_buffer = min(self.destination - 1, self.topology.num_nodes - 1)
+        occupancy = self._occupancy
         activations: List[Activation] = []
         for i in range(last_buffer + 1):
-            load = self.buffers[i].load
+            load = occupancy[i]
             if load == 0:
                 continue
             if i == last_buffer:
                 successor_load = 0
             else:
-                successor_load = self.buffers[i + 1].load
+                successor_load = occupancy[i + 1]
             if load >= successor_load:
                 activations.append(Activation(node=i, key=self.destination))
         return activations

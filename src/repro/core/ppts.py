@@ -70,6 +70,10 @@ class ParallelPeakToSink(ForwardingAlgorithm):
         #: Destinations actually observed among injected packets.
         self._observed_destinations: set = set()
 
+    #: Debug/equivalence switch: ``False`` restores the seed engine's
+    #: per-round linear scans (the indices stay maintained either way).
+    use_incremental_selection = True
+
     # -- ForwardingAlgorithm interface ------------------------------------------
 
     def classify(self, packet: Packet, node: int) -> Hashable:
@@ -77,6 +81,8 @@ class ParallelPeakToSink(ForwardingAlgorithm):
         return packet.destination
 
     def select_activations(self, round_number: int) -> List[Activation]:
+        if not self.use_incremental_selection:
+            return self._select_activations_scan(round_number)
         destinations = self.destinations()
         activations: List[Activation] = []
         # The activation frontier: nothing to its right may be activated for
@@ -87,6 +93,23 @@ class ParallelPeakToSink(ForwardingAlgorithm):
             frontier = max(
                 frontier, max(destinations)
             )  # virtual-sink destinations can exceed n - 1
+        for w in reversed(destinations):
+            last = min(frontier - 1, w - 1, self.topology.num_nodes - 1)
+            bad = self._index.leftmost_bad(w, 0, last)
+            if bad is None:
+                continue
+            for i in self._index.nonempty_in(w, bad, last):
+                activations.append(Activation(node=i, key=w))
+            frontier = bad
+        return activations
+
+    def _select_activations_scan(self, round_number: int) -> List[Activation]:
+        """The seed engine's O(n * d) selection, kept as the reference path."""
+        destinations = self.destinations()
+        activations: List[Activation] = []
+        frontier = self.topology.num_nodes
+        if destinations:
+            frontier = max(frontier, max(destinations))
         for w in reversed(destinations):
             bad = self._leftmost_bad_for(w, frontier)
             if bad is None:

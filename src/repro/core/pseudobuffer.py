@@ -15,11 +15,16 @@ from __future__ import annotations
 
 from collections import deque
 from enum import Enum
-from typing import Deque, Dict, Hashable, Iterable, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Hashable, Iterable, Iterator, List, Optional
 
 from .packet import Packet
 
 __all__ = ["QueueDiscipline", "PseudoBuffer", "NodeBuffer"]
+
+#: Change listener signature: ``(key, old_len, new_len)`` for pseudo-buffers,
+#: ``(node, key, old_len, new_len)`` for node buffers.
+PseudoChangeListener = Callable[[Hashable, int, int], None]
+NodeChangeListener = Callable[[int, Hashable, int, int], None]
 
 
 class QueueDiscipline(Enum):
@@ -39,16 +44,23 @@ class PseudoBuffer:
         index, or a ``(level, destination)`` pair for HPTS).
     discipline:
         Queue discipline used when a packet is popped for forwarding.
+    on_change:
+        Optional listener invoked as ``on_change(key, old_len, new_len)``
+        after every mutation.  :class:`NodeBuffer` uses it to keep its cached
+        load/badness counters exact without re-summing.
     """
 
     def __init__(
         self,
         key: Hashable,
         discipline: QueueDiscipline = QueueDiscipline.LIFO,
+        *,
+        on_change: Optional[PseudoChangeListener] = None,
     ) -> None:
         self.key = key
         self.discipline = discipline
         self._packets: Deque[Packet] = deque()
+        self._on_change = on_change
 
     # -- container protocol ----------------------------------------------------
 
@@ -69,14 +81,22 @@ class PseudoBuffer:
     def push(self, packet: Packet) -> None:
         """Store a packet (arrival by injection or by forwarding)."""
         self._packets.append(packet)
+        if self._on_change is not None:
+            new_len = len(self._packets)
+            self._on_change(self.key, new_len - 1, new_len)
 
     def pop(self) -> Packet:
         """Remove and return the next packet according to the discipline."""
         if not self._packets:
             raise IndexError(f"pop from empty pseudo-buffer {self.key!r}")
         if self.discipline is QueueDiscipline.LIFO:
-            return self._packets.pop()
-        return self._packets.popleft()
+            packet = self._packets.pop()
+        else:
+            packet = self._packets.popleft()
+        if self._on_change is not None:
+            new_len = len(self._packets)
+            self._on_change(self.key, new_len + 1, new_len)
+        return packet
 
     def peek(self) -> Optional[Packet]:
         """Return the packet that :meth:`pop` would return, without removing it."""
@@ -89,6 +109,9 @@ class PseudoBuffer:
     def remove(self, packet: Packet) -> None:
         """Remove a specific packet (used by schedulers with custom priority)."""
         self._packets.remove(packet)
+        if self._on_change is not None:
+            new_len = len(self._packets)
+            self._on_change(self.key, new_len + 1, new_len)
 
     def packets(self) -> List[Packet]:
         """Snapshot of the stored packets, oldest first."""
@@ -118,24 +141,46 @@ class NodeBuffer:
     The node lazily creates pseudo-buffers on first use, mirroring the paper's
     remark that PPTS need not know the destination set in advance: only
     destinations that actually receive packets ever materialise a queue.
+
+    Load and badness totals (``load``, ``total_bad``) are cached counters,
+    updated by the pseudo-buffers' change notifications on every push / pop /
+    remove, so reading them is O(1) regardless of how many pseudo-buffers the
+    node has accumulated.  An optional ``on_change`` listener receives
+    ``(node, key, old_len, new_len)`` after each mutation — the forwarding
+    algorithm uses it to keep its occupancy delta and bad-buffer indices live.
     """
 
     def __init__(
         self,
         node: int,
         discipline: QueueDiscipline = QueueDiscipline.LIFO,
+        *,
+        on_change: Optional[NodeChangeListener] = None,
     ) -> None:
         self.node = node
         self.discipline = discipline
         self._pseudo: Dict[Hashable, PseudoBuffer] = {}
+        self._load = 0
+        self._total_bad = 0
+        self._on_change = on_change
+
+    def _pseudo_changed(self, key: Hashable, old_len: int, new_len: int) -> None:
+        self._load += new_len - old_len
+        self._total_bad += (new_len - 1 if new_len > 1 else 0) - (
+            old_len - 1 if old_len > 1 else 0
+        )
+        if self._on_change is not None:
+            self._on_change(self.node, key, old_len, new_len)
 
     # -- pseudo-buffer management ----------------------------------------------
 
     def pseudo_buffer(self, key: Hashable) -> PseudoBuffer:
         """Return (creating if necessary) the pseudo-buffer for ``key``."""
-        if key not in self._pseudo:
-            self._pseudo[key] = PseudoBuffer(key, self.discipline)
-        return self._pseudo[key]
+        pb = self._pseudo.get(key)
+        if pb is None:
+            pb = PseudoBuffer(key, self.discipline, on_change=self._pseudo_changed)
+            self._pseudo[key] = pb
+        return pb
 
     def existing(self, key: Hashable) -> Optional[PseudoBuffer]:
         """Return the pseudo-buffer for ``key`` if it exists, else ``None``."""
@@ -180,8 +225,8 @@ class NodeBuffer:
 
     @property
     def load(self) -> int:
-        """``|L(i)|`` — total number of packets stored at this node."""
-        return sum(len(pb) for pb in self._pseudo.values())
+        """``|L(i)|`` — total number of packets stored at this node (cached)."""
+        return self._load
 
     def load_of(self, key: Hashable) -> int:
         """``|L_k(i)|`` for pseudo-buffer ``key`` (0 if it does not exist)."""
@@ -200,7 +245,15 @@ class NodeBuffer:
 
     @property
     def total_bad(self) -> int:
-        """Total bad packets at this node, summed over pseudo-buffers."""
+        """Total bad packets at this node, over all pseudo-buffers (cached)."""
+        return self._total_bad
+
+    def recount_load(self) -> int:
+        """From-scratch recount of :attr:`load` (tests / debugging only)."""
+        return sum(len(pb) for pb in self._pseudo.values())
+
+    def recount_total_bad(self) -> int:
+        """From-scratch recount of :attr:`total_bad` (tests / debugging only)."""
         return sum(pb.bad_packet_count for pb in self._pseudo.values())
 
     def __len__(self) -> int:

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Set
 
 from ..network.topology import Topology
+from .indexset import BufferIndex
 from .packet import Packet
 from .pseudobuffer import NodeBuffer, QueueDiscipline
 
@@ -48,6 +49,22 @@ class ForwardingAlgorithm(ABC):
     pseudo-buffers forward this round).  The default injection handling stores
     packets immediately; algorithms that batch acceptance (HPTS) override
     :meth:`on_inject` and :meth:`staged_count`.
+
+    The base class keeps a *live* occupancy map: every buffer mutation flows
+    through :meth:`_buffer_changed` (wired into the node buffers' change
+    listeners), which updates the per-node load, the total stored count and a
+    dirty-node set.  :meth:`occupancy_delta` hands the simulator just the
+    nodes whose load changed since the last call, so per-round measurement
+    cost is proportional to the number of packets that moved, not to the
+    network size; :meth:`occupancy_vector` remains as the full-snapshot
+    compatibility/debug path.
+
+    The same notifications feed ``self._index``, a
+    :class:`~repro.core.indexset.BufferIndex` of sorted nonempty/bad buffer
+    positions per pseudo-buffer key, which the peak-to-sink algorithms
+    select activations from in O(log n).  Subclasses needing further
+    incremental structures override :meth:`on_buffer_change` (e.g. HPTS's
+    per-level destination sets).
     """
 
     #: Human-readable identifier used in result tables.
@@ -58,12 +75,43 @@ class ForwardingAlgorithm(ABC):
         topology: Topology,
         *,
         discipline: QueueDiscipline = QueueDiscipline.LIFO,
+        bad_threshold: int = 2,
     ) -> None:
         self.topology = topology
         self.discipline = discipline
+        self._occupancy: Dict[int, int] = {node: 0 for node in topology.nodes}
+        self._dirty_nodes: Set[int] = set()
+        self._total_stored = 0
+        self._index = BufferIndex(bad_threshold)
+        #: Empty pseudo-buffers are garbage-collected every ``_gc_interval``
+        #: rounds (multi-destination runs otherwise leak one queue per
+        #: destination per node over a long horizon).
+        self._gc_interval = max(topology.num_nodes, 1)
+        self._rounds_until_gc = self._gc_interval
         self.buffers: Dict[int, NodeBuffer] = {
-            node: NodeBuffer(node, discipline) for node in topology.nodes
+            node: NodeBuffer(node, discipline, on_change=self._buffer_changed)
+            for node in topology.nodes
         }
+
+    def _buffer_changed(
+        self, node: int, key: Hashable, old_len: int, new_len: int
+    ) -> None:
+        delta = new_len - old_len
+        if delta:
+            self._occupancy[node] += delta
+            self._total_stored += delta
+            self._dirty_nodes.add(node)
+        self._index.update(node, key, old_len, new_len)
+        self.on_buffer_change(node, key, old_len, new_len)
+
+    def on_buffer_change(
+        self, node: int, key: Hashable, old_len: int, new_len: int
+    ) -> None:
+        """Hook: pseudo-buffer ``key`` at ``node`` went ``old_len -> new_len``.
+
+        Called on every push/pop/remove, after the occupancy map and the
+        position index have been updated.  The default does nothing.
+        """
 
     # -- packet placement --------------------------------------------------------
 
@@ -95,25 +143,54 @@ class ForwardingAlgorithm(ABC):
         """The family ``A`` of pseudo-buffers that forward this round."""
 
     def on_round_end(self, round_number: int) -> None:
-        """Hook called after the forwarding step completes (default: no-op)."""
+        """Hook called after the forwarding step completes.
+
+        The default periodically garbage-collects empty pseudo-buffers (about
+        once every ``num_nodes`` rounds); subclasses overriding this hook
+        should call ``super().on_round_end(round_number)`` to keep long
+        multi-destination runs from leaking empty queues.
+        """
+        self._rounds_until_gc -= 1
+        if self._rounds_until_gc <= 0:
+            self._rounds_until_gc = self._gc_interval
+            for buffer in self.buffers.values():
+                buffer.drop_empty()
 
     # -- occupancy queries -----------------------------------------------------------
 
     def occupancy(self, node: int) -> int:
         """``|L(node)|`` — packets currently stored (accepted) at ``node``."""
-        return self.buffers[node].load
+        return self._occupancy[node]
 
     def occupancy_vector(self) -> Dict[int, int]:
-        """Occupancy of every node."""
-        return {node: buffer.load for node, buffer in self.buffers.items()}
+        """Occupancy of every node (full snapshot; compatibility/debug path).
+
+        Does *not* consume the dirty-node set — adaptive adversaries may call
+        this mid-round without disturbing the simulator's delta accounting.
+        """
+        return dict(self._occupancy)
+
+    def occupancy_delta(self) -> Dict[int, int]:
+        """Current load of every node whose load changed since the last call.
+
+        Consumes the dirty-node set.  The simulator folds this into its
+        running occupancy maxima: a node absent from the delta has the same
+        load it had at the previous measurement, which is already folded in.
+        """
+        if not self._dirty_nodes:
+            return {}
+        occupancy = self._occupancy
+        delta = {node: occupancy[node] for node in self._dirty_nodes}
+        self._dirty_nodes.clear()
+        return delta
 
     def max_occupancy(self) -> int:
         """The largest buffer occupancy right now."""
-        return max((buffer.load for buffer in self.buffers.values()), default=0)
+        return max(self._occupancy.values(), default=0)
 
     def total_stored(self) -> int:
         """Total packets stored across all buffers (excluding staged packets)."""
-        return sum(buffer.load for buffer in self.buffers.values())
+        return self._total_stored
 
     def staged_count(self) -> int:
         """Packets injected but not yet accepted (0 for immediate-accept algorithms)."""

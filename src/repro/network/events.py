@@ -93,7 +93,20 @@ class SimulationResult:
 
 
 class OccupancyTimeline:
-    """Incremental tracker of per-node and global occupancy maxima."""
+    """Incremental tracker of per-node and global occupancy maxima.
+
+    Two feeding modes produce identical maxima:
+
+    * :meth:`observe` folds a *full* occupancy snapshot (the seed engine's
+      path, still used when per-round history is recorded);
+    * :meth:`observe_delta` folds only the nodes whose load changed since the
+      previous measurement.  A node absent from the delta had the same load
+      as at the previous measurement, which is already folded into the
+      maxima, so skipping it cannot lose a peak.  Either way ``max_per_node``
+      only ever contains nodes whose load exceeded zero at some measurement
+      (a maximum is recorded only when a load strictly exceeds the running
+      value, which starts at 0).
+    """
 
     def __init__(self) -> None:
         self.max_occupancy = 0
@@ -109,3 +122,16 @@ class OccupancyTimeline:
                 self.max_occupancy = load
         if staged > self.max_staged:
             self.max_staged = staged
+
+    def observe_delta(self, delta: Dict[int, int], staged: int = 0) -> None:
+        """Fold one changed-nodes-only measurement into the running maxima."""
+        if staged > self.max_staged:
+            self.max_staged = staged
+        if not delta:
+            return
+        max_per_node = self.max_per_node
+        for node, load in delta.items():
+            if load > max_per_node.get(node, 0):
+                max_per_node[node] = load
+                if load > self.max_occupancy:
+                    self.max_occupancy = load

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from ..core.packet import Packet, PacketState
+from ..core.packet import Packet
 from ..core.scheduler import Activation, ForwardingAlgorithm
 from ..network.errors import CapacityViolationError, SchedulingError
 from ..network.topology import Topology
@@ -82,6 +82,12 @@ class Simulator:
         self._round = 0
         self._injected = 0
         self._delivered = 0
+        #: Latency aggregates folded in at delivery time, so building the
+        #: result does not re-walk every packet ever injected.
+        self._latency_sum = 0
+        self._latency_max: Optional[int] = None
+        #: Precomputed next-hop table consulted on every forwarded packet.
+        self._next_hop = topology.next_hop_table()
 
     # -- public API --------------------------------------------------------------
 
@@ -138,10 +144,16 @@ class Simulator:
         self._injected += len(new_packets)
         self.algorithm.on_inject(round_number, new_packets)
 
-        # L^t: after injection, before forwarding.
-        occupancy_before = self.algorithm.occupancy_vector()
+        # L^t: after injection, before forwarding.  The hot path folds only
+        # the nodes whose load changed since the previous measurement into
+        # the running maxima; full snapshots are taken only when per-round
+        # history is requested (which needs them anyway).
         staged = self.algorithm.staged_count()
-        self._timeline.observe(occupancy_before, staged)
+        if self.record_history:
+            occupancy_before = self.algorithm.occupancy_vector()
+            self._timeline.observe(occupancy_before, staged)
+        else:
+            self._timeline.observe_delta(self.algorithm.occupancy_delta(), staged)
 
         activations = self.algorithm.select_activations(round_number)
         if self.validate_capacity:
@@ -149,7 +161,9 @@ class Simulator:
         forwarded, delivered = self._apply_activations(activations, round_number)
         self._delivered += delivered
 
-        occupancy_after = self.algorithm.occupancy_vector()
+        occupancy_after = (
+            self.algorithm.occupancy_vector() if self.record_history else None
+        )
         self.algorithm.on_round_end(round_number)
 
         if self.record_history:
@@ -183,7 +197,7 @@ class Simulator:
                     f"round {round_number}: activation names unknown node {node}"
                 )
             if node in seen_nodes:
-                next_hop = self.topology.next_hop(node)
+                next_hop = self._next_hop.get(node)
                 raise CapacityViolationError(
                     edge=(node, next_hop),
                     round_number=round_number,
@@ -209,7 +223,7 @@ class Simulator:
                 packet = activation.packet
             else:
                 packet = pseudo.pop()
-            next_hop = self.topology.next_hop(activation.node)
+            next_hop = self._next_hop.get(activation.node)
             if next_hop is None:
                 raise SchedulingError(
                     f"round {round_number}: node {activation.node} has no outgoing edge"
@@ -222,6 +236,10 @@ class Simulator:
             if next_hop == packet.destination:
                 packet.deliver(round_number)
                 delivered += 1
+                latency = round_number - packet.injected_round
+                self._latency_sum += latency
+                if self._latency_max is None or latency > self._latency_max:
+                    self._latency_max = latency
             else:
                 self.algorithm.on_arrival(packet, next_hop, round_number)
         return len(moves), delivered
@@ -263,16 +281,11 @@ class Simulator:
     # -- result assembly -----------------------------------------------------------
 
     def _build_result(self, drained: bool) -> SimulationResult:
-        latencies = [
-            packet.latency
-            for packet in self.packets.values()
-            if packet.latency is not None
-        ]
-        undelivered = sum(
-            1
-            for packet in self.packets.values()
-            if packet.state is not PacketState.DELIVERED
-        )
+        # Latency maxima/sums and the delivered count are folded in at
+        # delivery time (latencies are integers, so the running sum is exact
+        # and the mean matches a from-scratch recomputation bit for bit).
+        delivered = self._delivered
+        undelivered = len(self.packets) - delivered
         return SimulationResult(
             algorithm=self.algorithm.name,
             num_nodes=self.topology.num_nodes,
@@ -281,10 +294,10 @@ class Simulator:
             max_occupancy_per_node=dict(self._timeline.max_per_node),
             max_staged=self._timeline.max_staged,
             packets_injected=self._injected,
-            packets_delivered=self._delivered,
+            packets_delivered=delivered,
             packets_undelivered=undelivered,
-            max_latency=max(latencies) if latencies else None,
-            mean_latency=(sum(latencies) / len(latencies)) if latencies else None,
+            max_latency=self._latency_max,
+            mean_latency=(self._latency_sum / delivered) if delivered else None,
             drained=drained,
             history=self._history,
         )

@@ -69,6 +69,19 @@ class Topology(ABC):
     def next_hop(self, node: int) -> Optional[int]:
         """The unique out-neighbour of ``node``, or ``None`` for a sink."""
 
+    def next_hop_table(self) -> Dict[int, Optional[int]]:
+        """Precomputed ``node -> next_hop(node)`` map for the whole topology.
+
+        Built once and cached; the simulator consults this on every forwarded
+        packet instead of paying per-call bounds checks.  Topologies are
+        immutable after construction, so the cache never goes stale.
+        """
+        table = getattr(self, "_next_hop_table", None)
+        if table is None:
+            table = {node: self.next_hop(node) for node in self.nodes}
+            self._next_hop_table = table
+        return table
+
     @abstractmethod
     def path(self, source: int, destination: int) -> List[int]:
         """The node sequence of ``Path(source, destination)`` (inclusive)."""

@@ -6,6 +6,8 @@ import pytest
 
 from repro.api import RunPolicy, Scenario, Session, TopologySpec
 from repro.api.session import PreparedRun
+from repro.api.specs import SpecError
+from repro.adversary.base import InjectionPattern
 from repro.core.packet import make_injection, packet_id_scope
 from repro.core.pts import PeakToSink
 from repro.adversary.stress import pts_burst_stress
@@ -166,6 +168,41 @@ class TestRunManyDeterminism:
         ]
         reports = Session().run_many(specs, max_workers=4)
         assert [report.result.num_nodes for report in reports] == [8, 16, 32, 64]
+
+    def test_run_many_with_processes_matches_thread_pool(self):
+        specs = [_random_spec(seed, d=2 + seed % 3) for seed in range(4)]
+        threaded = Session().run_many(specs, max_workers=2)
+        processed = Session().run_many(specs, max_workers=2, use_processes=True)
+        for thread_report, process_report in zip(threaded, processed):
+            assert (
+                thread_report.result.max_occupancy
+                == process_report.result.max_occupancy
+            )
+            assert (
+                thread_report.result.max_occupancy_per_node
+                == process_report.result.max_occupancy_per_node
+            )
+            assert (
+                thread_report.result.packets_injected
+                == process_report.result.packets_injected
+            )
+            assert (
+                thread_report.result.mean_latency
+                == process_report.result.mean_latency
+            )
+        assert [r.result.num_nodes for r in processed] == [
+            r.result.num_nodes for r in threaded
+        ]
+
+    def test_run_many_with_processes_rejects_prepared_runs(self):
+        line = LineTopology(8)
+        prepared = PreparedRun(
+            topology=line,
+            algorithm=PeakToSink(line),
+            adversary=InjectionPattern.from_tuples([(0, 0, 7)]),
+        )
+        with pytest.raises(SpecError):
+            Session().run_many([prepared], use_processes=True)
 
 
 class TestSeedPropagation:

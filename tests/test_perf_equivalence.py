@@ -1,0 +1,176 @@
+"""End-to-end equivalence of the delta-driven engine with the seed engine.
+
+The acceptance bar for the incremental engine is *bit-identical*
+:class:`SimulationResult` values on seeded runs:
+
+* the delta-fed :class:`OccupancyTimeline` (hot path) against the
+  full-snapshot path (used when history recording is on),
+* the incremental ``select_activations`` of PTS / PPTS / HPTS and the tree
+  algorithms against the seed engine's linear scans,
+* latency / delivery statistics folded in at delivery time against the
+  per-packet recomputation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.session import Session
+from repro.api.specs import ScenarioSpec
+
+
+def _spec(payload):
+    return ScenarioSpec.from_dict(payload)
+
+
+LINE_SCENARIOS = [
+    _spec(
+        {
+            "name": "equiv/pts",
+            "topology": {"kind": "line", "params": {"num_nodes": 48}},
+            "algorithm": {"name": "pts", "params": {}},
+            "adversary": {"name": "single", "rho": 1.0, "sigma": 3.0,
+                          "rounds": 220, "params": {}},
+            "policy": {"seed": 11},
+        }
+    ),
+    _spec(
+        {
+            "name": "equiv/ppts",
+            "topology": {"kind": "line", "params": {"num_nodes": 48}},
+            "algorithm": {"name": "ppts", "params": {}},
+            "adversary": {"name": "bounded", "rho": 0.9, "sigma": 3.0,
+                          "rounds": 220, "params": {"num_destinations": 6}},
+            "policy": {"seed": 11},
+        }
+    ),
+    _spec(
+        {
+            "name": "equiv/hpts",
+            "topology": {"kind": "line", "params": {"num_nodes": 64}},
+            "algorithm": {"name": "hpts", "params": {"levels": 2}},
+            "adversary": {"name": "bounded", "rho": 0.5, "sigma": 3.0,
+                          "rounds": 220, "params": {"num_destinations": 6}},
+            "policy": {"seed": 11},
+        }
+    ),
+    _spec(
+        {
+            "name": "equiv/greedy",
+            "topology": {"kind": "line", "params": {"num_nodes": 48}},
+            "algorithm": {"name": "greedy", "params": {}},
+            "adversary": {"name": "bounded", "rho": 0.9, "sigma": 3.0,
+                          "rounds": 220, "params": {"num_destinations": 6}},
+            "policy": {"seed": 11},
+        }
+    ),
+    _spec(
+        {
+            "name": "equiv/tree-ppts",
+            "topology": {"kind": "tree", "params": {"family": "random",
+                                                    "num_nodes": 40, "seed": 5}},
+            "algorithm": {"name": "tree-ppts", "params": {}},
+            "adversary": {"name": "convergecast", "rho": 0.9, "sigma": 3.0,
+                          "rounds": 180, "params": {}},
+            "policy": {"seed": 11},
+        }
+    ),
+]
+
+
+def _result_fingerprint(result):
+    return (
+        result.max_occupancy,
+        result.max_occupancy_per_node,
+        result.max_staged,
+        result.rounds_executed,
+        result.packets_injected,
+        result.packets_delivered,
+        result.packets_undelivered,
+        result.max_latency,
+        result.mean_latency,
+        result.drained,
+    )
+
+
+def _with_policy(spec, **overrides):
+    policy = dict(
+        rounds=spec.policy.rounds,
+        drain=spec.policy.drain,
+        max_drain_rounds=spec.policy.max_drain_rounds,
+        record_history=spec.policy.record_history,
+        record_occupancy_vectors=spec.policy.record_occupancy_vectors,
+        validate_capacity=spec.policy.validate_capacity,
+        seed=spec.policy.seed,
+    )
+    policy.update(overrides)
+    return _spec({**spec.to_dict(), "policy": policy})
+
+
+@pytest.mark.parametrize("spec", LINE_SCENARIOS, ids=lambda s: s.label)
+def test_delta_timeline_matches_full_snapshot_path(spec):
+    """History mode uses full snapshots; the hot path uses deltas.  Same result."""
+    session = Session()
+    delta_report = session.run(spec)
+    snapshot_report = session.run(_with_policy(spec, record_history=True))
+    assert _result_fingerprint(delta_report.result) == _result_fingerprint(
+        snapshot_report.result
+    )
+    # The per-round history must agree with the timeline it produced.
+    history_max = max(
+        (record.max_occupancy for record in snapshot_report.result.history), default=0
+    )
+    assert history_max == delta_report.result.max_occupancy
+
+
+@pytest.mark.parametrize("spec", LINE_SCENARIOS, ids=lambda s: s.label)
+def test_incremental_engine_matches_seed_scan_engine(spec):
+    """Flip the algorithms back to the seed scan path; results must be identical."""
+    session = Session()
+    incremental = session.run(spec)
+
+    scan_session = Session()
+    with_scan = scan_session.prepare(spec)  # outside a scope: ids still scoped below
+    algorithm_type = type(with_scan.algorithm)
+    assert getattr(algorithm_type, "use_incremental_selection", None) is True
+    try:
+        algorithm_type.use_incremental_selection = False
+        scan = scan_session.run(spec)
+    finally:
+        algorithm_type.use_incremental_selection = True
+
+    assert _result_fingerprint(incremental.result) == _result_fingerprint(scan.result)
+    assert incremental.within_bound == scan.within_bound
+
+
+def test_latency_statistics_match_per_packet_recount():
+    spec = LINE_SCENARIOS[1]
+    from repro.core.packet import packet_id_scope
+    from repro.network.simulator import Simulator
+
+    session = Session()
+    with packet_id_scope():
+        prepared = session.prepare(spec)
+        simulator = Simulator(prepared.topology, prepared.algorithm, prepared.adversary)
+        result = simulator.run()
+    latencies = [
+        packet.latency
+        for packet in simulator.packets.values()
+        if packet.latency is not None
+    ]
+    assert result.packets_delivered == len(latencies)
+    assert result.max_latency == (max(latencies) if latencies else None)
+    assert result.mean_latency == (
+        sum(latencies) / len(latencies) if latencies else None
+    )
+    assert result.packets_undelivered == len(simulator.packets) - len(latencies)
+
+
+def test_empty_run_produces_seed_shaped_result():
+    """Zero rounds, zero packets: the delta path must not invent node entries."""
+    spec = _with_policy(LINE_SCENARIOS[0], rounds=0, drain=False)
+    result = Session().run(spec).result
+    assert result.max_occupancy == 0
+    assert result.rounds_executed == 0
+    assert result.max_latency is None
+    assert result.mean_latency is None

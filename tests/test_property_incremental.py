@@ -1,0 +1,275 @@
+"""Property tests for the delta-driven engine's incremental bookkeeping.
+
+Three layers of cached state must exactly track a from-scratch recount after
+*any* mutation sequence:
+
+* ``NodeBuffer.load`` / ``total_bad`` (updated by pseudo-buffer change
+  notifications),
+* ``ForwardingAlgorithm``'s live occupancy map, dirty-node set and
+  ``total_stored`` counter,
+* the sorted nonempty/bad position indices (``repro.core.indexset``) the
+  peak-to-sink algorithms select activations from.
+
+And the incremental ``select_activations`` paths must produce exactly the
+activation lists of the seed engine's linear scans on the same configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexset import BufferIndex, SortedIndexSet
+from repro.core.packet import Packet, make_injection, packet_id_scope
+from repro.core.pseudobuffer import NodeBuffer
+from repro.core.pts import PeakToSink
+from repro.core.ppts import ParallelPeakToSink
+from repro.core.scheduler import Activation, ForwardingAlgorithm
+from repro.core.tree import TreeParallelPeakToSink, TreePeakToSink
+from repro.network.topology import LineTopology, random_tree
+
+
+# ---------------------------------------------------------------------------
+# SortedIndexSet
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 30)), max_size=200))
+def test_sorted_index_set_matches_reference_set(operations):
+    index = SortedIndexSet()
+    reference: set = set()
+    for add, value in operations:
+        if add:
+            index.add(value)
+            reference.add(value)
+        else:
+            index.discard(value)
+            reference.discard(value)
+        assert list(index) == sorted(reference)
+        assert len(index) == len(reference)
+        for probe in (0, 7, 29):
+            assert (probe in index) == (probe in reference)
+    expected_first = min(reference) if reference else None
+    assert index.first() == expected_first
+    in_window = [v for v in sorted(reference) if 5 <= v <= 20]
+    assert index.first_in(5, 20) == (in_window[0] if in_window else None)
+    assert list(index.range_iter(5, 20)) == in_window
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 3), st.integers(0, 4)),
+        max_size=150,
+    )
+)
+def test_buffer_index_matches_recount(length_changes):
+    """Feed arbitrary length transitions; indices must match a recount."""
+    index = BufferIndex()
+    lengths = {}
+    for node, key, new_len in length_changes:
+        old_len = lengths.get((node, key), 0)
+        lengths[(node, key)] = new_len
+        index.update(node, key, old_len, new_len)
+    keys = {key for _, key in lengths}
+    for key in keys:
+        expected_nonempty = sorted(
+            node for (node, k), length in lengths.items() if k == key and length >= 1
+        )
+        expected_bad = sorted(
+            node for (node, k), length in lengths.items() if k == key and length >= 2
+        )
+        assert list(index.nonempty(key)) == expected_nonempty
+        assert list(index.bad(key)) == expected_bad
+
+
+# ---------------------------------------------------------------------------
+# NodeBuffer cached counters
+# ---------------------------------------------------------------------------
+
+
+def _random_node_buffer_ops(seed: int, rounds: int = 300) -> NodeBuffer:
+    rng = random.Random(seed)
+    buffer = NodeBuffer(node=0)
+    stored: List[tuple] = []  # (key, packet)
+    with packet_id_scope():
+        for _ in range(rounds):
+            action = rng.random()
+            key = rng.randrange(4)
+            if action < 0.5 or not stored:
+                packet = Packet.from_injection(make_injection(0, 0, 5))
+                buffer.store(packet, key)
+                stored.append((key, packet))
+            elif action < 0.8:
+                keys = [k for k, _ in stored]
+                key = rng.choice(keys)
+                popped = buffer.pop_from(key)
+                stored.remove((key, popped))
+            else:
+                key, packet = stored.pop(rng.randrange(len(stored)))
+                buffer.pseudo_buffer(key).remove(packet)
+            if rng.random() < 0.05:
+                buffer.drop_empty()
+            assert buffer.load == buffer.recount_load()
+            assert buffer.total_bad == buffer.recount_total_bad()
+    return buffer
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_node_buffer_cached_counters_track_recount(seed):
+    buffer = _random_node_buffer_ops(seed)
+    assert buffer.load == buffer.recount_load()
+    assert buffer.total_bad == buffer.recount_total_bad()
+
+
+# ---------------------------------------------------------------------------
+# Algorithm-level occupancy delta
+# ---------------------------------------------------------------------------
+
+
+class _SingleQueue(ForwardingAlgorithm):
+    name = "single-queue"
+
+    def classify(self, packet: Packet, node: int) -> Hashable:
+        return "q"
+
+    def select_activations(self, round_number: int) -> List[Activation]:
+        return []
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_occupancy_delta_matches_full_snapshots(seed):
+    rng = random.Random(seed)
+    line = LineTopology(12)
+    algorithm = _SingleQueue(line)
+    shadow = {node: 0 for node in line.nodes}  # folded from deltas only
+    with packet_id_scope():
+        for round_number in range(120):
+            for _ in range(rng.randrange(3)):
+                source = rng.randrange(11)
+                packet = Packet.from_injection(make_injection(round_number, source, 11))
+                algorithm.on_inject(round_number, [packet])
+            # Pop from a random nonempty node now and then.
+            nonempty = [n for n, load in algorithm.occupancy_vector().items() if load]
+            if nonempty and rng.random() < 0.7:
+                node = rng.choice(nonempty)
+                algorithm.buffers[node].pop_from("q")
+            delta = algorithm.occupancy_delta()
+            shadow.update(delta)
+            assert shadow == algorithm.occupancy_vector()
+            assert algorithm.total_stored() == sum(shadow.values())
+            assert algorithm.occupancy_delta() == {}  # dirty set was consumed
+
+
+# ---------------------------------------------------------------------------
+# Incremental selection == seed scan selection
+# ---------------------------------------------------------------------------
+
+
+def _drive_and_compare(algorithm, inject, rounds: int, seed: int) -> None:
+    """Run random inject/forward traffic; compare both selection paths."""
+    rng = random.Random(seed)
+    with packet_id_scope():
+        for round_number in range(rounds):
+            inject(rng, algorithm, round_number)
+            algorithm.use_incremental_selection = True
+            incremental = algorithm.select_activations(round_number)
+            algorithm.use_incremental_selection = False
+            scan = algorithm.select_activations(round_number)
+            assert incremental == scan, f"round {round_number}: {incremental} != {scan}"
+            # Apply the activations the way the simulator would (pop all,
+            # then re-store at next hops) so later rounds see evolving state.
+            moves = []
+            for activation in incremental:
+                pseudo = algorithm.buffers[activation.node].existing(activation.key)
+                if pseudo is None or not pseudo:
+                    continue
+                if activation.packet is not None:
+                    pseudo.remove(activation.packet)
+                    packet = activation.packet
+                else:
+                    packet = pseudo.pop()
+                next_hop = algorithm.topology.next_hop(activation.node)
+                moves.append((packet, next_hop))
+            for packet, next_hop in moves:
+                packet.advance(next_hop)
+                if next_hop != packet.destination:
+                    algorithm.on_arrival(packet, next_hop, round_number)
+            algorithm.on_round_end(round_number)
+        algorithm.use_incremental_selection = True
+
+
+def _line_injector(destinations):
+    def inject(rng, algorithm, round_number):
+        for _ in range(rng.randrange(3)):
+            destination = rng.choice(destinations)
+            source = rng.randrange(destination)
+            packet = Packet.from_injection(
+                make_injection(round_number, source, destination)
+            )
+            algorithm.on_inject(round_number, [packet])
+
+    return inject
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_pts_incremental_selection_equals_scan(seed):
+    line = LineTopology(24)
+    algorithm = PeakToSink(line)
+    _drive_and_compare(algorithm, _line_injector([23]), rounds=150, seed=seed)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_ppts_incremental_selection_equals_scan(seed):
+    line = LineTopology(24)
+    algorithm = ParallelPeakToSink(line)
+    _drive_and_compare(algorithm, _line_injector([6, 13, 23]), rounds=150, seed=seed)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_greedy_incremental_selection_equals_scan(seed):
+    from repro.baselines.greedy import GreedyForwarding
+
+    line = LineTopology(24)
+    algorithm = GreedyForwarding(line)
+    _drive_and_compare(algorithm, _line_injector([6, 13, 23]), rounds=150, seed=seed)
+
+
+def _tree_injector(tree, destinations):
+    def inject(rng, algorithm, round_number):
+        for _ in range(rng.randrange(3)):
+            destination = rng.choice(destinations)
+            candidates = [
+                node
+                for node in tree.nodes
+                if node != destination and tree.is_upstream(node, destination)
+            ]
+            if not candidates:
+                continue
+            source = rng.choice(candidates)
+            packet = Packet.from_injection(
+                make_injection(round_number, source, destination)
+            )
+            algorithm.on_inject(round_number, [packet])
+
+    return inject
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_tree_pts_incremental_selection_equals_scan(seed):
+    tree = random_tree(20, seed=seed)
+    algorithm = TreePeakToSink(tree)
+    _drive_and_compare(algorithm, _tree_injector(tree, [tree.root]), rounds=120, seed=seed)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_tree_ppts_incremental_selection_equals_scan(seed):
+    tree = random_tree(20, seed=seed)
+    interior = [node for node in tree.nodes if tree.children(node)]
+    algorithm = TreeParallelPeakToSink(tree)
+    _drive_and_compare(
+        algorithm, _tree_injector(tree, interior[:3] or [tree.root]), rounds=120, seed=seed
+    )
