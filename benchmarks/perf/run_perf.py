@@ -7,11 +7,24 @@ run by hand before/after engine changes):
 * **engine cases** time the raw round loop — ``Simulator.run`` with a fixed
   number of injection rounds and no drain — and report rounds/sec;
 * **session cases** time a complete ``Session.run`` (spec resolution,
-  simulation, drain, result assembly) and report runs/sec.
+  simulation, drain, result assembly) and report runs/sec;
+* **stream cases** run the memory-lean path (``history="streaming"`` plus a
+  lazy ``stream=True`` adversary) at larger ``n``.
+
+Every engine/stream case also reports **peak memory** (tracemalloc, covering
+topology + algorithm construction and the full run), and ``--check`` gates
+both directions: throughput must not drop more than ``--tolerance`` below
+the baseline, peak memory must not grow more than ``--mem-tolerance`` above
+it.
 
 Cases cover line and tree topologies with PTS / PPTS / HPTS / greedy across
 ``n`` in {64, 1k, 16k} (``--quick`` trims to {64, 256} with shorter horizons
 so CI stays fast).
+
+``--smoke-mem`` ignores the case table and instead runs the million-node
+streaming smoke: an ``n = 10^6`` line, ``10^4`` injection rounds of the
+trickle adversary under PTS with ``history="streaming"``, asserting the
+process's peak RSS stays under ``--smoke-limit-mb`` (default 2048).
 
 Throughput is also reported *normalized* by a small pure-Python calibration
 loop measured in the same process, so numbers from differently-sized machines
@@ -34,6 +47,7 @@ import json
 import os
 import sys
 import time
+import tracemalloc
 from typing import Any, Dict, List, Optional
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
@@ -44,12 +58,26 @@ from repro.api.session import Session  # noqa: E402
 from repro.api.specs import ScenarioSpec  # noqa: E402
 from repro.network.simulator import Simulator  # noqa: E402
 
-SCHEMA = "BENCH_engine/v1"
+SCHEMA = "BENCH_engine/v2"
 
 #: (n, engine rounds) per scale tier.  Rounds shrink as n grows so the seed
 #: engine's O(n) rounds stay measurable in bounded time.
 FULL_SIZES = [(64, 4096), (1024, 1024), (16384, 256)]
 QUICK_SIZES = [(64, 1024), (256, 512)]
+
+#: (n, rounds) for the streaming (memory-lean) cases.  These run the lazy
+#: trickle adversary with ``history="streaming"`` — footprint is dominated by
+#: per-node construction plus packets in flight, not by the horizon.
+FULL_STREAM_SIZES = [(65536, 8192), (262144, 2048)]
+QUICK_STREAM_SIZES = [(4096, 2048)]
+
+#: The million-node smoke scenario (``--smoke-mem``).
+SMOKE_NODES = 1_000_000
+SMOKE_ROUNDS = 10_000
+
+#: Memory gates only fire above this baseline peak: tiny-case peaks are
+#: allocator-jitter territory and would make the gate flaky.
+MEM_GATE_FLOOR_BYTES = 512 * 1024
 
 #: Binary-tree depth giving roughly n nodes (2**(depth+1) - 1).
 TREE_DEPTHS = {64: 5, 256: 7, 1024: 9, 16384: 13}
@@ -118,6 +146,25 @@ def _tree_spec(n: int, rounds: int) -> ScenarioSpec:
     )
 
 
+def _stream_spec(n: int, rounds: int) -> ScenarioSpec:
+    """The memory-lean path: lazy trickle injections, streaming history."""
+    return ScenarioSpec.from_dict(
+        {
+            "name": f"perf/stream/pts/n{n}",
+            "topology": {"kind": "line", "params": {"num_nodes": n}},
+            "algorithm": {"name": "pts", "params": {}},
+            "adversary": {
+                "name": "trickle",
+                "rho": 1.0,
+                "sigma": 1.0,
+                "rounds": rounds,
+                "params": {"stream": True},
+            },
+            "policy": {"seed": 7, "drain": False, "history": "streaming"},
+        }
+    )
+
+
 def _specs(sizes: List[tuple]) -> List[ScenarioSpec]:
     specs = []
     for n, rounds in sizes:
@@ -143,7 +190,8 @@ def _time_engine(session: Session, spec: ScenarioSpec, repeats: int) -> Dict[str
         with packet_id_scope():
             prepared = session.prepare(spec)
             simulator = Simulator(
-                prepared.topology, prepared.algorithm, prepared.adversary
+                prepared.topology, prepared.algorithm, prepared.adversary,
+                history=spec.policy.history,
             )
             start = time.perf_counter()
             simulator.run(rounds, drain=False)
@@ -185,18 +233,53 @@ def _time_session(session: Session, spec: ScenarioSpec, repeats: int) -> Dict[st
     }
 
 
+def _measure_peak_memory(spec: ScenarioSpec) -> int:
+    """Peak tracemalloc bytes for one prepared run (construction included).
+
+    Uses an uncached Session so topology construction — the n-proportional
+    part of a scenario's footprint — is traced along with the round loop.
+    tracemalloc numbers are Python-allocation counts, so they transfer
+    across machines (unlike RSS) and can live in the committed baseline.
+    """
+    from repro.core.packet import packet_id_scope
+
+    session = Session(cache_topologies=False)
+    rounds = spec.adversary.rounds
+    tracemalloc.start()
+    try:
+        with packet_id_scope():
+            prepared = session.prepare(spec)
+            simulator = Simulator(
+                prepared.topology, prepared.algorithm, prepared.adversary,
+                history=spec.policy.history,
+            )
+            simulator.run(rounds, drain=False)
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
 def run_suite(quick: bool, repeats: int) -> Dict[str, Any]:
     sizes = QUICK_SIZES if quick else FULL_SIZES
+    stream_sizes = QUICK_STREAM_SIZES if quick else FULL_STREAM_SIZES
     calibration = _calibrate()
     session = Session()
     cases: List[Dict[str, Any]] = []
-    for spec in _specs(sizes):
+    timed_specs = [(spec, "engine") for spec in _specs(sizes)]
+    timed_specs += [
+        (_stream_spec(n, rounds), "stream") for n, rounds in stream_sizes
+    ]
+    for spec, kind in timed_specs:
         case = _time_engine(session, spec, repeats)
+        case["kind"] = kind
         case["normalized_throughput"] = case["rounds_per_sec"] / (calibration / 1e6)
+        case["peak_mem_bytes"] = _measure_peak_memory(spec)
         cases.append(case)
         print(
             f"{case['case']:<40} {case['rounds_per_sec']:>12.0f} rounds/s "
-            f"({case['normalized_throughput']:.1f} norm)"
+            f"({case['normalized_throughput']:.1f} norm, "
+            f"{case['peak_mem_bytes'] / 1e6:.1f} MB peak)"
         )
     # End-to-end Session timing on the smallest tier only: it exists to catch
     # regressions in resolution/drain/result assembly, not to re-time the loop.
@@ -219,9 +302,17 @@ def run_suite(quick: bool, repeats: int) -> Dict[str, Any]:
 
 
 def check_regression(
-    current: Dict[str, Any], baseline_path: str, tolerance: float
+    current: Dict[str, Any],
+    baseline_path: str,
+    tolerance: float,
+    mem_tolerance: float = 0.30,
 ) -> List[str]:
-    """Compare normalized throughput per case; return failure messages."""
+    """Compare normalized throughput and peak memory per case.
+
+    Throughput gates downward (slower than baseline - tolerance fails);
+    memory gates upward (fatter than baseline + mem_tolerance fails, for
+    cases whose baseline peak exceeds :data:`MEM_GATE_FLOOR_BYTES`).
+    """
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     baseline_by_case = {case["case"]: case for case in baseline.get("cases", [])}
@@ -242,6 +333,20 @@ def check_regression(
                 f"{floor:.1f} (baseline {reference['normalized_throughput']:.1f} "
                 f"- {tolerance:.0%})"
             )
+        reference_peak = reference.get("peak_mem_bytes")
+        current_peak = case.get("peak_mem_bytes")
+        if (
+            reference_peak is not None
+            and current_peak is not None
+            and reference_peak >= MEM_GATE_FLOOR_BYTES
+        ):
+            ceiling = reference_peak * (1.0 + mem_tolerance)
+            if current_peak > ceiling:
+                failures.append(
+                    f"{case['case']}: peak memory {current_peak / 1e6:.1f} MB > "
+                    f"{ceiling / 1e6:.1f} MB (baseline {reference_peak / 1e6:.1f} MB "
+                    f"+ {mem_tolerance:.0%})"
+                )
     if matched == 0:
         # Renamed cases must not turn the gate green vacuously.
         failures.append(
@@ -251,17 +356,75 @@ def check_regression(
     return failures
 
 
+def run_smoke(limit_mb: float, nodes: int = SMOKE_NODES,
+              rounds: int = SMOKE_ROUNDS) -> int:
+    """The million-node streaming smoke: bounded-memory proof at full scale.
+
+    Runs ``n = nodes`` line/PTS for ``rounds`` injection rounds with the lazy
+    trickle adversary and ``history="streaming"``, then checks the process's
+    peak RSS (``ru_maxrss`` — the honest whole-process number, which is why
+    this is a standalone mode and not a tracemalloc case) against the limit.
+    """
+    import resource
+
+    from repro.core.packet import packet_id_scope
+
+    spec = _stream_spec(nodes, rounds)
+    session = Session(cache_topologies=False)
+    start = time.perf_counter()
+    with packet_id_scope():
+        prepared = session.prepare(spec)
+        build_elapsed = time.perf_counter() - start
+        simulator = Simulator(
+            prepared.topology, prepared.algorithm, prepared.adversary,
+            history=spec.policy.history,
+        )
+        result = simulator.run(rounds, drain=False)
+    elapsed = time.perf_counter() - start
+    # ru_maxrss is kilobytes on Linux but bytes on macOS.
+    rss_divisor = 1024.0 ** 2 if sys.platform == "darwin" else 1024.0
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / rss_divisor
+    in_flight = len(simulator.packets)
+    print(f"smoke: n={nodes} rounds={rounds} "
+          f"injected={result.packets_injected} delivered={result.packets_delivered} "
+          f"in_flight={in_flight} max_occupancy={result.max_occupancy}")
+    print(f"smoke: construction {build_elapsed:.1f}s, total {elapsed:.1f}s, "
+          f"{rounds / max(elapsed - build_elapsed, 1e-9):.0f} rounds/s")
+    print(f"smoke: peak RSS {peak_rss_mb:.0f} MB (limit {limit_mb:.0f} MB)")
+    if peak_rss_mb > limit_mb:
+        print("SMOKE FAILURE: peak RSS exceeds the documented memory bound")
+        return 1
+    print("smoke ok: streaming run stayed within the memory bound")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small n, short horizons (CI)")
     parser.add_argument("--output", default="BENCH_engine.json", help="result JSON path")
     parser.add_argument("--check", default=None, metavar="BASELINE",
-                        help="fail if throughput regressed vs this baseline JSON")
+                        help="fail if throughput or memory regressed vs this baseline JSON")
     parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="allowed fractional regression for --check (default 0.30)")
+                        help="allowed fractional throughput regression for --check "
+                             "(default 0.30)")
+    parser.add_argument("--mem-tolerance", type=float, default=0.30,
+                        help="allowed fractional peak-memory growth for --check "
+                             "(default 0.30)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timings per case, best kept (default: 3 quick, 1 full)")
+    parser.add_argument("--smoke-mem", action="store_true",
+                        help=f"run the n={SMOKE_NODES} streaming smoke instead of the "
+                             f"case table and check its peak RSS")
+    parser.add_argument("--smoke-limit-mb", type=float, default=2048.0,
+                        help="peak-RSS bound for --smoke-mem (default 2048)")
+    parser.add_argument("--smoke-nodes", type=int, default=SMOKE_NODES,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--smoke-rounds", type=int, default=SMOKE_ROUNDS,
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
+
+    if args.smoke_mem:
+        return run_smoke(args.smoke_limit_mb, args.smoke_nodes, args.smoke_rounds)
 
     repeats = args.repeats if args.repeats is not None else (3 if args.quick else 1)
     if repeats < 1:
@@ -272,13 +435,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"\nwrote {args.output} ({len(results['cases'])} cases, {results['mode']} mode)")
 
     if args.check:
-        failures = check_regression(results, args.check, args.tolerance)
+        failures = check_regression(
+            results, args.check, args.tolerance, args.mem_tolerance
+        )
         if failures:
-            print("\nPERF REGRESSION:")
+            print("\nPERF/MEM REGRESSION:")
             for failure in failures:
                 print(f"  {failure}")
             return 1
-        print(f"no regression vs {args.check} (tolerance {args.tolerance:.0%})")
+        print(f"no regression vs {args.check} "
+              f"(throughput tolerance {args.tolerance:.0%}, "
+              f"memory tolerance {args.mem_tolerance:.0%})")
     return 0
 
 

@@ -1,7 +1,7 @@
 """Adversaries: injection patterns, boundedness checking and generators."""
 
 from .adaptive import AdaptiveAdversary, BlockingAdversary, HotspotAdversary
-from .base import Adversary, InjectionPattern
+from .base import Adversary, InjectionPattern, StreamingAdversary
 from .bounded import (
     BoundednessReport,
     TokenBucket,
@@ -47,6 +47,7 @@ __all__ = [
     "HotspotAdversary",
     "Adversary",
     "InjectionPattern",
+    "StreamingAdversary",
     "BoundednessReport",
     "TokenBucket",
     "assert_bounded",

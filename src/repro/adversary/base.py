@@ -4,21 +4,32 @@ An *adversary* (Section 2) is simply a set of packets, each a triple
 ``(round, source, destination)``.  The simulator asks the adversary which
 packets arrive in each round; analyses ask for the whole pattern at once.
 :class:`InjectionPattern` is the concrete finite representation used
-throughout the library; :class:`Adversary` is the minimal interface so that
-programmatic adversaries (random generators with an unbounded horizon) can be
-plugged into the simulator without materialising every round up front.
+throughout the library — backed by a columnar
+:class:`~repro.core.packet.PacketStore` so million-packet schedules cost flat
+integer arrays, not one boxed record per injection.  :class:`Adversary` is
+the minimal interface so that programmatic adversaries can be plugged into
+the simulator without materialising every round up front;
+:class:`StreamingAdversary` is the lazy counterpart the generator library
+uses for horizon-scale runs (each round's injections are produced on demand
+and never retained).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from array import array
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..core.packet import Injection, make_injection
+from ..core.packet import Injection, PacketStore, make_injection
 from ..network.topology import Topology
 
-__all__ = ["Adversary", "InjectionPattern"]
+__all__ = ["Adversary", "InjectionPattern", "StreamingAdversary"]
+
+#: A round's worth of routes, as ``(source, destination)`` pairs in injection
+#: order.  Row generators yield one of these per round, which both the eager
+#: (:class:`InjectionPattern`) and lazy (:class:`StreamingAdversary`) paths
+#: consume — guaranteeing the two produce identical packets.
+RouteRow = List[Tuple[int, int]]
 
 
 class Adversary(ABC):
@@ -57,7 +68,14 @@ class Adversary(ABC):
 
 
 class InjectionPattern(Adversary):
-    """A finite, explicit adversary: a list of injections grouped by round.
+    """A finite, explicit adversary: a columnar store of injections.
+
+    The records live in a :class:`~repro.core.packet.PacketStore` (flat int
+    arrays, insertion order) plus two lightweight indices: per-round row ids
+    (insertion order within the round — the order the simulator feeds packets
+    to the algorithm) and a globally sorted row order matching
+    :class:`Injection`'s lexicographic comparison.  ``Injection`` objects are
+    materialised on demand and never retained.
 
     Parameters
     ----------
@@ -77,23 +95,35 @@ class InjectionPattern(Adversary):
         rho: Optional[float] = None,
         sigma: Optional[float] = None,
     ) -> None:
-        self._by_round: Dict[int, List[Injection]] = defaultdict(list)
-        self._all: List[Injection] = []
+        store = PacketStore()
+        by_round: Dict[int, array] = {}
         for injection in injections:
-            if injection.packet_id < 0:
-                injection = make_injection(
+            packet_id = injection.packet_id
+            if packet_id < 0:
+                packet_id = make_injection(
                     injection.round, injection.source, injection.destination
-                )
-            self._by_round[injection.round].append(injection)
-            self._all.append(injection)
-        self._all.sort(key=lambda p: (p.round, p.source, p.destination, p.packet_id))
+                ).packet_id
+            row = store.append(
+                injection.round, injection.source, injection.destination, packet_id
+            )
+            rows = by_round.get(injection.round)
+            if rows is None:
+                rows = by_round[injection.round] = array("q")
+            rows.append(row)
+        self._store = store
+        self._by_round = by_round
+        self._sorted = array("q", sorted(range(len(store)), key=store.sort_key))
         self.rho = rho
         self.sigma = sigma
 
     # -- Adversary interface -----------------------------------------------------
 
     def injections_for_round(self, round_number: int) -> List[Injection]:
-        return list(self._by_round.get(round_number, []))
+        rows = self._by_round.get(round_number)
+        if rows is None:
+            return []
+        injection = self._store.injection
+        return [injection(row) for row in rows]
 
     @property
     def horizon(self) -> int:
@@ -102,28 +132,36 @@ class InjectionPattern(Adversary):
         return max(self._by_round) + 1
 
     def all_injections(self) -> List[Injection]:
-        return list(self._all)
+        injection = self._store.injection
+        return [injection(row) for row in self._sorted]
 
     # -- container conveniences -----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._all)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Injection]:
-        return iter(self._all)
+        injection = self._store.injection
+        for row in self._sorted:
+            yield injection(row)
 
     def __contains__(self, injection: Injection) -> bool:
-        return injection in self._all
+        probe = (
+            injection.round, injection.source, injection.destination,
+            injection.packet_id,
+        )
+        store = self._store
+        return any(store.row_tuple(row) == probe for row in range(len(store)))
 
     # -- derived views -----------------------------------------------------------
 
     def destinations(self) -> List[int]:
         """The distinct destinations, sorted ascending (the set ``W``)."""
-        return sorted({p.destination for p in self._all})
+        return sorted(set(self._store.destinations))
 
     def sources(self) -> List[int]:
         """The distinct injection sites, sorted ascending."""
-        return sorted({p.source for p in self._all})
+        return sorted(set(self._store.sources))
 
     @property
     def num_destinations(self) -> int:
@@ -142,18 +180,23 @@ class InjectionPattern(Adversary):
         """
         horizon = num_rounds if num_rounds is not None else self.horizon
         result: List[Dict[int, int]] = [dict() for _ in range(horizon)]
-        for injection in self._all:
-            if injection.round >= horizon:
+        store = self._store
+        rounds, sources, destinations = (
+            store.rounds, store.sources, store.destinations,
+        )
+        for row in range(len(store)):
+            t = rounds[row]
+            if t >= horizon:
                 continue
-            counts = result[injection.round]
-            for v in topology.path(injection.source, injection.destination)[:-1]:
+            counts = result[t]
+            for v in topology.path(sources[row], destinations[row])[:-1]:
                 counts[v] = counts.get(v, 0) + 1
         return result
 
     def restricted_to_rounds(self, first: int, last: int) -> "InjectionPattern":
         """The sub-pattern of injections with ``first <= round <= last``."""
         return InjectionPattern(
-            [p for p in self._all if first <= p.round <= last],
+            [p for p in self.all_injections() if first <= p.round <= last],
             rho=self.rho,
             sigma=self.sigma,
         )
@@ -163,7 +206,7 @@ class InjectionPattern(Adversary):
         return InjectionPattern(
             [
                 Injection(p.round + offset, p.source, p.destination, p.packet_id)
-                for p in self._all
+                for p in self.all_injections()
             ],
             rho=self.rho,
             sigma=self.sigma,
@@ -171,7 +214,9 @@ class InjectionPattern(Adversary):
 
     def merged_with(self, other: "InjectionPattern") -> "InjectionPattern":
         """The union of two patterns (rho/sigma of the result are unknown)."""
-        return InjectionPattern(list(self._all) + list(other.all_injections()))
+        return InjectionPattern(
+            list(self.all_injections()) + list(other.all_injections())
+        )
 
     @classmethod
     def from_tuples(
@@ -187,6 +232,108 @@ class InjectionPattern(Adversary):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"InjectionPattern(packets={len(self._all)}, horizon={self.horizon}, "
+            f"InjectionPattern(packets={len(self._store)}, horizon={self.horizon}, "
             f"destinations={self.num_destinations}, rho={self.rho}, sigma={self.sigma})"
+        )
+
+
+class StreamingAdversary(Adversary):
+    """A lazy injection stream: rounds are generated on demand, never retained.
+
+    Wraps a *row factory* — a zero-argument callable returning an iterator
+    that yields one :data:`RouteRow` (a list of ``(source, destination)``
+    pairs) per round.  Packet ids are allocated exactly when a round is
+    generated, in round order, so a streaming adversary run inside a
+    :func:`~repro.core.packet.packet_id_scope` produces *bit-identical*
+    packets to the eager :class:`InjectionPattern` built from the same row
+    generator (the registered generator builders expose both via their
+    ``stream`` flag).
+
+    Rounds must be requested in non-decreasing order (the simulator's access
+    pattern); asking for an earlier round raises, because replaying would
+    re-allocate packet ids and silently diverge from the eager path.  For
+    whole-pattern analyses, :meth:`materialize` converts an *unconsumed*
+    stream into an :class:`InjectionPattern`.
+    """
+
+    def __init__(
+        self,
+        row_factory: Callable[[], Iterator[RouteRow]],
+        horizon: int,
+        *,
+        rho: Optional[float] = None,
+        sigma: Optional[float] = None,
+    ) -> None:
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        self._factory = row_factory
+        self._horizon = horizon
+        self._rows: Optional[Iterator[RouteRow]] = None
+        self._next_round = 0
+        self.rho = rho
+        self.sigma = sigma
+
+    @property
+    def horizon(self) -> int:
+        return self._horizon
+
+    @property
+    def rounds_generated(self) -> int:
+        """How many rounds have been produced so far."""
+        return self._next_round
+
+    def injections_for_round(self, round_number: int) -> List[Injection]:
+        if round_number < self._next_round:
+            raise RuntimeError(
+                f"streaming adversary already generated round {self._next_round - 1}; "
+                f"cannot replay round {round_number} (packet ids would diverge). "
+                f"Use materialize() or the eager generator for random access."
+            )
+        if round_number >= self._horizon:
+            return []
+        if self._rows is None:
+            self._rows = self._factory()
+        result: List[Injection] = []
+        while self._next_round <= round_number:
+            row = next(self._rows, None) or ()
+            # Ids for skipped-over rounds are still allocated, keeping the id
+            # sequence identical to the eager path regardless of how many
+            # rounds the caller actually executes.
+            injections = [
+                make_injection(self._next_round, source, destination)
+                for source, destination in row
+            ]
+            if self._next_round == round_number:
+                result = injections
+            self._next_round += 1
+        return result
+
+    def all_injections(self) -> List[Injection]:
+        raise RuntimeError(
+            "a StreamingAdversary never materialises its schedule; call "
+            "materialize() on a fresh stream (or build the eager pattern) for "
+            "whole-pattern analyses"
+        )
+
+    def materialize(self) -> InjectionPattern:
+        """Drain a *fresh* stream into an eager :class:`InjectionPattern`."""
+        if self._rows is not None or self._next_round:
+            raise RuntimeError(
+                "stream already consumed; materialize() is only valid before "
+                "the first injections_for_round() call"
+            )
+        injections: List[Injection] = []
+        for t, row in enumerate(self._factory()):
+            if t >= self._horizon:
+                break
+            injections.extend(
+                make_injection(t, source, destination) for source, destination in row
+            )
+        self._next_round = self._horizon  # the ids are spent; refuse reuse
+        return InjectionPattern(injections, rho=self.rho, sigma=self.sigma)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamingAdversary(horizon={self._horizon}, "
+            f"generated={self._next_round}, rho={self.rho}, sigma={self.sigma})"
         )

@@ -6,21 +6,38 @@ family of randomly generated bounded patterns in addition to the deterministic
 stress constructions of :mod:`repro.adversary.stress`.
 
 Every generator here guarantees boundedness *by construction*: injections are
-admitted through a per-buffer :class:`~repro.adversary.bounded.TokenBucket`,
-so the returned :class:`~repro.adversary.base.InjectionPattern` always passes
+admitted through a per-buffer :class:`~repro.adversary.bounded.TokenBucket`
+(or, for :func:`trickle_adversary`, a bucketless credit counter), so the
+returned adversary always passes
 :func:`~repro.adversary.bounded.check_bounded` for the declared parameters.
+
+Each generator is written as a *row generator* — a plain Python generator
+yielding one round's ``(source, destination)`` routes at a time — consumed by
+two interchangeable front ends:
+
+* the **eager** path materialises every round into an
+  :class:`~repro.adversary.base.InjectionPattern` (what analyses and most
+  tests want), exactly as the seed library did;
+* the **lazy** path (``stream=True``) wraps the same generator in a
+  :class:`~repro.adversary.base.StreamingAdversary`, so a ``T``-round
+  schedule is produced round by round and a horizon-scale run never holds
+  the whole schedule in memory.
+
+Because both paths consume the identical row stream (and allocate packet ids
+in the identical order), a seeded scenario produces *bit-identical* packets
+either way.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence, Union
 
 from ..api.registry import register_adversary
 from ..core.packet import Injection, make_injection
 from ..network.errors import ConfigurationError
-from ..network.topology import LineTopology, Topology, TreeTopology
-from .base import InjectionPattern
+from ..network.topology import LineTopology, TreeTopology
+from .base import InjectionPattern, RouteRow, StreamingAdversary
 from .bounded import TokenBucket
 
 __all__ = [
@@ -29,8 +46,12 @@ __all__ = [
     "single_destination_adversary",
     "random_tree_adversary",
     "bursty_adversary",
+    "trickle_adversary",
     "hierarchy_random_destinations",
 ]
+
+#: What the generator functions return: the eager pattern or the lazy stream.
+BoundedAdversary = Union[InjectionPattern, StreamingAdversary]
 
 
 def _pick_destinations(
@@ -55,6 +76,74 @@ def _pick_destinations(
     return sorted(chosen)
 
 
+def _materialize(
+    rows: Iterator[RouteRow], *, rho: float, sigma: float
+) -> InjectionPattern:
+    """Drain a row generator into an eager :class:`InjectionPattern`."""
+    injections: List[Injection] = []
+    for t, row in enumerate(rows):
+        injections.extend(
+            make_injection(t, source, destination) for source, destination in row
+        )
+    return InjectionPattern(injections, rho=rho, sigma=sigma)
+
+
+def _front_end(
+    factory: Callable[[], Iterator[RouteRow]],
+    num_rounds: int,
+    *,
+    rho: float,
+    sigma: float,
+    stream: bool,
+) -> BoundedAdversary:
+    """The shared eager/lazy fork every generator goes through."""
+    if stream:
+        return StreamingAdversary(factory, num_rounds, rho=rho, sigma=sigma)
+    return _materialize(factory(), rho=rho, sigma=sigma)
+
+
+def _validate_envelope(rho: float, sigma: float) -> None:
+    if not (0 < rho <= 1):
+        raise ConfigurationError(f"rho must be in (0, 1], got {rho}")
+    if sigma < 0:
+        raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+
+
+# ---------------------------------------------------------------------------
+# Line generators
+# ---------------------------------------------------------------------------
+
+
+def _random_line_rows(
+    topology: LineTopology,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    num_destinations: int,
+    seed: Optional[int],
+    intensity: float,
+) -> Iterator[RouteRow]:
+    rng = random.Random(seed)
+    destinations = _pick_destinations(topology, num_destinations, rng)
+    bucket = TokenBucket(topology.num_nodes, rho, sigma)
+    # Proposal budget per round: generous enough to use up the bucket when
+    # intensity is 1 but bounded so generation stays linear in num_rounds.
+    proposals_per_round = max(4, int(2 * (rho + sigma) * len(destinations)) + 4)
+    for _ in range(num_rounds):
+        bucket.start_round()
+        row: RouteRow = []
+        for _ in range(proposals_per_round):
+            if rng.random() > intensity:
+                continue
+            destination = rng.choice(destinations)
+            source = rng.randrange(0, destination)
+            crossed = list(range(source, destination))
+            if bucket.can_inject(crossed):
+                bucket.inject(crossed)
+                row.append((source, destination))
+        yield row
+
+
 def random_line_adversary(
     topology: LineTopology,
     rho: float,
@@ -64,7 +153,8 @@ def random_line_adversary(
     *,
     seed: Optional[int] = None,
     intensity: float = 1.0,
-) -> InjectionPattern:
+    stream: bool = False,
+) -> BoundedAdversary:
     """A random bounded adversary on a line.
 
     Each round the generator proposes random ``(source, destination)`` pairs
@@ -74,59 +164,36 @@ def random_line_adversary(
     budget: 1.0 keeps proposing until the bucket is empty, smaller values
     leave slack.
 
-    Returns an :class:`InjectionPattern` that is ``(rho, sigma)``-bounded by
-    construction.
+    Returns an adversary that is ``(rho, sigma)``-bounded by construction:
+    an :class:`InjectionPattern` by default, or (``stream=True``) a
+    :class:`StreamingAdversary` producing the identical schedule lazily.
     """
-    if not (0 < rho <= 1):
-        raise ConfigurationError(f"rho must be in (0, 1], got {rho}")
-    if sigma < 0:
-        raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+    _validate_envelope(rho, sigma)
     if not (0 < intensity <= 1):
         raise ConfigurationError(f"intensity must be in (0, 1], got {intensity}")
-    rng = random.Random(seed)
-    destinations = _pick_destinations(topology, num_destinations, rng)
-    bucket = TokenBucket(topology.num_nodes, rho, sigma)
-    injections: List[Injection] = []
-    # Proposal budget per round: generous enough to use up the bucket when
-    # intensity is 1 but bounded so generation stays linear in num_rounds.
-    proposals_per_round = max(4, int(2 * (rho + sigma) * len(destinations)) + 4)
-    for t in range(num_rounds):
-        bucket.start_round()
-        for _ in range(proposals_per_round):
-            if rng.random() > intensity:
-                continue
-            destination = rng.choice(destinations)
-            source = rng.randrange(0, destination)
-            crossed = list(range(source, destination))
-            if bucket.can_inject(crossed):
-                bucket.inject(crossed)
-                injections.append(make_injection(t, source, destination))
-    return InjectionPattern(injections, rho=rho, sigma=sigma)
+    _pick_destinations(topology, num_destinations, random.Random(seed))  # fail fast
+    return _front_end(
+        lambda: _random_line_rows(
+            topology, rho, sigma, num_rounds, num_destinations, seed, intensity
+        ),
+        num_rounds, rho=rho, sigma=sigma, stream=stream,
+    )
 
 
-def saturating_line_adversary(
+def _saturating_line_rows(
     topology: LineTopology,
     rho: float,
     sigma: float,
     num_rounds: int,
-    num_destinations: int = 1,
-    *,
-    seed: Optional[int] = None,
-) -> InjectionPattern:
-    """A bounded adversary that front-loads its burst budget.
-
-    In every round the generator injects as many packets as the token bucket
-    allows, always routing them over long paths (source 0 or as far left as
-    admissible) so that every buffer's budget is consumed.  This produces the
-    harshest *feasible* load within the declared bound and is the default
-    workload for validating the upper-bound propositions.
-    """
+    num_destinations: int,
+    seed: Optional[int],
+) -> Iterator[RouteRow]:
     rng = random.Random(seed)
     destinations = _pick_destinations(topology, num_destinations, rng)
     bucket = TokenBucket(topology.num_nodes, rho, sigma)
-    injections: List[Injection] = []
-    for t in range(num_rounds):
+    for _ in range(num_rounds):
         bucket.start_round()
+        row: RouteRow = []
         progress = True
         while progress:
             progress = False
@@ -135,7 +202,7 @@ def saturating_line_adversary(
                 crossed_full = list(range(0, destination))
                 if bucket.can_inject(crossed_full):
                     bucket.inject(crossed_full)
-                    injections.append(make_injection(t, 0, destination))
+                    row.append((0, destination))
                     progress = True
                     continue
                 # Otherwise try a shorter route starting after the first
@@ -149,9 +216,59 @@ def saturating_line_adversary(
                 crossed = list(range(start, destination))
                 if crossed and bucket.can_inject(crossed):
                     bucket.inject(crossed)
-                    injections.append(make_injection(t, start, destination))
+                    row.append((start, destination))
                     progress = True
-    return InjectionPattern(injections, rho=rho, sigma=sigma)
+        yield row
+
+
+def saturating_line_adversary(
+    topology: LineTopology,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    num_destinations: int = 1,
+    *,
+    seed: Optional[int] = None,
+    stream: bool = False,
+) -> BoundedAdversary:
+    """A bounded adversary that front-loads its burst budget.
+
+    In every round the generator injects as many packets as the token bucket
+    allows, always routing them over long paths (source 0 or as far left as
+    admissible) so that every buffer's budget is consumed.  This produces the
+    harshest *feasible* load within the declared bound and is the default
+    workload for validating the upper-bound propositions.
+    """
+    _pick_destinations(topology, num_destinations, random.Random(seed))  # fail fast
+    return _front_end(
+        lambda: _saturating_line_rows(
+            topology, rho, sigma, num_rounds, num_destinations, seed
+        ),
+        num_rounds, rho=rho, sigma=sigma, stream=stream,
+    )
+
+
+def _single_destination_rows(
+    topology: LineTopology,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    destination: int,
+    seed: Optional[int],
+) -> Iterator[RouteRow]:
+    rng = random.Random(seed)
+    bucket = TokenBucket(topology.num_nodes, rho, sigma)
+    attempts = max(4, int(rho + sigma) + 4)
+    for _ in range(num_rounds):
+        bucket.start_round()
+        row: RouteRow = []
+        for _ in range(attempts):
+            source = rng.randrange(0, destination)
+            crossed = list(range(source, destination))
+            if bucket.can_inject(crossed):
+                bucket.inject(crossed)
+                row.append((source, destination))
+        yield row
 
 
 def single_destination_adversary(
@@ -162,26 +279,49 @@ def single_destination_adversary(
     *,
     destination: Optional[int] = None,
     seed: Optional[int] = None,
-) -> InjectionPattern:
+    stream: bool = False,
+) -> BoundedAdversary:
     """A random bounded adversary whose packets all share one destination.
 
     This is the PTS setting (Proposition 3.1).  The destination defaults to
     the right end of the line.
     """
     destination = destination if destination is not None else topology.num_nodes - 1
+    return _front_end(
+        lambda: _single_destination_rows(
+            topology, rho, sigma, num_rounds, destination, seed
+        ),
+        num_rounds, rho=rho, sigma=sigma, stream=stream,
+    )
+
+
+def _bursty_rows(
+    topology: LineTopology,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    num_destinations: int,
+    burst_period: int,
+    seed: Optional[int],
+) -> Iterator[RouteRow]:
     rng = random.Random(seed)
+    destinations = _pick_destinations(topology, num_destinations, rng)
     bucket = TokenBucket(topology.num_nodes, rho, sigma)
-    injections: List[Injection] = []
     for t in range(num_rounds):
         bucket.start_round()
-        attempts = max(4, int(rho + sigma) + 4)
-        for _ in range(attempts):
-            source = rng.randrange(0, destination)
-            crossed = list(range(source, destination))
-            if bucket.can_inject(crossed):
-                bucket.inject(crossed)
-                injections.append(make_injection(t, source, destination))
-    return InjectionPattern(injections, rho=rho, sigma=sigma)
+        row: RouteRow = []
+        if t % burst_period == burst_period - 1:
+            progress = True
+            while progress:
+                progress = False
+                for destination in destinations:
+                    source = rng.randrange(0, destination)
+                    crossed = list(range(source, destination))
+                    if bucket.can_inject(crossed):
+                        bucket.inject(crossed)
+                        row.append((source, destination))
+                        progress = True
+        yield row
 
 
 def bursty_adversary(
@@ -193,7 +333,8 @@ def bursty_adversary(
     *,
     burst_period: int = 16,
     seed: Optional[int] = None,
-) -> InjectionPattern:
+    stream: bool = False,
+) -> BoundedAdversary:
     """A bounded adversary that alternates silence with maximal bursts.
 
     For ``burst_period - 1`` rounds nothing is injected (the token buckets
@@ -202,25 +343,115 @@ def bursty_adversary(
     """
     if burst_period < 1:
         raise ConfigurationError(f"burst_period must be >= 1, got {burst_period}")
+    _pick_destinations(topology, num_destinations, random.Random(seed))  # fail fast
+    return _front_end(
+        lambda: _bursty_rows(
+            topology, rho, sigma, num_rounds, num_destinations, burst_period, seed
+        ),
+        num_rounds, rho=rho, sigma=sigma, stream=stream,
+    )
+
+
+def _trickle_rows(
+    rho: float,
+    num_rounds: int,
+    destinations: Sequence[int],
+    seed: Optional[int],
+) -> Iterator[RouteRow]:
     rng = random.Random(seed)
-    destinations = _pick_destinations(topology, num_destinations, rng)
-    bucket = TokenBucket(topology.num_nodes, rho, sigma)
-    injections: List[Injection] = []
-    for t in range(num_rounds):
+    multi = len(destinations) > 1
+    credit = 0.0
+    for _ in range(num_rounds):
+        credit += rho
+        row: RouteRow = []
+        while credit >= 1.0:
+            credit -= 1.0
+            destination = (
+                destinations[rng.randrange(len(destinations))]
+                if multi else destinations[0]
+            )
+            row.append((rng.randrange(0, destination), destination))
+        yield row
+
+
+def trickle_adversary(
+    topology: LineTopology,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    *,
+    destination: Optional[int] = None,
+    destinations: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+    stream: bool = False,
+) -> BoundedAdversary:
+    """A bucketless bounded adversary whose generation cost is O(1) per round.
+
+    Every round accrues ``rho`` units of credit and injects one packet (at a
+    uniformly random source, toward a uniformly random destination from the
+    set) per whole unit.  Any window of ``T`` rounds therefore carries at
+    most ``rho * T + 1`` packets in total, and each packet crosses a given
+    buffer at most once, so the pattern is ``(rho, 1)``-bounded *without* a
+    per-buffer token bucket — unlike the other generators, whose admission
+    check walks the packet's whole path, this one never touches a
+    per-node structure and scales to million-node lines.  The declared sigma
+    is ``max(sigma, 1)``.
+
+    The intended use is horizon-scale streaming runs (``stream=True``); the
+    eager path exists so small instances can be audited with
+    :func:`~repro.adversary.bounded.check_bounded`.
+    """
+    _validate_envelope(rho, sigma)
+    if destinations is not None and destination is not None:
+        raise ConfigurationError("pass destination or destinations, not both")
+    if destinations is None:
+        destinations = [
+            destination if destination is not None else topology.num_nodes - 1
+        ]
+    destinations = list(destinations)
+    if not destinations:
+        raise ConfigurationError("trickle adversary needs at least one destination")
+    max_destination = (
+        topology.num_nodes if topology.allow_virtual_sink else topology.num_nodes - 1
+    )
+    for w in destinations:
+        if not (1 <= w <= max_destination):
+            raise ConfigurationError(f"destination {w} outside [1, {max_destination}]")
+    return _front_end(
+        lambda: _trickle_rows(rho, num_rounds, destinations, seed),
+        num_rounds, rho=rho, sigma=max(float(sigma), 1.0), stream=stream,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tree generators
+# ---------------------------------------------------------------------------
+
+
+def _random_tree_rows(
+    tree: TreeTopology,
+    rho: float,
+    sigma: float,
+    num_rounds: int,
+    usable_destinations: List[int],
+    eligible_sources: dict,
+    node_index: dict,
+    seed: Optional[int],
+) -> Iterator[RouteRow]:
+    rng = random.Random(seed)
+    bucket = TokenBucket(len(tree.nodes), rho, sigma)
+    attempts = max(4, int(rho + sigma) * len(usable_destinations) + 4)
+    for _ in range(num_rounds):
         bucket.start_round()
-        if t % burst_period != burst_period - 1:
-            continue
-        progress = True
-        while progress:
-            progress = False
-            for destination in destinations:
-                source = rng.randrange(0, destination)
-                crossed = list(range(source, destination))
-                if bucket.can_inject(crossed):
-                    bucket.inject(crossed)
-                    injections.append(make_injection(t, source, destination))
-                    progress = True
-    return InjectionPattern(injections, rho=rho, sigma=sigma)
+        row: RouteRow = []
+        for _ in range(attempts):
+            destination = rng.choice(usable_destinations)
+            source = rng.choice(eligible_sources[destination])
+            crossed = [node_index[v] for v in tree.path(source, destination)[:-1]]
+            if bucket.can_inject(crossed):
+                bucket.inject(crossed)
+                row.append((source, destination))
+        yield row
 
 
 def random_tree_adversary(
@@ -231,7 +462,8 @@ def random_tree_adversary(
     destinations: Optional[Sequence[int]] = None,
     *,
     seed: Optional[int] = None,
-) -> InjectionPattern:
+    stream: bool = False,
+) -> BoundedAdversary:
     """A random bounded adversary on a directed in-tree.
 
     Sources are drawn uniformly from the strict descendants of a uniformly
@@ -245,10 +477,7 @@ def random_tree_adversary(
     for w in destinations:
         if w not in set(tree.nodes):
             raise ConfigurationError(f"destination {w} not in the tree")
-    rng = random.Random(seed)
     node_index = {v: idx for idx, v in enumerate(tree.nodes)}
-    bucket = TokenBucket(len(tree.nodes), rho, sigma)
-    injections: List[Injection] = []
     # Precompute, for every destination, the nodes that can send to it.
     eligible_sources = {
         w: [u for u in tree.nodes if u != w and tree.is_upstream(u, w)]
@@ -256,18 +485,18 @@ def random_tree_adversary(
     }
     usable_destinations = [w for w in destinations if eligible_sources[w]]
     if not usable_destinations:
+        if stream:
+            return StreamingAdversary(
+                lambda: iter(()), num_rounds, rho=rho, sigma=sigma
+            )
         return InjectionPattern([], rho=rho, sigma=sigma)
-    attempts = max(4, int(rho + sigma) * len(usable_destinations) + 4)
-    for t in range(num_rounds):
-        bucket.start_round()
-        for _ in range(attempts):
-            destination = rng.choice(usable_destinations)
-            source = rng.choice(eligible_sources[destination])
-            crossed = [node_index[v] for v in tree.path(source, destination)[:-1]]
-            if bucket.can_inject(crossed):
-                bucket.inject(crossed)
-                injections.append(make_injection(t, source, destination))
-    return InjectionPattern(injections, rho=rho, sigma=sigma)
+    return _front_end(
+        lambda: _random_tree_rows(
+            tree, rho, sigma, num_rounds, usable_destinations, eligible_sources,
+            node_index, seed,
+        ),
+        num_rounds, rho=rho, sigma=sigma, stream=stream,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -297,20 +526,23 @@ def build_bounded_adversary(
     num_destinations: int = 1,
     destinations: Optional[Sequence[int]] = None,
     intensity: float = 1.0,
-) -> InjectionPattern:
+    stream: bool = False,
+) -> BoundedAdversary:
     """A random ``(rho, sigma)``-bounded adversary on any supported topology.
 
     Lines use :func:`random_line_adversary` (``num_destinations`` random
     sites); trees and forests use :func:`random_tree_adversary` with the
-    given ``destinations`` (default: the root).
+    given ``destinations`` (default: the root).  ``stream=True`` returns the
+    lazy :class:`StreamingAdversary` front end instead of materialising the
+    schedule.
     """
     if isinstance(topology, LineTopology):
         return random_line_adversary(
             topology, rho, sigma, rounds, num_destinations,
-            seed=seed, intensity=intensity,
+            seed=seed, intensity=intensity, stream=stream,
         )
     return random_tree_adversary(
-        topology, rho, sigma, rounds, destinations, seed=seed
+        topology, rho, sigma, rounds, destinations, seed=seed, stream=stream
     )
 
 
@@ -323,9 +555,11 @@ def build_single_destination_adversary(
     rounds: int,
     destination: Optional[int] = None,
     seed: Optional[int] = None,
-) -> InjectionPattern:
+    stream: bool = False,
+) -> BoundedAdversary:
     return single_destination_adversary(
-        topology, rho, sigma, rounds, destination=destination, seed=seed
+        topology, rho, sigma, rounds, destination=destination, seed=seed,
+        stream=stream,
     )
 
 
@@ -338,9 +572,10 @@ def build_saturating_adversary(
     rounds: int,
     num_destinations: int = 1,
     seed: Optional[int] = None,
-) -> InjectionPattern:
+    stream: bool = False,
+) -> BoundedAdversary:
     return saturating_line_adversary(
-        topology, rho, sigma, rounds, num_destinations, seed=seed
+        topology, rho, sigma, rounds, num_destinations, seed=seed, stream=stream
     )
 
 
@@ -354,8 +589,27 @@ def build_bursty_adversary(
     num_destinations: int = 1,
     burst_period: int = 16,
     seed: Optional[int] = None,
-) -> InjectionPattern:
+    stream: bool = False,
+) -> BoundedAdversary:
     return bursty_adversary(
         topology, rho, sigma, rounds, num_destinations,
-        burst_period=burst_period, seed=seed,
+        burst_period=burst_period, seed=seed, stream=stream,
+    )
+
+
+@register_adversary("trickle", aliases=("steady",))
+def build_trickle_adversary(
+    topology: LineTopology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    destination: Optional[int] = None,
+    destinations: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+    stream: bool = False,
+) -> BoundedAdversary:
+    return trickle_adversary(
+        topology, rho, sigma, rounds, destination=destination,
+        destinations=destinations, seed=seed, stream=stream,
     )

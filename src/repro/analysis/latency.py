@@ -8,8 +8,11 @@ buffer forever.  These helpers quantify that trade so the E8-style comparisons
 can report it honestly.
 
 All functions operate on a finished :class:`~repro.network.simulator.Simulator`
-(which retains every :class:`~repro.core.packet.Packet` it created), not on the
-summary result, because latency needs per-packet data.
+that retains every :class:`~repro.core.packet.Packet` it created (the
+``full`` and ``summary`` history policies), not on the summary result,
+because latency needs per-packet data.  Streaming simulators release
+delivered packets, so these helpers reject them instead of silently
+reporting empty statistics.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.packet import PacketState
+from ..network.errors import ConfigurationError
 from ..network.simulator import Simulator
 from .statistics import SeriesSummary, summarise
 
@@ -44,6 +48,13 @@ class LatencyBreakdown:
 
 
 def _delivered_packets(simulator: Simulator):
+    if not simulator.retain_packets:
+        raise ConfigurationError(
+            "per-packet latency analysis needs a packet-retaining run; this "
+            "simulator used history='streaming' (delivered packets were "
+            "released) — use the summary statistics on its SimulationResult, "
+            "or re-run with history='summary' or 'full'"
+        )
     return [
         packet
         for packet in simulator.packets.values()
@@ -121,6 +132,12 @@ def stretch_summary(simulator: Simulator) -> Optional[float]:
 
 def delivery_rate(simulator: Simulator) -> float:
     """Fraction of injected packets that were delivered (1.0 for drained runs)."""
+    if not simulator.retain_packets:
+        raise ConfigurationError(
+            "delivery_rate needs a packet-retaining run (this simulator used "
+            "history='streaming'); read packets_delivered / packets_injected "
+            "off its SimulationResult instead"
+        )
     total = len(simulator.packets)
     if total == 0:
         return 1.0

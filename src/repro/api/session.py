@@ -18,8 +18,7 @@ from __future__ import annotations
 import inspect
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from functools import partial
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.metrics import check_against_bound
 from ..analysis.tables import format_table
@@ -168,15 +167,21 @@ class Session:
         self.max_workers = max_workers
         self.cache_topologies = cache_topologies
         self._topology_cache: Dict[str, Topology] = {}
+        #: How many topologies this session has actually constructed (cache
+        #: misses included, hits excluded).  The process-pool warm-up test
+        #: uses this to prove workers stop rebuilding per run.
+        self.topology_builds = 0
 
     # -- construction -----------------------------------------------------------
 
     def topology(self, spec: TopologySpec) -> Topology:
         """The (cached) topology for ``spec``."""
         if not self.cache_topologies:
+            self.topology_builds += 1
             return build_topology(spec)
         key = spec.spec_hash()
         if key not in self._topology_cache:
+            self.topology_builds += 1
             self._topology_cache[key] = build_topology(spec)
         return self._topology_cache[key]
 
@@ -263,9 +268,14 @@ class Session:
         Simulations are pure-Python and GIL-bound, so this is the option that
         actually scales CPU-bound sweeps across cores.  Every item must be a
         :class:`ScenarioSpec` (specs are plain picklable data; live
-        :class:`PreparedRun` ingredients stay in-process) and each worker
-        builds its own topology — results are identical to the thread path
-        because every run is seeded through its spec and executes in a fresh
+        :class:`PreparedRun` ingredients stay in-process).  Each worker is
+        *warmed once* by a pool initializer: the batch's distinct topology
+        specs are pickled a single time into the initializer arguments, and
+        every worker builds each topology (plus its next-hop table) exactly
+        once into a persistent per-worker :class:`Session` — submitting a
+        hundred same-topology runs no longer rebuilds the network a hundred
+        times per worker.  Results are identical to the thread path because
+        every run is seeded through its spec and executes in a fresh
         packet-id scope either way.
         """
         items: Sequence[Runnable] = list(scenarios)
@@ -279,11 +289,20 @@ class Session:
                     )
             if workers == 0 or len(items) <= 1:
                 return [self.run(item) for item in items]
-            worker = partial(
-                _run_spec_in_worker, cache_topologies=self.cache_topologies
-            )
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(worker, items))
+            distinct_topologies: Dict[str, TopologySpec] = {}
+            for item in items:
+                distinct_topologies.setdefault(
+                    item.topology.spec_hash(), item.topology
+                )
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_warm_worker,
+                initargs=(
+                    tuple(distinct_topologies.values()),
+                    self.cache_topologies,
+                ),
+            ) as pool:
+                return list(pool.map(_run_spec_in_worker, items))
         if self.cache_topologies:  # warm the topology cache sequentially
             for item in items:
                 if isinstance(item, ScenarioSpec):
@@ -303,6 +322,7 @@ class Session:
             prepared.adversary,
             record_history=policy.record_history,
             record_occupancy_vectors=policy.record_occupancy_vectors,
+            history=policy.history,
             validate_capacity=policy.validate_capacity,
         )
         result = simulator.run(
@@ -328,14 +348,42 @@ class Session:
         )
 
 
-def _run_spec_in_worker(spec: ScenarioSpec, *, cache_topologies: bool = True) -> RunReport:
-    """Process-pool entry point: execute one spec in a fresh Session.
+#: The per-worker Session installed by :func:`_warm_worker`.  Lives for the
+#: whole worker process, so its topology cache persists across submitted runs.
+_WORKER_SESSION: Optional[Session] = None
 
-    Module-level so it pickles by reference; each worker process gets its own
-    topology cache (sharing across processes is impossible anyway), configured
-    to match the dispatching Session.
+
+def _warm_worker(
+    topology_specs: Tuple[TopologySpec, ...], cache_topologies: bool = True
+) -> None:
+    """Process-pool initializer: warm one persistent Session per worker.
+
+    Runs once per worker process.  Builds every distinct topology of the
+    batch (the specs are pickled once, in the initializer arguments, not per
+    submitted run) and precomputes its next-hop table, so the per-run cost in
+    the worker is simulation only.  With ``cache_topologies=False`` there is
+    nowhere to keep the warm objects, so the pre-build is skipped — each run
+    then constructs its own topology, exactly as that configuration asks.
     """
-    return Session(cache_topologies=cache_topologies).run(spec)
+    global _WORKER_SESSION
+    session = Session(cache_topologies=cache_topologies)
+    if cache_topologies:
+        for spec in topology_specs:
+            session.topology(spec).next_hop_table()
+    _WORKER_SESSION = session
+
+
+def _run_spec_in_worker(spec: ScenarioSpec, *, cache_topologies: bool = True) -> RunReport:
+    """Process-pool entry point: execute one spec in the worker's Session.
+
+    Module-level so it pickles by reference.  Uses the warm per-worker
+    session installed by :func:`_warm_worker`; falls back to a throwaway
+    Session when called outside a warmed pool.
+    """
+    session = _WORKER_SESSION
+    if session is None:
+        session = Session(cache_topologies=cache_topologies)
+    return session.run(spec)
 
 
 def reports_to_table(

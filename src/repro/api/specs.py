@@ -199,6 +199,13 @@ class RunPolicy(_SpecBase):
         Safety cap on drain rounds (``None`` = automatic).
     record_history / record_occupancy_vectors:
         Per-round measurement detail (memory grows with execution length).
+    history:
+        Retention policy name — ``"full"``, ``"summary"`` or ``"streaming"``
+        (:class:`repro.network.events.HistoryPolicy`); ``None`` derives it
+        from the two flags above.  ``"streaming"`` keeps a run's memory
+        proportional to packets in flight (delivered packets are released,
+        the injection log is columnar) — summary statistics are identical to
+        the other policies.
     validate_capacity:
         Raise on infeasible activation sets (the paper proves the bundled
         algorithms never produce one; keep on unless profiling).
@@ -212,6 +219,7 @@ class RunPolicy(_SpecBase):
     max_drain_rounds: Optional[int] = None
     record_history: bool = False
     record_occupancy_vectors: bool = False
+    history: Optional[str] = None
     validate_capacity: bool = True
     seed: Optional[int] = None
 
@@ -230,6 +238,20 @@ class RunPolicy(_SpecBase):
         for flag in ("drain", "record_history", "record_occupancy_vectors", "validate_capacity"):
             if not isinstance(getattr(self, flag), bool):
                 raise SpecError(f"RunPolicy.{flag} must be a bool")
+        if self.history is not None:
+            if self.history not in ("full", "summary", "streaming"):
+                raise SpecError(
+                    f"RunPolicy.history must be None, 'full', 'summary' or "
+                    f"'streaming', got {self.history!r}"
+                )
+            if (
+                self.history != "full"
+                and (self.record_history or self.record_occupancy_vectors)
+            ):
+                raise SpecError(
+                    f"record_history/record_occupancy_vectors require "
+                    f"history='full', got history={self.history!r}"
+                )
 
 
 @dataclass(frozen=True)

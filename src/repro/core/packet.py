@@ -8,21 +8,27 @@ bookkeeping used by the engine and by the lower-bound analysis (current
 location, delivery round, fresh/stale status).
 
 The immutable "injection record" lives in :class:`Injection`; the mutable
-in-flight object is :class:`Packet`.
+in-flight object is :class:`Packet`.  Both are ``__slots__`` classes: a
+million-packet run allocates millions of them, and the per-instance ``__dict__``
+would dominate the engine's footprint.  Large schedules are stored columnar in
+a :class:`PacketStore` — four flat integer arrays instead of one boxed record
+object per injection — and materialise :class:`Injection` views on demand.
 """
 
 from __future__ import annotations
 
 import contextvars
 import itertools
+from array import array
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Iterator, Optional
 
 __all__ = [
     "Injection",
     "Packet",
     "PacketState",
+    "PacketStore",
     "PacketIdAllocator",
     "packet_id_scope",
     "packet_id_counter",
@@ -113,7 +119,7 @@ class PacketState(Enum):
     DELIVERED = "delivered"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Injection:
     """An immutable injection record ``(round, source, destination)``.
 
@@ -145,14 +151,20 @@ class Injection:
         return Injection(new_round, self.source, self.destination, self.packet_id)
 
 
-@dataclass
 class Packet:
     """A mutable in-flight packet tracked by the simulation engine.
 
+    The injection triple is stored *unboxed* — four int slots instead of a
+    nested :class:`Injection` record — so an in-flight packet is one small
+    object; :attr:`injection` materialises the immutable record on demand.
+    Packets compare by identity: the engine moves the exact objects it
+    stored, and two packets are never interchangeable even when injected at
+    the same place and time.
+
     Attributes
     ----------
-    injection:
-        The immutable injection record.
+    packet_id, source, destination, injected_round:
+        The unboxed injection record ``(t, i_P, w_P)`` plus its unique id.
     location:
         The node currently storing this packet (meaningful only while the
         packet is ``IN_TRANSIT``).
@@ -160,7 +172,7 @@ class Packet:
         Lifecycle state.
     accepted_round:
         Round in which the algorithm accepted the packet into a buffer.  For
-        most algorithms this equals ``injection.round``; for HPTS it is the
+        most algorithms this equals ``injected_round``; for HPTS it is the
         first round of the following phase.
     delivered_round:
         Round in which the packet reached its destination, or ``None``.
@@ -168,36 +180,51 @@ class Packet:
         Number of forwarding steps the packet has taken so far.
     """
 
-    injection: Injection
-    location: int
-    state: PacketState = PacketState.IN_TRANSIT
-    accepted_round: Optional[int] = None
-    delivered_round: Optional[int] = None
-    hops: int = 0
+    __slots__ = (
+        "packet_id",
+        "source",
+        "destination",
+        "injected_round",
+        "location",
+        "state",
+        "accepted_round",
+        "delivered_round",
+        "hops",
+    )
+
+    def __init__(
+        self,
+        injection: Injection,
+        location: int,
+        state: PacketState = PacketState.IN_TRANSIT,
+        accepted_round: Optional[int] = None,
+        delivered_round: Optional[int] = None,
+        hops: int = 0,
+    ) -> None:
+        self.packet_id = injection.packet_id
+        self.source = injection.source
+        self.destination = injection.destination
+        self.injected_round = injection.round
+        self.location = location
+        self.state = state
+        self.accepted_round = accepted_round
+        self.delivered_round = delivered_round
+        self.hops = hops
 
     @classmethod
     def from_injection(cls, injection: Injection, *, staged: bool = False) -> "Packet":
         """Create an in-flight packet at its injection site."""
         state = PacketState.STAGED if staged else PacketState.IN_TRANSIT
-        return cls(injection=injection, location=injection.source, state=state)
+        return cls(injection, injection.source, state)
 
     # -- convenience accessors ------------------------------------------------
 
     @property
-    def packet_id(self) -> int:
-        return self.injection.packet_id
-
-    @property
-    def source(self) -> int:
-        return self.injection.source
-
-    @property
-    def destination(self) -> int:
-        return self.injection.destination
-
-    @property
-    def injected_round(self) -> int:
-        return self.injection.round
+    def injection(self) -> Injection:
+        """The immutable injection record, materialised from the int slots."""
+        return Injection(
+            self.injected_round, self.source, self.destination, self.packet_id
+        )
 
     @property
     def delivered(self) -> bool:
@@ -208,7 +235,7 @@ class Packet:
         """Rounds from injection to delivery, or ``None`` if undelivered."""
         if self.delivered_round is None:
             return None
-        return self.delivered_round - self.injection.round
+        return self.delivered_round - self.injected_round
 
     @property
     def remaining_distance(self) -> int:
@@ -239,6 +266,98 @@ class Packet:
             f"Packet(id={self.packet_id}, src={self.source}, dst={self.destination}, "
             f"t={self.injected_round}, at={self.location}, state={self.state.value})"
         )
+
+
+class PacketStore:
+    """A compact columnar store of immutable injection records.
+
+    Rows are ``(round, source, destination, packet_id)`` int quadruples kept
+    in four flat ``array('q')`` columns — roughly 32 bytes per injection
+    instead of one boxed :class:`Injection` (plus container references) each.
+    Rows are append-only and keep insertion order; :meth:`injection`
+    materialises an :class:`Injection` view on demand.
+
+    Used by :class:`repro.adversary.base.InjectionPattern` to hold large
+    schedules, and by the streaming simulator to log what was injected
+    without retaining delivered :class:`Packet` objects.
+    """
+
+    __slots__ = ("_rounds", "_sources", "_destinations", "_ids")
+
+    def __init__(self) -> None:
+        self._rounds = array("q")
+        self._sources = array("q")
+        self._destinations = array("q")
+        self._ids = array("q")
+
+    def append(self, round: int, source: int, destination: int, packet_id: int) -> int:
+        """Append one record; returns its row index."""
+        self._rounds.append(round)
+        self._sources.append(source)
+        self._destinations.append(destination)
+        self._ids.append(packet_id)
+        return len(self._ids) - 1
+
+    def append_injection(self, injection: Injection) -> int:
+        return self.append(
+            injection.round, injection.source, injection.destination,
+            injection.packet_id,
+        )
+
+    def injection(self, row: int) -> Injection:
+        """Materialise the :class:`Injection` stored at ``row``."""
+        return Injection(
+            self._rounds[row], self._sources[row], self._destinations[row],
+            self._ids[row],
+        )
+
+    def row_tuple(self, row: int) -> tuple:
+        """``(round, source, destination, packet_id)`` without boxing."""
+        return (
+            self._rounds[row], self._sources[row], self._destinations[row],
+            self._ids[row],
+        )
+
+    #: The :class:`Injection` lexicographic order key for a row — identical
+    #: to the row's tuple form by construction.
+    sort_key = row_tuple
+
+    # -- column views (read-only by convention) ---------------------------------
+
+    @property
+    def rounds(self) -> array:
+        return self._rounds
+
+    @property
+    def sources(self) -> array:
+        return self._sources
+
+    @property
+    def destinations(self) -> array:
+        return self._destinations
+
+    @property
+    def packet_ids(self) -> array:
+        return self._ids
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate payload size of the four columns, in bytes."""
+        return sum(
+            column.buffer_info()[1] * column.itemsize
+            for column in (self._rounds, self._sources, self._destinations, self._ids)
+        )
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[Injection]:
+        """Materialise every record, in insertion order."""
+        for row in range(len(self._ids)):
+            yield self.injection(row)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PacketStore(records={len(self._ids)}, nbytes={self.nbytes})"
 
 
 def make_injection(round: int, source: int, destination: int) -> Injection:

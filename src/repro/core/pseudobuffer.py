@@ -50,6 +50,8 @@ class PseudoBuffer:
         load/badness counters exact without re-summing.
     """
 
+    __slots__ = ("key", "discipline", "_packets", "_on_change")
+
     def __init__(
         self,
         key: Hashable,
@@ -148,7 +150,13 @@ class NodeBuffer:
     node has accumulated.  An optional ``on_change`` listener receives
     ``(node, key, old_len, new_len)`` after each mutation — the forwarding
     algorithm uses it to keep its occupancy delta and bad-buffer indices live.
+
+    Both buffer classes are slotted: a million-node network materialises one
+    :class:`NodeBuffer` per node up front, so the per-instance ``__dict__``
+    would dominate the engine's idle footprint.
     """
+
+    __slots__ = ("node", "discipline", "_pseudo", "_load", "_total_bad", "_on_change")
 
     def __init__(
         self,

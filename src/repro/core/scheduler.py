@@ -27,13 +27,16 @@ from .pseudobuffer import NodeBuffer, QueueDiscipline
 __all__ = ["Activation", "ForwardingAlgorithm"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Activation:
     """One activated pseudo-buffer: node ``node`` forwards from queue ``key``.
 
     ``packet`` optionally names the exact packet to forward (used by greedy
     baselines whose priority is not the pseudo-buffer's own discipline);
     when ``None`` the pseudo-buffer pops according to its queue discipline.
+    Slotted: peak-to-sink algorithms allocate one per activated buffer per
+    round, which on long backlogs is the hottest allocation site after
+    packets themselves.
     """
 
     node: int

@@ -8,7 +8,7 @@ from .errors import (
     SchedulingError,
     TopologyError,
 )
-from .events import OccupancyTimeline, RoundRecord, SimulationResult
+from .events import HistoryPolicy, OccupancyTimeline, RoundRecord, SimulationResult
 from .forest import ForestTopology, forest_of
 from .simulator import Simulator, run_simulation
 from .topology import (
@@ -28,6 +28,7 @@ __all__ = [
     "ReproError",
     "SchedulingError",
     "TopologyError",
+    "HistoryPolicy",
     "OccupancyTimeline",
     "RoundRecord",
     "SimulationResult",

@@ -11,14 +11,57 @@ configuration ``L^t``); quantities "at t+" are taken after forwarding
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from enum import Enum
+from typing import Dict, List, Optional, Union
 
-__all__ = ["RoundRecord", "SimulationResult", "OccupancyTimeline"]
+__all__ = ["HistoryPolicy", "RoundRecord", "SimulationResult", "OccupancyTimeline"]
 
 
-@dataclass(frozen=True)
+class HistoryPolicy(Enum):
+    """How much per-round state a simulation retains.
+
+    * ``FULL`` — keep a :class:`RoundRecord` per round (memory grows linearly
+      with the execution length) and retain every :class:`Packet` ever
+      injected.  Required by per-round analyses and the invariant tests.
+    * ``SUMMARY`` — fold occupancy maxima, latency and delivery statistics
+      incrementally (no round records) but still retain all packet objects
+      for post-run inspection.  The default, matching the seed engine's
+      observable results bit for bit.
+    * ``STREAMING`` — fold statistics incrementally *and* release packets at
+      delivery: ``Simulator.packets`` holds only in-flight packets, and the
+      injection log lives in a compact columnar
+      :class:`~repro.core.packet.PacketStore`.  Memory is O(packets in
+      flight), which is what makes million-node, long-horizon runs fit.
+
+    Summary statistics (``SimulationResult`` minus ``history``) are identical
+    across all three policies on the same scenario.
+    """
+
+    FULL = "full"
+    SUMMARY = "summary"
+    STREAMING = "streaming"
+
+    @classmethod
+    def coerce(cls, value: Union["HistoryPolicy", str]) -> "HistoryPolicy":
+        """Accept either a member or its string value (JSON specs)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown history policy {value!r}; "
+                f"expected one of {[p.value for p in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True, slots=True)
 class RoundRecord:
-    """Everything observed during a single round."""
+    """Everything observed during a single round.
+
+    Slotted: full-history runs keep one record per executed round, so long
+    horizons allocate these in bulk.
+    """
 
     #: Round index ``t`` (0-based).
     round: int
@@ -107,6 +150,8 @@ class OccupancyTimeline:
       (a maximum is recorded only when a load strictly exceeds the running
       value, which starts at 0).
     """
+
+    __slots__ = ("max_occupancy", "max_per_node", "max_staged")
 
     def __init__(self) -> None:
         self.max_occupancy = 0

@@ -20,18 +20,18 @@ delivery statistics are complete.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
-from ..core.packet import Packet
+from ..core.packet import Packet, PacketStore
 from ..core.scheduler import Activation, ForwardingAlgorithm
-from ..network.errors import CapacityViolationError, SchedulingError
+from ..network.errors import CapacityViolationError, ConfigurationError, SchedulingError
 from ..network.topology import Topology
-from .events import OccupancyTimeline, RoundRecord, SimulationResult
+from .events import HistoryPolicy, OccupancyTimeline, RoundRecord, SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, typing only
     from ..adversary.base import Adversary
 
-__all__ = ["Simulator", "run_simulation"]
+__all__ = ["HistoryPolicy", "Simulator", "run_simulation"]
 
 
 class Simulator:
@@ -48,10 +48,17 @@ class Simulator:
         The injection process.
     record_history:
         When ``True``, keep a per-round :class:`RoundRecord` list in the
-        result (memory grows linearly with the execution length).
+        result (memory grows linearly with the execution length).  Shorthand
+        for ``history=HistoryPolicy.FULL``.
     record_occupancy_vectors:
         When ``True`` (implies ``record_history``), each round record also
         stores the full per-node occupancy vector.
+    history:
+        The retention policy (:class:`HistoryPolicy` or its string value);
+        ``None`` derives ``FULL`` or ``SUMMARY`` from the two flags above.
+        ``STREAMING`` releases packets at delivery and logs injections into
+        a compact :class:`~repro.core.packet.PacketStore` instead, so a run's
+        footprint is O(packets in flight) rather than O(packets injected).
     validate_capacity:
         When ``True`` (default), raise on any activation set that would push
         two packets over one edge or forward from an empty pseudo-buffer.
@@ -67,16 +74,42 @@ class Simulator:
         *,
         record_history: bool = False,
         record_occupancy_vectors: bool = False,
+        history: Optional[Union[HistoryPolicy, str]] = None,
         validate_capacity: bool = True,
     ) -> None:
         self.topology = topology
         self.algorithm = algorithm
         self.adversary = adversary
-        self.record_history = record_history or record_occupancy_vectors
+        if history is None:
+            policy = (
+                HistoryPolicy.FULL
+                if (record_history or record_occupancy_vectors)
+                else HistoryPolicy.SUMMARY
+            )
+        else:
+            policy = HistoryPolicy.coerce(history)
+            if (record_history or record_occupancy_vectors) and policy is not HistoryPolicy.FULL:
+                raise ConfigurationError(
+                    f"record_history/record_occupancy_vectors require "
+                    f"history='full', got history={policy.value!r}"
+                )
+        self.history_policy = policy
+        self.record_history = policy is HistoryPolicy.FULL
         self.record_occupancy_vectors = record_occupancy_vectors
         self.validate_capacity = validate_capacity
-        #: Every packet ever created, keyed by packet id.
+        #: Whether delivered packets stay reachable after the run (FULL and
+        #: SUMMARY).  Under STREAMING, :attr:`packets` holds in-flight packets
+        #: only and :attr:`packet_store` keeps the compact injection log.
+        self.retain_packets = policy is not HistoryPolicy.STREAMING
+        #: Every packet the simulator is tracking, keyed by packet id: all
+        #: packets ever created when :attr:`retain_packets`, else only the
+        #: undelivered ones.
         self.packets: Dict[int, Packet] = {}
+        #: Columnar ``(round, source, destination, packet_id)`` log of every
+        #: injection (streaming runs only; ``None`` otherwise).
+        self.packet_store: Optional[PacketStore] = (
+            PacketStore() if policy is HistoryPolicy.STREAMING else None
+        )
         self._timeline = OccupancyTimeline()
         self._history: List[RoundRecord] = []
         self._round = 0
@@ -136,10 +169,13 @@ class Simulator:
         else:
             injections = self.adversary.injections_for_round(round_number)
         new_packets: List[Packet] = []
+        store = self.packet_store
         for injection in injections:
             self.topology.validate_route(injection.source, injection.destination)
             packet = Packet.from_injection(injection)
             self.packets[injection.packet_id] = packet
+            if store is not None:
+                store.append_injection(injection)
             new_packets.append(packet)
         self._injected += len(new_packets)
         self.algorithm.on_inject(round_number, new_packets)
@@ -231,6 +267,7 @@ class Simulator:
             moves.append((packet, next_hop))
 
         delivered = 0
+        retain = self.retain_packets
         for packet, next_hop in moves:
             packet.advance(next_hop)
             if next_hop == packet.destination:
@@ -240,6 +277,10 @@ class Simulator:
                 self._latency_sum += latency
                 if self._latency_max is None or latency > self._latency_max:
                     self._latency_max = latency
+                if not retain:
+                    # Streaming: the folded statistics above are the packet's
+                    # only remaining trace; release the object.
+                    del self.packets[packet.packet_id]
             else:
                 self.algorithm.on_arrival(packet, next_hop, round_number)
         return len(moves), delivered
@@ -285,7 +326,7 @@ class Simulator:
         # delivery time (latencies are integers, so the running sum is exact
         # and the mean matches a from-scratch recomputation bit for bit).
         delivered = self._delivered
-        undelivered = len(self.packets) - delivered
+        undelivered = self._injected - delivered
         return SimulationResult(
             algorithm=self.algorithm.name,
             num_nodes=self.topology.num_nodes,
@@ -311,6 +352,7 @@ def run_simulation(
     num_rounds: Optional[int] = None,
     drain: bool = True,
     record_history: bool = False,
+    history: Optional[Union[HistoryPolicy, str]] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulator`.
 
@@ -322,5 +364,6 @@ def run_simulation(
         algorithm,
         adversary,
         record_history=record_history,
+        history=history,
     )
     return simulator.run(num_rounds, drain=drain)

@@ -133,8 +133,11 @@ class LineTopology(Topology):
             raise TopologyError(f"a line needs at least 2 nodes, got {num_nodes}")
         self._num_nodes = num_nodes
         self.allow_virtual_sink = allow_virtual_sink
-        self._nodes = list(range(num_nodes))
-        self._edges = [(i, i + 1) for i in range(num_nodes - 1)]
+        # The node set is a range (O(1) memory however long the line); the
+        # edge list is materialised lazily — a million-node simulation never
+        # asks for it, only drawing/analysis code does.
+        self._nodes = range(num_nodes)
+        self._edges: Optional[List[Edge]] = None
 
     # -- Topology interface ----------------------------------------------------
 
@@ -144,7 +147,13 @@ class LineTopology(Topology):
 
     @property
     def edges(self) -> Sequence[Edge]:
+        if self._edges is None:
+            self._edges = [(i, i + 1) for i in range(self._num_nodes - 1)]
         return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_nodes - 1
 
     def next_hop(self, node: int) -> Optional[int]:
         self._check_node(node)
@@ -187,8 +196,8 @@ class LineTopology(Topology):
     def to_networkx(self) -> nx.DiGraph:
         """Export as a :class:`networkx.DiGraph` (for drawing / analysis)."""
         graph = nx.DiGraph()
-        graph.add_nodes_from(self._nodes)
-        graph.add_edges_from(self._edges)
+        graph.add_nodes_from(self.nodes)
+        graph.add_edges_from(self.edges)
         return graph
 
 
@@ -362,8 +371,8 @@ class TreeTopology(Topology):
     def to_networkx(self) -> nx.DiGraph:
         """Export as a :class:`networkx.DiGraph` with edges toward the root."""
         graph = nx.DiGraph()
-        graph.add_nodes_from(self._nodes)
-        graph.add_edges_from(self._edges)
+        graph.add_nodes_from(self.nodes)
+        graph.add_edges_from(self.edges)
         return graph
 
     @classmethod

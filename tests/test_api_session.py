@@ -205,6 +205,62 @@ class TestRunManyDeterminism:
             Session().run_many([prepared], use_processes=True)
 
 
+class TestProcessPoolWarmup:
+    """The pool initializer must build each worker's topologies exactly once.
+
+    The seed behaviour rebuilt the topology for every submitted run (a fresh
+    Session per run); these tests drive the worker lifecycle in-process —
+    ``_warm_worker`` once, then ``_run_spec_in_worker`` per run — and count
+    constructions through ``Session.topology_builds``.
+    """
+
+    def _install_worker(self, topology_specs):
+        from repro.api import session as session_module
+
+        session_module._warm_worker(tuple(topology_specs), True)
+        return session_module._WORKER_SESSION
+
+    def _uninstall_worker(self):
+        from repro.api import session as session_module
+
+        session_module._WORKER_SESSION = None
+
+    def test_worker_builds_each_topology_once_across_runs(self):
+        from repro.api.session import _run_spec_in_worker
+
+        specs = [_random_spec(seed) for seed in range(5)]
+        worker_session = self._install_worker({s.topology for s in specs})
+        try:
+            assert worker_session.topology_builds == 1  # one distinct topology
+            reports = [_run_spec_in_worker(spec) for spec in specs]
+            # Regression guard: five submitted runs, still one construction.
+            assert worker_session.topology_builds == 1
+        finally:
+            self._uninstall_worker()
+        sequential = [Session().run(spec) for spec in specs]
+        assert [r.result.max_occupancy for r in reports] == [
+            r.result.max_occupancy for r in sequential
+        ]
+
+    def test_unwarmed_worker_falls_back_to_fresh_session(self):
+        from repro.api.session import _run_spec_in_worker
+
+        self._uninstall_worker()
+        report = _run_spec_in_worker(_random_spec(3))
+        assert report.result.packets_injected > 0
+
+    def test_session_topology_builds_counts_cache_misses_only(self):
+        session = Session()
+        spec = _random_spec(0)
+        session.topology(spec.topology)
+        session.topology(spec.topology)
+        assert session.topology_builds == 1
+        uncached = Session(cache_topologies=False)
+        uncached.topology(spec.topology)
+        uncached.topology(spec.topology)
+        assert uncached.topology_builds == 2
+
+
 class TestSeedPropagation:
     def test_policy_seed_reaches_seed_accepting_builders(self):
         a = Session().run(_random_spec(1))
