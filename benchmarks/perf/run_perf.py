@@ -260,6 +260,49 @@ def _measure_peak_memory(spec: ScenarioSpec) -> int:
     return peak
 
 
+def _checkpoint_case(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Measure the checkpoint round trip on the streaming case: run to the
+    halfway round, save, load + restore; publish the file size so regressions
+    in snapshot footprint show up in BENCH_engine.json like memory does."""
+    import tempfile
+
+    from repro.checkpoint import load_checkpoint, restore_into
+    from repro.core.packet import packet_id_scope
+
+    session = Session(cache_topologies=False)
+    rounds = spec.adversary.rounds
+    with tempfile.TemporaryDirectory() as scratch:
+        path = os.path.join(scratch, "bench.ckpt")
+        with packet_id_scope():
+            prepared = session.prepare(spec)
+            simulator = Simulator(
+                prepared.topology, prepared.algorithm, prepared.adversary,
+                history=spec.policy.history,
+            )
+            simulator.run(rounds // 2, drain=False)
+            start = time.perf_counter()
+            ckpt_bytes = simulator.save_checkpoint(path, spec=spec)
+            save_sec = time.perf_counter() - start
+        with packet_id_scope():
+            prepared = session.prepare(spec)
+            restored = Simulator(
+                prepared.topology, prepared.algorithm, prepared.adversary,
+                history=spec.policy.history,
+            )
+            start = time.perf_counter()
+            restore_into(restored, load_checkpoint(path))
+            load_sec = time.perf_counter() - start
+    return {
+        "case": f"checkpoint/{spec.label}",
+        "kind": "checkpoint",
+        "n": prepared.topology.num_nodes,
+        "rounds": rounds // 2,
+        "ckpt_bytes": ckpt_bytes,
+        "save_sec": save_sec,
+        "load_sec": load_sec,
+    }
+
+
 def run_suite(quick: bool, repeats: int) -> Dict[str, Any]:
     sizes = QUICK_SIZES if quick else FULL_SIZES
     stream_sizes = QUICK_STREAM_SIZES if quick else FULL_STREAM_SIZES
@@ -281,6 +324,15 @@ def run_suite(quick: bool, repeats: int) -> Dict[str, Any]:
             f"({case['normalized_throughput']:.1f} norm, "
             f"{case['peak_mem_bytes'] / 1e6:.1f} MB peak)"
         )
+    # Checkpoint round trip on the smallest streaming tier: snapshot size is
+    # part of the published surface (resume cost scales with it).
+    n_stream, rounds_stream = stream_sizes[0]
+    case = _checkpoint_case(_stream_spec(n_stream, rounds_stream))
+    cases.append(case)
+    print(
+        f"{case['case']:<40} {case['ckpt_bytes'] / 1e3:>12.1f} KB ckpt  "
+        f"(save {case['save_sec'] * 1e3:.1f} ms, load {case['load_sec'] * 1e3:.1f} ms)"
+    )
     # End-to-end Session timing on the smallest tier only: it exists to catch
     # regressions in resolution/drain/result assembly, not to re-time the loop.
     n0, rounds0 = sizes[0]
@@ -325,14 +377,29 @@ def check_regression(
                   f"(regenerate {baseline_path}?)")
             continue
         matched += 1
-        floor = reference["normalized_throughput"] * (1.0 - tolerance)
-        if case["normalized_throughput"] < floor:
-            failures.append(
-                f"{case['case']}: normalized throughput "
-                f"{case['normalized_throughput']:.1f} < "
-                f"{floor:.1f} (baseline {reference['normalized_throughput']:.1f} "
-                f"- {tolerance:.0%})"
-            )
+        reference_throughput = reference.get("normalized_throughput")
+        current_throughput = case.get("normalized_throughput")
+        if reference_throughput is not None and current_throughput is not None:
+            floor = reference_throughput * (1.0 - tolerance)
+            if current_throughput < floor:
+                failures.append(
+                    f"{case['case']}: normalized throughput "
+                    f"{current_throughput:.1f} < "
+                    f"{floor:.1f} (baseline {reference_throughput:.1f} "
+                    f"- {tolerance:.0%})"
+                )
+        # Checkpoint size gates upward like memory: a fatter snapshot is a
+        # regression in resume cost.
+        reference_ckpt = reference.get("ckpt_bytes")
+        current_ckpt = case.get("ckpt_bytes")
+        if reference_ckpt is not None and current_ckpt is not None:
+            ceiling = reference_ckpt * (1.0 + mem_tolerance)
+            if current_ckpt > ceiling:
+                failures.append(
+                    f"{case['case']}: checkpoint size {current_ckpt / 1e3:.1f} KB > "
+                    f"{ceiling / 1e3:.1f} KB (baseline {reference_ckpt / 1e3:.1f} KB "
+                    f"+ {mem_tolerance:.0%})"
+                )
         reference_peak = reference.get("peak_mem_bytes")
         current_peak = case.get("peak_mem_bytes")
         if (
@@ -357,15 +424,23 @@ def check_regression(
 
 
 def run_smoke(limit_mb: float, nodes: int = SMOKE_NODES,
-              rounds: int = SMOKE_ROUNDS) -> int:
+              rounds: int = SMOKE_ROUNDS, checkpoint: bool = False) -> int:
     """The million-node streaming smoke: bounded-memory proof at full scale.
 
     Runs ``n = nodes`` line/PTS for ``rounds`` injection rounds with the lazy
     trickle adversary and ``history="streaming"``, then checks the process's
     peak RSS (``ru_maxrss`` — the honest whole-process number, which is why
     this is a standalone mode and not a tracemalloc case) against the limit.
+
+    With ``checkpoint=True`` the same scenario is additionally run as a
+    save/restore round trip — run to the halfway round, snapshot, rebuild
+    from the file, finish — asserting the resumed ``SimulationResult`` is
+    identical to the uninterrupted one and that the whole exercise stays
+    inside the same RSS budget.  The snapshot size is reported.
     """
+    import gc
     import resource
+    import tempfile
 
     from repro.core.packet import packet_id_scope
 
@@ -381,18 +456,49 @@ def run_smoke(limit_mb: float, nodes: int = SMOKE_NODES,
         )
         result = simulator.run(rounds, drain=False)
     elapsed = time.perf_counter() - start
-    # ru_maxrss is kilobytes on Linux but bytes on macOS.
-    rss_divisor = 1024.0 ** 2 if sys.platform == "darwin" else 1024.0
-    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / rss_divisor
     in_flight = len(simulator.packets)
     print(f"smoke: n={nodes} rounds={rounds} "
           f"injected={result.packets_injected} delivered={result.packets_delivered} "
           f"in_flight={in_flight} max_occupancy={result.max_occupancy}")
     print(f"smoke: construction {build_elapsed:.1f}s, total {elapsed:.1f}s, "
           f"{rounds / max(elapsed - build_elapsed, 1e-9):.0f} rounds/s")
+
+    roundtrip_failed = False
+    if checkpoint:
+        # Free the reference engine before the round trip so the peak RSS
+        # measures one live engine at a time, as a real resume would.
+        del simulator, prepared
+        gc.collect()
+        with tempfile.TemporaryDirectory() as scratch:
+            path = os.path.join(scratch, "smoke.ckpt")
+            with packet_id_scope():
+                prepared = session.prepare(spec)
+                partial = Simulator(
+                    prepared.topology, prepared.algorithm, prepared.adversary,
+                    history=spec.policy.history,
+                )
+                partial.run(rounds // 2, drain=False)
+                ckpt_bytes = partial.save_checkpoint(path, spec=spec)
+            del partial, prepared
+            gc.collect()
+            resumed = Session(cache_topologies=False).resume(path)
+        print(f"smoke: checkpoint round trip at round {rounds // 2}, "
+              f"{ckpt_bytes / 1e6:.1f} MB snapshot")
+        if resumed.result != result:
+            print("SMOKE FAILURE: resumed result differs from the "
+                  "uninterrupted run")
+            roundtrip_failed = True
+        else:
+            print("smoke: resumed result is identical to the uninterrupted run")
+
+    # ru_maxrss is kilobytes on Linux but bytes on macOS.
+    rss_divisor = 1024.0 ** 2 if sys.platform == "darwin" else 1024.0
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / rss_divisor
     print(f"smoke: peak RSS {peak_rss_mb:.0f} MB (limit {limit_mb:.0f} MB)")
     if peak_rss_mb > limit_mb:
         print("SMOKE FAILURE: peak RSS exceeds the documented memory bound")
+        return 1
+    if roundtrip_failed:
         return 1
     print("smoke ok: streaming run stayed within the memory bound")
     return 0
@@ -417,6 +523,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"case table and check its peak RSS")
     parser.add_argument("--smoke-limit-mb", type=float, default=2048.0,
                         help="peak-RSS bound for --smoke-mem (default 2048)")
+    parser.add_argument("--smoke-checkpoint", action="store_true",
+                        help="with --smoke-mem: also run a save/restore round "
+                             "trip at the halfway round and require the "
+                             "resumed result to be identical (same RSS budget)")
     parser.add_argument("--smoke-nodes", type=int, default=SMOKE_NODES,
                         help=argparse.SUPPRESS)
     parser.add_argument("--smoke-rounds", type=int, default=SMOKE_ROUNDS,
@@ -424,7 +534,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke_mem:
-        return run_smoke(args.smoke_limit_mb, args.smoke_nodes, args.smoke_rounds)
+        return run_smoke(args.smoke_limit_mb, args.smoke_nodes, args.smoke_rounds,
+                         checkpoint=args.smoke_checkpoint)
 
     repeats = args.repeats if args.repeats is not None else (3 if args.quick else 1)
     if repeats < 1:

@@ -62,6 +62,12 @@ from .analysis import (
     latency_breakdown,
 )
 from .baselines import ALL_POLICIES, GreedyForwarding
+from .checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    restore_simulator,
+    save_checkpoint,
+)
 from .core import (
     DownhillForwarding,
     HierarchicalPartition,
@@ -134,6 +140,10 @@ __all__ = [
     "latency_breakdown",
     "ALL_POLICIES",
     "GreedyForwarding",
+    "Checkpoint",
+    "load_checkpoint",
+    "restore_simulator",
+    "save_checkpoint",
     "DownhillForwarding",
     "HierarchicalPartition",
     "HierarchicalPeakToSink",

@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import random
 from abc import abstractmethod
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..api.registry import register_adversary
 from ..core.packet import Injection, make_injection
-from ..network.errors import ConfigurationError
+from ..network.errors import CheckpointError, ConfigurationError
 from ..network.topology import LineTopology
-from .base import Adversary, InjectionPattern
+from .base import Adversary, InjectionPattern, decode_rng_state, encode_rng_state
 from .bounded import TokenBucket
 
 __all__ = ["AdaptiveAdversary", "HotspotAdversary", "BlockingAdversary"]
@@ -116,6 +116,46 @@ class AdaptiveAdversary(Adversary):
         """The injections actually admitted so far, as an oblivious pattern."""
         return InjectionPattern(list(self._realized), rho=self.rho, sigma=self.sigma)
 
+    # -- checkpoint support -------------------------------------------------------
+
+    def cursor(self) -> Dict[str, Any]:
+        """A resume token: bucket levels, realized history and subclass state.
+
+        The realized injections are part of the cursor (with their packet
+        ids) because :meth:`adaptive_injections` replays them verbatim when a
+        past round is re-queried, and audits compare them against the bound.
+        """
+        return {
+            "last_round": self._last_round_processed,
+            "bucket": self._bucket.state(),
+            "realized": [
+                [p.round, p.source, p.destination, p.packet_id]
+                for p in self._realized
+            ],
+            "extra": self.extra_cursor(),
+        }
+
+    def resume(self, cursor: Mapping[str, Any]) -> None:
+        """Restore a :meth:`cursor` token into a freshly built adversary."""
+        if self._realized or self._last_round_processed != -1:
+            raise CheckpointError(
+                f"{type(self).__name__} already injected packets; resume() "
+                f"requires a freshly constructed adversary"
+            )
+        self._last_round_processed = int(cursor["last_round"])
+        self._bucket.set_state(cursor["bucket"])
+        self._realized = [
+            Injection(row[0], row[1], row[2], row[3]) for row in cursor["realized"]
+        ]
+        self.restore_extra_cursor(cursor.get("extra", {}))
+
+    def extra_cursor(self) -> Dict[str, Any]:
+        """Subclass hook: additional JSON-serialisable cursor state."""
+        return {}
+
+    def restore_extra_cursor(self, extra: Mapping[str, Any]) -> None:
+        """Subclass hook: restore :meth:`extra_cursor` output."""
+
 
 class HotspotAdversary(AdaptiveAdversary):
     """Aims every admissible packet at the currently fullest buffer.
@@ -167,6 +207,16 @@ class HotspotAdversary(AdaptiveAdversary):
             source = self._rng.randint(max(0, hotspot - 2), hotspot)
             routes.append((source, destination))
         return routes
+
+    def extra_cursor(self) -> Dict[str, Any]:
+        return {
+            "rng": encode_rng_state(self._rng.getstate()),
+            "cycle": self._cycle,
+        }
+
+    def restore_extra_cursor(self, extra: Mapping[str, Any]) -> None:
+        self._rng.setstate(decode_rng_state(extra["rng"]))
+        self._cycle = int(extra["cycle"])
 
 
 class BlockingAdversary(AdaptiveAdversary):

@@ -18,18 +18,120 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from array import array
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.packet import Injection, PacketStore, make_injection
+from ..network.errors import CheckpointError
 from ..network.topology import Topology
 
-__all__ = ["Adversary", "InjectionPattern", "StreamingAdversary"]
+__all__ = [
+    "Adversary",
+    "InjectionPattern",
+    "StreamingAdversary",
+    "ResumableRows",
+    "encode_rng_state",
+    "decode_rng_state",
+]
 
 #: A round's worth of routes, as ``(source, destination)`` pairs in injection
 #: order.  Row generators yield one of these per round, which both the eager
 #: (:class:`InjectionPattern`) and lazy (:class:`StreamingAdversary`) paths
 #: consume — guaranteeing the two produce identical packets.
 RouteRow = List[Tuple[int, int]]
+
+
+def encode_rng_state(state: tuple) -> list:
+    """``random.Random.getstate()`` as a JSON-serialisable list."""
+    return [state[0], list(state[1]), state[2]]
+
+
+def decode_rng_state(data: Sequence) -> tuple:
+    """Inverse of :func:`encode_rng_state` (feed to ``Random.setstate``)."""
+    return (data[0], tuple(data[1]), data[2])
+
+
+class ResumableRows:
+    """A row iterator with an explicit ``(round, cursor)`` resume API.
+
+    The PR 3 row generators were forward-only plain Python generators: their
+    state lived in suspended frames, so a mid-flight run could not be
+    snapshotted.  Subclasses instead keep their state in attributes and
+    implement
+
+    * :meth:`row` — produce round ``t``'s :data:`RouteRow` (called with
+      strictly increasing ``t``, exactly once each);
+    * :meth:`state` / :meth:`set_state` — capture / restore the generator's
+      internal state (RNG, token buckets, credit counters) as a
+      JSON-serialisable mapping.
+
+    Iteration (``next()``) yields one row per round until ``num_rounds``,
+    exactly like the old generators, so the eager
+    (:class:`InjectionPattern`) and lazy (:class:`StreamingAdversary`)
+    front ends consume subclasses unchanged.  :meth:`cursor` additionally
+    captures *where* the iterator is; :meth:`restore` repositions a freshly
+    constructed iterator there without replaying the skipped rounds.
+    """
+
+    def __init__(self, num_rounds: int) -> None:
+        self.num_rounds = num_rounds
+        self._round = 0
+
+    # -- iterator protocol (what the front ends consume) -------------------------
+
+    def __iter__(self) -> "ResumableRows":
+        return self
+
+    def __next__(self) -> RouteRow:
+        if self._round >= self.num_rounds:
+            raise StopIteration
+        row = self.row(self._round)
+        self._round += 1
+        return row
+
+    # -- subclass hooks -----------------------------------------------------------
+
+    def row(self, round_number: int) -> RouteRow:
+        """The ``(source, destination)`` routes injected in ``round_number``."""
+        raise NotImplementedError
+
+    def state(self) -> Dict[str, Any]:
+        """JSON-serialisable internal state (default: stateless)."""
+        return {}
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        """Restore :meth:`state` output (default: nothing to restore)."""
+
+    # -- resume API ---------------------------------------------------------------
+
+    @property
+    def rounds_generated(self) -> int:
+        """How many rows have been produced so far."""
+        return self._round
+
+    def cursor(self) -> Dict[str, Any]:
+        """A resume token for the current round boundary."""
+        return {"round": self._round, "state": self.state()}
+
+    def restore(self, cursor: Mapping[str, Any]) -> None:
+        """Reposition a *fresh* iterator at a :meth:`cursor` round boundary."""
+        if self._round:
+            raise CheckpointError(
+                f"{type(self).__name__} already generated {self._round} rounds; "
+                f"restore() requires a freshly constructed iterator"
+            )
+        self._round = int(cursor["round"])
+        self.set_state(cursor["state"])
 
 
 class Adversary(ABC):
@@ -314,6 +416,84 @@ class StreamingAdversary(Adversary):
             "materialize() on a fresh stream (or build the eager pattern) for "
             "whole-pattern analyses"
         )
+
+    # -- checkpoint support -------------------------------------------------------
+
+    def cursor(self) -> Dict[str, Any]:
+        """A resume token for the current round boundary.
+
+        The token pairs the adversary's own position (``next_round``) with
+        the underlying row iterator's :meth:`ResumableRows.cursor`.  It does
+        *not* capture the packet-id counter — ids are allocated by the
+        enclosing :func:`~repro.core.packet.packet_id_scope`, which the
+        checkpoint layer snapshots separately; restoring both keeps resumed
+        ids aligned with the eager pattern even across rounds that injected
+        nothing (no row ever needs to be replayed, so no id can be re-spent).
+        """
+        if self._rows is None:
+            # Not started (or never will be): nothing to capture beyond the
+            # position, which must still be 0.
+            return {"next_round": self._next_round, "rows": None}
+        cursor_fn = getattr(self._rows, "cursor", None)
+        if cursor_fn is None:
+            raise CheckpointError(
+                f"{self!r}: the row iterator ({type(self._rows).__name__}) has "
+                f"no cursor() — build the adversary from ResumableRows to "
+                f"checkpoint mid-stream"
+            )
+        return {
+            "next_round": self._next_round,
+            # The generator class is part of the cursor's identity: resuming
+            # a saturating-line cursor into a random-line stream would accept
+            # the (shape-compatible) RNG/bucket state and silently produce a
+            # mixed execution.
+            "rows_type": type(self._rows).__name__,
+            "rows": cursor_fn(),
+        }
+
+    def resume(self, cursor: Mapping[str, Any]) -> None:
+        """Fast-forward a *fresh* stream to a :meth:`cursor` round boundary.
+
+        The factory is invoked once and the produced iterator is repositioned
+        via :meth:`ResumableRows.restore` — rounds before the cursor are never
+        regenerated, so their packet ids are never re-allocated (they belong
+        to the packets already materialised by the checkpointed run).
+        """
+        if self._rows is not None or self._next_round:
+            raise CheckpointError(
+                f"{self!r} already generated rounds; resume() requires a "
+                f"freshly constructed adversary"
+            )
+        next_round = int(cursor["next_round"])
+        if not (0 <= next_round <= self._horizon):
+            raise CheckpointError(
+                f"cursor round {next_round} outside [0, {self._horizon}]"
+            )
+        rows_cursor = cursor.get("rows")
+        if rows_cursor is None:
+            if next_round:
+                raise CheckpointError(
+                    f"cursor at round {next_round} carries no row-iterator "
+                    f"state; the stream cannot be repositioned"
+                )
+            return
+        rows = self._factory()
+        restore_fn = getattr(rows, "restore", None)
+        if restore_fn is None:
+            raise CheckpointError(
+                f"{self!r}: the row factory produced a plain iterator "
+                f"({type(rows).__name__}) with no restore(); cannot resume"
+            )
+        recorded_type = cursor.get("rows_type")
+        if recorded_type is not None and recorded_type != type(rows).__name__:
+            raise CheckpointError(
+                f"cursor was taken from a {recorded_type} row generator but "
+                f"this adversary produces {type(rows).__name__}; refusing to "
+                f"mix executions"
+            )
+        restore_fn(rows_cursor)
+        self._rows = rows
+        self._next_round = next_round
 
     def materialize(self) -> InjectionPattern:
         """Drain a *fresh* stream into an eager :class:`InjectionPattern`."""

@@ -211,6 +211,30 @@ class TokenBucket:
             return 0
         return int(min(self._tokens[v] for v in buffers_crossed))
 
+    # -- checkpoint support -------------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-serialisable snapshot of the per-buffer token levels.
+
+        Floats round-trip exactly through :mod:`json` (``repr`` of a double),
+        so restoring the state reproduces admission decisions bit for bit.
+        """
+        return {
+            "tokens": list(self._tokens),
+            "refilled": self._refilled_this_round,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state`."""
+        tokens = [float(value) for value in state["tokens"]]
+        if len(tokens) != self.num_nodes:
+            raise ValueError(
+                f"token-bucket state has {len(tokens)} buffers, "
+                f"expected {self.num_nodes}"
+            )
+        self._tokens = tokens
+        self._refilled_this_round = bool(state.get("refilled", False))
+
 
 def injections_crossings(
     injections: List[Injection], topology: Topology

@@ -11,33 +11,45 @@ admitted through a per-buffer :class:`~repro.adversary.bounded.TokenBucket`
 returned adversary always passes
 :func:`~repro.adversary.bounded.check_bounded` for the declared parameters.
 
-Each generator is written as a *row generator* — a plain Python generator
-yielding one round's ``(source, destination)`` routes at a time — consumed by
-two interchangeable front ends:
+Each generator is written as a *row source* — a
+:class:`~repro.adversary.base.ResumableRows` iterator producing one round's
+``(source, destination)`` routes at a time — consumed by two interchangeable
+front ends:
 
 * the **eager** path materialises every round into an
   :class:`~repro.adversary.base.InjectionPattern` (what analyses and most
   tests want), exactly as the seed library did;
-* the **lazy** path (``stream=True``) wraps the same generator in a
+* the **lazy** path (``stream=True``) wraps the same iterator in a
   :class:`~repro.adversary.base.StreamingAdversary`, so a ``T``-round
   schedule is produced round by round and a horizon-scale run never holds
   the whole schedule in memory.
 
 Because both paths consume the identical row stream (and allocate packet ids
 in the identical order), a seeded scenario produces *bit-identical* packets
-either way.
+either way.  Unlike the forward-only generators of PR 3, every row source
+exposes an explicit ``(round, cursor)`` resume API — ``cursor()`` captures
+the RNG / token-bucket / credit state at a round boundary, and ``restore()``
+repositions a fresh iterator there without replaying earlier rounds — which
+is what lets :mod:`repro.checkpoint` snapshot a mid-flight streaming run.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterator, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from ..api.registry import register_adversary
 from ..core.packet import Injection, make_injection
 from ..network.errors import ConfigurationError
 from ..network.topology import LineTopology, TreeTopology
-from .base import InjectionPattern, RouteRow, StreamingAdversary
+from .base import (
+    InjectionPattern,
+    ResumableRows,
+    RouteRow,
+    StreamingAdversary,
+    decode_rng_state,
+    encode_rng_state,
+)
 from .bounded import TokenBucket
 
 __all__ = [
@@ -114,34 +126,67 @@ def _validate_envelope(rho: float, sigma: float) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _random_line_rows(
-    topology: LineTopology,
-    rho: float,
-    sigma: float,
-    num_rounds: int,
-    num_destinations: int,
-    seed: Optional[int],
-    intensity: float,
-) -> Iterator[RouteRow]:
-    rng = random.Random(seed)
-    destinations = _pick_destinations(topology, num_destinations, rng)
-    bucket = TokenBucket(topology.num_nodes, rho, sigma)
-    # Proposal budget per round: generous enough to use up the bucket when
-    # intensity is 1 but bounded so generation stays linear in num_rounds.
-    proposals_per_round = max(4, int(2 * (rho + sigma) * len(destinations)) + 4)
-    for _ in range(num_rounds):
+class _BucketRows(ResumableRows):
+    """Shared cursor plumbing for RNG + token-bucket row sources.
+
+    All randomised generators carry exactly this mutable state between round
+    boundaries: the Mersenne-Twister state and the per-buffer token levels.
+    Deterministic derived quantities (destination sets, proposal budgets) are
+    recomputed by ``__init__`` from the construction arguments, so a restored
+    iterator is indistinguishable from one that generated every round itself.
+    """
+
+    def __init__(self, num_rounds: int, rng: random.Random, bucket: TokenBucket) -> None:
+        super().__init__(num_rounds)
+        self.rng = rng
+        self.bucket = bucket
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "rng": encode_rng_state(self.rng.getstate()),
+            "bucket": self.bucket.state(),
+        }
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self.rng.setstate(decode_rng_state(state["rng"]))
+        self.bucket.set_state(state["bucket"])
+
+
+class _RandomLineRows(_BucketRows):
+    def __init__(
+        self,
+        topology: LineTopology,
+        rho: float,
+        sigma: float,
+        num_rounds: int,
+        num_destinations: int,
+        seed: Optional[int],
+        intensity: float,
+    ) -> None:
+        rng = random.Random(seed)
+        self.destinations = _pick_destinations(topology, num_destinations, rng)
+        super().__init__(num_rounds, rng, TokenBucket(topology.num_nodes, rho, sigma))
+        self.intensity = intensity
+        # Proposal budget per round: generous enough to use up the bucket when
+        # intensity is 1 but bounded so generation stays linear in num_rounds.
+        self.proposals_per_round = max(
+            4, int(2 * (rho + sigma) * len(self.destinations)) + 4
+        )
+
+    def row(self, round_number: int) -> RouteRow:
+        rng, bucket = self.rng, self.bucket
         bucket.start_round()
         row: RouteRow = []
-        for _ in range(proposals_per_round):
-            if rng.random() > intensity:
+        for _ in range(self.proposals_per_round):
+            if rng.random() > self.intensity:
                 continue
-            destination = rng.choice(destinations)
+            destination = rng.choice(self.destinations)
             source = rng.randrange(0, destination)
             crossed = list(range(source, destination))
             if bucket.can_inject(crossed):
                 bucket.inject(crossed)
                 row.append((source, destination))
-        yield row
+        return row
 
 
 def random_line_adversary(
@@ -173,31 +218,35 @@ def random_line_adversary(
         raise ConfigurationError(f"intensity must be in (0, 1], got {intensity}")
     _pick_destinations(topology, num_destinations, random.Random(seed))  # fail fast
     return _front_end(
-        lambda: _random_line_rows(
+        lambda: _RandomLineRows(
             topology, rho, sigma, num_rounds, num_destinations, seed, intensity
         ),
         num_rounds, rho=rho, sigma=sigma, stream=stream,
     )
 
 
-def _saturating_line_rows(
-    topology: LineTopology,
-    rho: float,
-    sigma: float,
-    num_rounds: int,
-    num_destinations: int,
-    seed: Optional[int],
-) -> Iterator[RouteRow]:
-    rng = random.Random(seed)
-    destinations = _pick_destinations(topology, num_destinations, rng)
-    bucket = TokenBucket(topology.num_nodes, rho, sigma)
-    for _ in range(num_rounds):
+class _SaturatingLineRows(_BucketRows):
+    def __init__(
+        self,
+        topology: LineTopology,
+        rho: float,
+        sigma: float,
+        num_rounds: int,
+        num_destinations: int,
+        seed: Optional[int],
+    ) -> None:
+        rng = random.Random(seed)
+        self.destinations = _pick_destinations(topology, num_destinations, rng)
+        super().__init__(num_rounds, rng, TokenBucket(topology.num_nodes, rho, sigma))
+
+    def row(self, round_number: int) -> RouteRow:
+        bucket = self.bucket
         bucket.start_round()
         row: RouteRow = []
         progress = True
         while progress:
             progress = False
-            for destination in destinations:
+            for destination in self.destinations:
                 # Longest admissible route into this destination.
                 crossed_full = list(range(0, destination))
                 if bucket.can_inject(crossed_full):
@@ -218,7 +267,7 @@ def _saturating_line_rows(
                     bucket.inject(crossed)
                     row.append((start, destination))
                     progress = True
-        yield row
+        return row
 
 
 def saturating_line_adversary(
@@ -241,34 +290,40 @@ def saturating_line_adversary(
     """
     _pick_destinations(topology, num_destinations, random.Random(seed))  # fail fast
     return _front_end(
-        lambda: _saturating_line_rows(
+        lambda: _SaturatingLineRows(
             topology, rho, sigma, num_rounds, num_destinations, seed
         ),
         num_rounds, rho=rho, sigma=sigma, stream=stream,
     )
 
 
-def _single_destination_rows(
-    topology: LineTopology,
-    rho: float,
-    sigma: float,
-    num_rounds: int,
-    destination: int,
-    seed: Optional[int],
-) -> Iterator[RouteRow]:
-    rng = random.Random(seed)
-    bucket = TokenBucket(topology.num_nodes, rho, sigma)
-    attempts = max(4, int(rho + sigma) + 4)
-    for _ in range(num_rounds):
+class _SingleDestinationRows(_BucketRows):
+    def __init__(
+        self,
+        topology: LineTopology,
+        rho: float,
+        sigma: float,
+        num_rounds: int,
+        destination: int,
+        seed: Optional[int],
+    ) -> None:
+        super().__init__(
+            num_rounds, random.Random(seed), TokenBucket(topology.num_nodes, rho, sigma)
+        )
+        self.destination = destination
+        self.attempts = max(4, int(rho + sigma) + 4)
+
+    def row(self, round_number: int) -> RouteRow:
+        rng, bucket, destination = self.rng, self.bucket, self.destination
         bucket.start_round()
         row: RouteRow = []
-        for _ in range(attempts):
+        for _ in range(self.attempts):
             source = rng.randrange(0, destination)
             crossed = list(range(source, destination))
             if bucket.can_inject(crossed):
                 bucket.inject(crossed)
                 row.append((source, destination))
-        yield row
+        return row
 
 
 def single_destination_adversary(
@@ -288,40 +343,45 @@ def single_destination_adversary(
     """
     destination = destination if destination is not None else topology.num_nodes - 1
     return _front_end(
-        lambda: _single_destination_rows(
+        lambda: _SingleDestinationRows(
             topology, rho, sigma, num_rounds, destination, seed
         ),
         num_rounds, rho=rho, sigma=sigma, stream=stream,
     )
 
 
-def _bursty_rows(
-    topology: LineTopology,
-    rho: float,
-    sigma: float,
-    num_rounds: int,
-    num_destinations: int,
-    burst_period: int,
-    seed: Optional[int],
-) -> Iterator[RouteRow]:
-    rng = random.Random(seed)
-    destinations = _pick_destinations(topology, num_destinations, rng)
-    bucket = TokenBucket(topology.num_nodes, rho, sigma)
-    for t in range(num_rounds):
+class _BurstyRows(_BucketRows):
+    def __init__(
+        self,
+        topology: LineTopology,
+        rho: float,
+        sigma: float,
+        num_rounds: int,
+        num_destinations: int,
+        burst_period: int,
+        seed: Optional[int],
+    ) -> None:
+        rng = random.Random(seed)
+        self.destinations = _pick_destinations(topology, num_destinations, rng)
+        super().__init__(num_rounds, rng, TokenBucket(topology.num_nodes, rho, sigma))
+        self.burst_period = burst_period
+
+    def row(self, round_number: int) -> RouteRow:
+        rng, bucket = self.rng, self.bucket
         bucket.start_round()
         row: RouteRow = []
-        if t % burst_period == burst_period - 1:
+        if round_number % self.burst_period == self.burst_period - 1:
             progress = True
             while progress:
                 progress = False
-                for destination in destinations:
+                for destination in self.destinations:
                     source = rng.randrange(0, destination)
                     crossed = list(range(source, destination))
                     if bucket.can_inject(crossed):
                         bucket.inject(crossed)
                         row.append((source, destination))
                         progress = True
-        yield row
+        return row
 
 
 def bursty_adversary(
@@ -345,33 +405,50 @@ def bursty_adversary(
         raise ConfigurationError(f"burst_period must be >= 1, got {burst_period}")
     _pick_destinations(topology, num_destinations, random.Random(seed))  # fail fast
     return _front_end(
-        lambda: _bursty_rows(
+        lambda: _BurstyRows(
             topology, rho, sigma, num_rounds, num_destinations, burst_period, seed
         ),
         num_rounds, rho=rho, sigma=sigma, stream=stream,
     )
 
 
-def _trickle_rows(
-    rho: float,
-    num_rounds: int,
-    destinations: Sequence[int],
-    seed: Optional[int],
-) -> Iterator[RouteRow]:
-    rng = random.Random(seed)
-    multi = len(destinations) > 1
-    credit = 0.0
-    for _ in range(num_rounds):
-        credit += rho
+class _TrickleRows(ResumableRows):
+    def __init__(
+        self,
+        rho: float,
+        num_rounds: int,
+        destinations: Sequence[int],
+        seed: Optional[int],
+    ) -> None:
+        super().__init__(num_rounds)
+        self.rho = rho
+        self.destinations = list(destinations)
+        self.rng = random.Random(seed)
+        self.credit = 0.0
+
+    def row(self, round_number: int) -> RouteRow:
+        rng, destinations = self.rng, self.destinations
+        multi = len(destinations) > 1
+        self.credit += self.rho
         row: RouteRow = []
-        while credit >= 1.0:
-            credit -= 1.0
+        while self.credit >= 1.0:
+            self.credit -= 1.0
             destination = (
                 destinations[rng.randrange(len(destinations))]
                 if multi else destinations[0]
             )
             row.append((rng.randrange(0, destination), destination))
-        yield row
+        return row
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "rng": encode_rng_state(self.rng.getstate()),
+            "credit": self.credit,
+        }
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self.rng.setstate(decode_rng_state(state["rng"]))
+        self.credit = float(state["credit"])
 
 
 def trickle_adversary(
@@ -418,7 +495,7 @@ def trickle_adversary(
         if not (1 <= w <= max_destination):
             raise ConfigurationError(f"destination {w} outside [1, {max_destination}]")
     return _front_end(
-        lambda: _trickle_rows(rho, num_rounds, destinations, seed),
+        lambda: _TrickleRows(rho, num_rounds, destinations, seed),
         num_rounds, rho=rho, sigma=max(float(sigma), 1.0), stream=stream,
     )
 
@@ -428,30 +505,48 @@ def trickle_adversary(
 # ---------------------------------------------------------------------------
 
 
-def _random_tree_rows(
-    tree: TreeTopology,
-    rho: float,
-    sigma: float,
-    num_rounds: int,
-    usable_destinations: List[int],
-    eligible_sources: dict,
-    node_index: dict,
-    seed: Optional[int],
-) -> Iterator[RouteRow]:
-    rng = random.Random(seed)
-    bucket = TokenBucket(len(tree.nodes), rho, sigma)
-    attempts = max(4, int(rho + sigma) * len(usable_destinations) + 4)
-    for _ in range(num_rounds):
+class _EmptyRows(ResumableRows):
+    """A silent row source (degenerate destination sets)."""
+
+    def row(self, round_number: int) -> RouteRow:
+        return []
+
+
+class _RandomTreeRows(_BucketRows):
+    def __init__(
+        self,
+        tree: TreeTopology,
+        rho: float,
+        sigma: float,
+        num_rounds: int,
+        usable_destinations: List[int],
+        eligible_sources: dict,
+        node_index: dict,
+        seed: Optional[int],
+    ) -> None:
+        super().__init__(
+            num_rounds, random.Random(seed), TokenBucket(len(tree.nodes), rho, sigma)
+        )
+        self.tree = tree
+        self.usable_destinations = usable_destinations
+        self.eligible_sources = eligible_sources
+        self.node_index = node_index
+        self.attempts = max(4, int(rho + sigma) * len(usable_destinations) + 4)
+
+    def row(self, round_number: int) -> RouteRow:
+        rng, bucket = self.rng, self.bucket
         bucket.start_round()
         row: RouteRow = []
-        for _ in range(attempts):
-            destination = rng.choice(usable_destinations)
-            source = rng.choice(eligible_sources[destination])
-            crossed = [node_index[v] for v in tree.path(source, destination)[:-1]]
+        for _ in range(self.attempts):
+            destination = rng.choice(self.usable_destinations)
+            source = rng.choice(self.eligible_sources[destination])
+            crossed = [
+                self.node_index[v] for v in self.tree.path(source, destination)[:-1]
+            ]
             if bucket.can_inject(crossed):
                 bucket.inject(crossed)
                 row.append((source, destination))
-        yield row
+        return row
 
 
 def random_tree_adversary(
@@ -486,12 +581,14 @@ def random_tree_adversary(
     usable_destinations = [w for w in destinations if eligible_sources[w]]
     if not usable_destinations:
         if stream:
+            # An empty-but-resumable stream, so the degenerate case stays
+            # checkpointable like every other generator.
             return StreamingAdversary(
-                lambda: iter(()), num_rounds, rho=rho, sigma=sigma
+                lambda: _EmptyRows(num_rounds), num_rounds, rho=rho, sigma=sigma
             )
         return InjectionPattern([], rho=rho, sigma=sigma)
     return _front_end(
-        lambda: _random_tree_rows(
+        lambda: _RandomTreeRows(
             tree, rho, sigma, num_rounds, usable_destinations, eligible_sources,
             node_index, seed,
         ),

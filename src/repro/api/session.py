@@ -18,7 +18,20 @@ from __future__ import annotations
 import inspect
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..checkpoint import Checkpoint
 
 from ..analysis.metrics import check_against_bound
 from ..analysis.tables import format_table
@@ -312,9 +325,53 @@ class Session:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(self.run, items))
 
+    def resume(
+        self,
+        checkpoint: Union[str, "Checkpoint"],
+        spec: Optional[ScenarioSpec] = None,
+    ) -> RunReport:
+        """Resume a checkpointed run and drive it to completion.
+
+        ``checkpoint`` is a file path (or an already-loaded
+        :class:`~repro.checkpoint.Checkpoint`).  The scenario is rebuilt from
+        the spec embedded in the snapshot; passing ``spec`` explicitly is
+        allowed only when it hashes identically (modulo the checkpoint-policy
+        fields) — anything else raises
+        :class:`~repro.network.errors.CheckpointSpecMismatchError` rather
+        than silently mixing two executions.  The resumed run's
+        :class:`RunReport` is bit-identical to what the uninterrupted run
+        would have returned.
+        """
+        from ..checkpoint import Checkpoint, load_checkpoint, verify_spec
+        from ..network.errors import CheckpointError
+
+        loaded = (
+            checkpoint
+            if isinstance(checkpoint, Checkpoint)
+            else load_checkpoint(checkpoint)
+        )
+        if spec is not None:
+            verify_spec(loaded, spec)
+        elif loaded.spec is None:
+            raise CheckpointError(
+                "checkpoint carries no embedded scenario spec; pass the "
+                "originating ScenarioSpec to Session.resume()"
+            )
+        else:
+            spec = ScenarioSpec.from_dict(loaded.spec)
+        with packet_id_scope():
+            prepared = self.prepare(spec)
+            return self._execute(prepared, spec=spec, checkpoint=loaded)
+
     # -- internals ---------------------------------------------------------------
 
-    def _execute(self, prepared: PreparedRun, *, spec: Optional[ScenarioSpec]) -> RunReport:
+    def _execute(
+        self,
+        prepared: PreparedRun,
+        *,
+        spec: Optional[ScenarioSpec],
+        checkpoint: Optional["Checkpoint"] = None,
+    ) -> RunReport:
         policy = prepared.policy
         simulator = Simulator(
             prepared.topology,
@@ -325,10 +382,17 @@ class Session:
             history=policy.history,
             validate_capacity=policy.validate_capacity,
         )
+        if checkpoint is not None:
+            from ..checkpoint import restore_into
+
+            restore_into(simulator, checkpoint)
         result = simulator.run(
             policy.rounds,
             drain=policy.drain,
             max_drain_rounds=policy.max_drain_rounds,
+            checkpoint_every=policy.checkpoint_every,
+            checkpoint_path=policy.checkpoint_path,
+            checkpoint_spec=spec,
         )
         sigma = prepared.sigma
         if sigma is None:

@@ -212,6 +212,16 @@ class RunPolicy(_SpecBase):
     seed:
         Per-run RNG seed, forwarded to adversary builders that accept one
         (unless the adversary spec pins its own ``seed`` param).
+    checkpoint_every:
+        Write a :mod:`repro.checkpoint` snapshot to ``checkpoint_path`` after
+        every this-many injection rounds (each save atomically replaces the
+        previous one), so a horizon-scale run that dies can be resumed with
+        :meth:`repro.api.session.Session.resume`.  Both fields are excluded
+        from the resume-identity hash: checkpointing does not change what the
+        simulation computes.
+    checkpoint_path:
+        Where the periodic snapshots go; required when ``checkpoint_every``
+        is set.
     """
 
     rounds: Optional[int] = None
@@ -222,6 +232,8 @@ class RunPolicy(_SpecBase):
     history: Optional[str] = None
     validate_capacity: bool = True
     seed: Optional[int] = None
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.rounds is not None and (not isinstance(self.rounds, int) or self.rounds < 0):
@@ -235,6 +247,22 @@ class RunPolicy(_SpecBase):
             )
         if self.seed is not None and not isinstance(self.seed, int):
             raise SpecError(f"RunPolicy.seed must be None or int, got {self.seed!r}")
+        if self.checkpoint_every is not None and (
+            not isinstance(self.checkpoint_every, int) or self.checkpoint_every < 1
+        ):
+            raise SpecError(
+                f"RunPolicy.checkpoint_every must be None or int >= 1, "
+                f"got {self.checkpoint_every!r}"
+            )
+        if self.checkpoint_path is not None and (
+            not isinstance(self.checkpoint_path, str) or not self.checkpoint_path
+        ):
+            raise SpecError(
+                f"RunPolicy.checkpoint_path must be None or a non-empty string, "
+                f"got {self.checkpoint_path!r}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_path is None:
+            raise SpecError("RunPolicy.checkpoint_every requires checkpoint_path")
         for flag in ("drain", "record_history", "record_occupancy_vectors", "validate_capacity"):
             if not isinstance(getattr(self, flag), bool):
                 raise SpecError(f"RunPolicy.{flag} must be a bool")

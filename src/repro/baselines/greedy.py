@@ -63,6 +63,33 @@ class GreedyForwarding(ForwardingAlgorithm):
         super().on_arrival(packet, node, round_number)
         self._arrival_round[packet.packet_id] = round_number
 
+    # -- checkpoint support --------------------------------------------------------
+
+    def checkpoint_state(self) -> Dict:
+        # Arrival rounds drive the FIFO/LIFO-by-arrival policies, but only
+        # for packets still stored somewhere: entries for delivered packets
+        # can never be queried again, so the snapshot stays O(packets in
+        # flight) no matter how long the run has been going.
+        live = {
+            packet.packet_id
+            for node_buffer in self.buffers.values()
+            for packet in node_buffer.all_packets()
+        }
+        return {
+            "arrival": [
+                [packet_id, round_number]
+                for packet_id, round_number in self._arrival_round.items()
+                if packet_id in live
+            ]
+        }
+
+    def restore_checkpoint_state(self, state: Dict, packets) -> None:
+        self._arrival_round = {
+            int(packet_id): int(round_number)
+            for packet_id, round_number in state["arrival"]
+            if int(packet_id) in packets
+        }
+
     # -- forwarding decisions ------------------------------------------------------
 
     #: Debug/equivalence switch: ``False`` restores the seed engine's

@@ -100,6 +100,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result row as JSON instead of an ASCII table",
     )
+    simulate.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="write a resumable snapshot to --checkpoint after every K "
+        "injection rounds (each save atomically replaces the previous one)",
+    )
+    simulate.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="checkpoint file for --checkpoint-every",
+    )
+    simulate.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="resume a checkpointed run from this file and drive it to "
+        "completion (scenario options are taken from the embedded spec; "
+        "--spec, if given, must describe the same scenario)",
+    )
 
     bounds_cmd = subparsers.add_parser("bounds", help="print the closed-form bounds")
     bounds_cmd.add_argument("--nodes", type=int, default=64)
@@ -221,13 +243,52 @@ def _build_spec(args: argparse.Namespace) -> ScenarioSpec:
     return _finish_spec(scenario, f"multi-dest/{kind}", args.seed)
 
 
+def _with_checkpoint_policy(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
+    """Fold --checkpoint-every/--checkpoint into the spec's run policy.
+
+    Applied identically to fresh and resumed runs (the checkpoint fields are
+    outside the resume-identity hash, so this never trips the spec check).
+    """
+    if args.checkpoint_every is None:
+        return spec
+    return (
+        Scenario.from_spec(spec)
+        .policy(
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint,
+        )
+        .build()
+    )
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
+    if args.checkpoint_every is not None and args.checkpoint is None:
+        raise ReproError("--checkpoint-every requires --checkpoint FILE")
+    spec = None
     if args.spec is not None:
         with open(args.spec, "r", encoding="utf-8") as handle:
             spec = ScenarioSpec.from_json(handle.read())
+    if args.resume is not None:
+        # Scenario flags are ignored: the checkpoint's embedded spec is the
+        # scenario.  An explicit --spec must hash to the same scenario or the
+        # resume is refused (CheckpointSpecMismatchError -> exit code 2).
+        from .checkpoint import load_checkpoint
+
+        loaded = load_checkpoint(args.resume)
+        if spec is None and loaded.spec is not None:
+            spec = ScenarioSpec.from_dict(loaded.spec)
+        if spec is None and args.checkpoint_every is not None:
+            raise ReproError(
+                "--checkpoint-every with --resume needs a scenario: the "
+                "checkpoint has no embedded spec and no --spec was given"
+            )
+        if spec is not None:
+            spec = _with_checkpoint_policy(spec, args)
+        report = Session().resume(loaded, spec=spec)
     else:
-        spec = _build_spec(args)
-    report = Session().run(spec)
+        if spec is None:
+            spec = _build_spec(args)
+        report = Session().run(_with_checkpoint_policy(spec, args))
     if args.json:
         print(json.dumps(report.as_row(), indent=2, sort_keys=True))
     else:

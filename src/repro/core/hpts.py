@@ -152,6 +152,15 @@ class HierarchicalPeakToSink(ForwardingAlgorithm):
     def staged_count(self) -> int:
         return len(self._staged)
 
+    def checkpoint_state(self) -> Dict:
+        # The per-level destination sets are derived state, rebuilt by
+        # on_buffer_change while the checkpoint layer replays the buffers;
+        # only the staged (injected-but-unaccepted) packets need recording.
+        return {"staged": [packet.packet_id for packet in self._staged]}
+
+    def restore_checkpoint_state(self, state: Dict, packets) -> None:
+        self._staged = [packets[packet_id] for packet_id in state["staged"]]
+
     # -- forwarding decisions ------------------------------------------------------
 
     def select_activations(self, round_number: int) -> List[Activation]:

@@ -18,7 +18,6 @@ object per injection — and materialise :class:`Injection` views on demand.
 from __future__ import annotations
 
 import contextvars
-import itertools
 from array import array
 from dataclasses import dataclass, field
 from enum import Enum
@@ -44,18 +43,30 @@ class PacketIdAllocator:
     run numbers its packets from 0 independently — deterministic regardless of
     what ran before, and safe under thread-pool fan-out because the scope is
     backed by a :class:`contextvars.ContextVar` (per-thread by default).
+
+    The counter is a plain integer so the next value can be *observed*
+    without being consumed (:attr:`next_value`) — checkpoints record it and
+    restore it with :meth:`reset`, keeping resumed runs id-aligned with their
+    uninterrupted counterparts.
     """
 
-    __slots__ = ("_counter",)
+    __slots__ = ("_next",)
 
     def __init__(self, start: int = 0) -> None:
-        self._counter = itertools.count(start)
+        self._next = start
 
     def next_id(self) -> int:
-        return next(self._counter)
+        value = self._next
+        self._next = value + 1
+        return value
+
+    @property
+    def next_value(self) -> int:
+        """The id the next :meth:`next_id` call will return (not consumed)."""
+        return self._next
 
     def reset(self, start: int = 0) -> None:
-        self._counter = itertools.count(start)
+        self._next = start
 
     # Iterator protocol, so the historical `next(packet_id_counter)` usage
     # keeps working now that the module global is an allocator.
@@ -321,6 +332,27 @@ class PacketStore:
     #: The :class:`Injection` lexicographic order key for a row — identical
     #: to the row's tuple form by construction.
     sort_key = row_tuple
+
+    @classmethod
+    def from_columns(
+        cls, rounds: array, sources: array, destinations: array, ids: array
+    ) -> "PacketStore":
+        """Rebuild a store from four equal-length ``array('q')`` columns.
+
+        Used by checkpoint restore.  The columns are *copied*: the store
+        keeps appending as the resumed run injects, and sharing the caller's
+        arrays would mutate the loaded checkpoint in place (breaking a second
+        restore from the same object).
+        """
+        lengths = {len(rounds), len(sources), len(destinations), len(ids)}
+        if len(lengths) != 1:
+            raise ValueError(f"PacketStore columns disagree on length: {lengths}")
+        store = cls()
+        store._rounds = array("q", rounds)
+        store._sources = array("q", sources)
+        store._destinations = array("q", destinations)
+        store._ids = array("q", ids)
+        return store
 
     # -- column views (read-only by convention) ---------------------------------
 

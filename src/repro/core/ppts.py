@@ -136,6 +136,16 @@ class ParallelPeakToSink(ForwardingAlgorithm):
             return list(self._declared_destinations)
         return sorted(self._observed_destinations)
 
+    # -- checkpoint support --------------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        # Discovered destinations persist even after their packets drain, so
+        # they cannot be reconstructed from the buffers alone.
+        return {"observed": sorted(self._observed_destinations)}
+
+    def restore_checkpoint_state(self, state: dict, packets) -> None:
+        self._observed_destinations = set(state["observed"])
+
     # -- internals ----------------------------------------------------------------
 
     def _leftmost_bad_for(self, destination: int, frontier: int) -> Optional[int]:

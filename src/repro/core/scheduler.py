@@ -211,5 +211,27 @@ class ForwardingAlgorithm(ABC):
         """
         return None
 
+    # -- checkpoint support -----------------------------------------------------------
+
+    def checkpoint_state(self) -> Dict:
+        """Mutable algorithm state *beyond* the buffer contents.
+
+        The checkpoint layer (:mod:`repro.checkpoint`) serialises the buffers
+        itself (per-node pseudo-buffer keys and packet ids, in queue order)
+        and rebuilds the occupancy map, the :class:`BufferIndex` and any
+        structures maintained through :meth:`on_buffer_change` by replaying
+        the stores.  Algorithms carrying extra mutable state — staged packets,
+        discovered destination sets, per-packet bookkeeping — override this
+        pair of hooks to round-trip it.  The returned mapping must be
+        JSON-serialisable; packets are referenced by id.
+        """
+        return {}
+
+    def restore_checkpoint_state(
+        self, state: Dict, packets: Dict[int, Packet]
+    ) -> None:
+        """Restore :meth:`checkpoint_state` output (``packets`` maps ids to
+        the already-rematerialised packet objects)."""
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(n={self.topology.num_nodes})"

@@ -206,6 +206,14 @@ class TreeParallelPeakToSink(ForwardingAlgorithm):
             return 0
         return self.tree.destination_depth(destinations)
 
+    # -- checkpoint support --------------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        return {"observed": sorted(self._observed_destinations)}
+
+    def restore_checkpoint_state(self, state: dict, packets) -> None:
+        self._observed_destinations = set(state["observed"])
+
     # -- internals ----------------------------------------------------------------
 
     def _topological_sort(self, destinations: set) -> List[int]:

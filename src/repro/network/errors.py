@@ -15,6 +15,10 @@ __all__ = [
     "BoundednessViolationError",
     "SchedulingError",
     "ConfigurationError",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "CheckpointVersionError",
+    "CheckpointSpecMismatchError",
 ]
 
 
@@ -92,4 +96,47 @@ class ConfigurationError(ReproError):
     Examples: ``rho * ell > 1`` for HPTS, ``n`` not of the form ``m**ell`` for
     the hierarchical partition, or a sweep that asks for more destinations
     than there are nodes.
+    """
+
+
+class CheckpointError(ReproError):
+    """Base class for checkpoint/restore failures (:mod:`repro.checkpoint`).
+
+    Also raised directly for logical misuse: resuming an already-consumed
+    stream, restoring into an engine whose ingredients do not match the
+    snapshot, or checkpointing an adversary that cannot produce a cursor.
+    """
+
+
+class CheckpointFormatError(CheckpointError):
+    """Raised when a checkpoint file is truncated, corrupt or not a checkpoint.
+
+    Covers bad magic bytes, a header that is not valid JSON, payload sections
+    shorter than the header promises, and CRC mismatches.
+    """
+
+
+class CheckpointVersionError(CheckpointError):
+    """Raised when a checkpoint's format version is not supported.
+
+    The format is versioned explicitly (see ``docs/CHECKPOINT.md``); readers
+    refuse rather than guess when the version does not match.
+    """
+
+    def __init__(self, found: int, supported: int) -> None:
+        self.found = found
+        self.supported = supported
+        super().__init__(
+            f"checkpoint format version {found} is not supported "
+            f"(this library reads version {supported})"
+        )
+
+
+class CheckpointSpecMismatchError(CheckpointError):
+    """Raised when a checkpoint is resumed under a different scenario.
+
+    A checkpoint records the spec hash (and structural facts: node count,
+    algorithm name, history policy) of the run that produced it; resuming
+    under a :class:`~repro.api.specs.ScenarioSpec` that hashes differently
+    would silently produce a different execution, so it is refused.
     """

@@ -130,30 +130,89 @@ class Simulator:
         *,
         drain: bool = True,
         max_drain_rounds: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_spec: Optional[object] = None,
     ) -> SimulationResult:
         """Execute the simulation and return a :class:`SimulationResult`.
 
         Parameters
         ----------
         num_rounds:
-            How many injection rounds to run.  Defaults to the adversary's
-            horizon.
+            How many injection rounds to run *in total* (an absolute round
+            count, not an increment).  Defaults to the adversary's horizon.
+            A simulator restored from a checkpoint continues from its saved
+            round, so ``run(T)`` on it executes only the remaining rounds.
         drain:
             Keep executing (with no further injections) after ``num_rounds``
             until all packets are delivered.
         max_drain_rounds:
             Safety cap on drain rounds; defaults to a generous function of the
             network size and the number of pending packets.
+        checkpoint_every:
+            Write a checkpoint to ``checkpoint_path`` after every this-many
+            injection rounds (atomically overwriting the previous snapshot).
+        checkpoint_path:
+            Where the periodic checkpoints go; required with
+            ``checkpoint_every``.
+        checkpoint_spec:
+            Optional :class:`~repro.api.specs.ScenarioSpec` embedded into the
+            periodic checkpoints so ``Session.resume`` can rebuild the run.
         """
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ConfigurationError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if checkpoint_path is None:
+                raise ConfigurationError(
+                    "checkpoint_every requires a checkpoint_path"
+                )
         horizon = num_rounds if num_rounds is not None else self.adversary.horizon
-        for t in range(horizon):
+        for t in range(self._round, horizon):
             self._execute_round(t, inject=True)
+            if checkpoint_every is not None and (t + 1) % checkpoint_every == 0:
+                self.save_checkpoint(checkpoint_path, spec=checkpoint_spec)
         drained = True
         if drain:
-            drained = self._drain(horizon, max_drain_rounds)
+            drained = self._drain(max(horizon, self._round), max_drain_rounds)
         else:
             drained = self._pending() == 0
         return self._build_result(drained)
+
+    def save_checkpoint(self, path: str, *, spec: Optional[object] = None) -> int:
+        """Snapshot the engine to ``path`` (see :mod:`repro.checkpoint`).
+
+        Valid at any injection-round boundary; returns the bytes written.
+        ``spec`` optionally embeds the originating scenario spec so the file
+        is self-describing for :meth:`repro.api.session.Session.resume`.
+        """
+        from ..checkpoint import save_checkpoint
+
+        return save_checkpoint(self, path, spec=spec)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        *,
+        topology: Topology,
+        algorithm: ForwardingAlgorithm,
+        adversary: "Adversary",
+    ) -> "Simulator":
+        """Rebuild a mid-flight simulator from a checkpoint file.
+
+        ``topology``/``algorithm``/``adversary`` must be freshly constructed
+        (never run) and structurally identical to the checkpointed scenario's;
+        run policy flags (history retention, capacity validation) are taken
+        from the snapshot itself.  Calling :meth:`run` afterwards continues
+        the execution bit-identically from the saved round.
+        """
+        from ..checkpoint import load_checkpoint, restore_simulator
+
+        return restore_simulator(
+            load_checkpoint(path), topology, algorithm, adversary
+        )
 
     # -- round mechanics --------------------------------------------------------
 

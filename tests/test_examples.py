@@ -24,6 +24,7 @@ EXAMPLES = [
     ("space_bandwidth_tradeoff.py", "O(log d) regime"),
     ("adversarial_lower_bound.py", "Theorem 5.1 floor"),
     ("hierarchy_visualisation.py", "Segment decomposition"),
+    ("checkpoint_resume.py", "bit-identical to the uninterrupted run"),
 ]
 
 
