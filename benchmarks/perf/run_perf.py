@@ -58,7 +58,7 @@ from repro.api.session import Session  # noqa: E402
 from repro.api.specs import ScenarioSpec  # noqa: E402
 from repro.network.simulator import Simulator  # noqa: E402
 
-SCHEMA = "BENCH_engine/v2"
+SCHEMA = "BENCH_engine/v3"
 
 #: (n, engine rounds) per scale tier.  Rounds shrink as n grows so the seed
 #: engine's O(n) rounds stay measurable in bounded time.
@@ -163,6 +163,53 @@ def _stream_spec(n: int, rounds: int) -> ScenarioSpec:
             "policy": {"seed": 7, "drain": False, "history": "streaming"},
         }
     )
+
+
+def _sharded_smoke_spec(n: int, rounds: int) -> ScenarioSpec:
+    """The sharded smoke workload: enough per-round move work (greedy visits
+    every nonempty buffer) that superstep coordination is a small fraction."""
+    return ScenarioSpec.from_dict(
+        {
+            "name": f"perf/sharded/greedy/n{n}",
+            "topology": {"kind": "line", "params": {"num_nodes": n}},
+            "algorithm": {"name": "greedy", "params": {}},
+            "adversary": {
+                "name": "trickle",
+                "rho": 1.0,
+                "sigma": 1.0,
+                "rounds": rounds,
+                "params": {
+                    "stream": True,
+                    "destinations": [n // 4, n // 2, n - 1],
+                },
+            },
+            "policy": {"seed": 7, "drain": False, "history": "streaming"},
+        }
+    )
+
+
+def _time_sharded(spec: ScenarioSpec, shards: int, repeats: int) -> Dict[str, Any]:
+    """Time one sharded run (worker spawn + superstep loop), best of N."""
+    from repro.network.sharded import run_sharded
+
+    rounds = spec.adversary.rounds
+    elapsed = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result, _extras = run_sharded(spec, shards=shards, transport="processes")
+        elapsed = min(elapsed, time.perf_counter() - start)
+    return {
+        "case": f"sharded{shards}/{spec.label}",
+        "kind": "sharded",
+        "n": result.num_nodes,
+        "algorithm": spec.algorithm.name,
+        "topology": spec.topology.kind,
+        "shards": shards,
+        "rounds": rounds,
+        "repeats": repeats,
+        "elapsed_sec": elapsed,
+        "rounds_per_sec": rounds / elapsed if elapsed > 0 else float("inf"),
+    }
 
 
 def _specs(sizes: List[tuple]) -> List[ScenarioSpec]:
@@ -332,6 +379,20 @@ def run_suite(quick: bool, repeats: int) -> Dict[str, Any]:
     print(
         f"{case['case']:<40} {case['ckpt_bytes'] / 1e3:>12.1f} KB ckpt  "
         f"(save {case['save_sec'] * 1e3:.1f} ms, load {case['load_sec'] * 1e3:.1f} ms)"
+    )
+    # Sharded engine on the smallest streaming tier: publishes the superstep
+    # protocol's throughput (spawn + per-round coordination included) so a
+    # regression in the hand-off path shows up like any engine case.  The
+    # wall-clock *speedup* story depends on core count, so it is measured by
+    # the standalone --smoke-mem --smoke-shards mode, not gated here.
+    case = _time_sharded(
+        _sharded_smoke_spec(n_stream, max(rounds_stream // 4, 64)), 2, repeats
+    )
+    case["normalized_throughput"] = case["rounds_per_sec"] / (calibration / 1e6)
+    cases.append(case)
+    print(
+        f"{case['case']:<40} {case['rounds_per_sec']:>12.0f} rounds/s "
+        f"({case['normalized_throughput']:.1f} norm, 2 workers)"
     )
     # End-to-end Session timing on the smallest tier only: it exists to catch
     # regressions in resolution/drain/result assembly, not to re-time the loop.
@@ -504,6 +565,55 @@ def run_smoke(limit_mb: float, nodes: int = SMOKE_NODES,
     return 0
 
 
+def run_smoke_sharded(limit_mb: float, nodes: int, rounds: int,
+                      shards: int) -> int:
+    """The sharded-engine smoke: a horizon-scale line split across worker
+    processes, gated on whole-tree peak RSS.
+
+    Runs the greedy/trickle streaming workload (heavy per-round move work,
+    O(packets-in-flight) memory) sharded over ``shards`` worker processes
+    and gates a *whole-tree* peak-RSS estimate: the coordinator's own peak
+    plus ``shards`` times the largest worker peak (``ru_maxrss`` for
+    children reports the max over reaped workers, not a sum, so the gate
+    conservatively assumes every worker hit that max simultaneously).
+    Wall-clock is reported — per-round coordination overhead is a few
+    percent of the single-process round cost (see docs/SHARDING.md), so on
+    a multi-core machine the supersteps overlap into real speedup — but not
+    gated, because this smoke also runs on single-core containers.
+    """
+    import resource
+
+    from repro.network.sharded import run_sharded
+
+    spec = _sharded_smoke_spec(nodes, rounds)
+    start = time.perf_counter()
+    result, extras = run_sharded(spec, shards=shards, transport="processes")
+    elapsed = time.perf_counter() - start
+    print(f"sharded smoke: n={nodes} rounds={rounds} shards={shards} "
+          f"segments={extras['segments'][:2]}...")
+    print(f"sharded smoke: injected={result.packets_injected} "
+          f"delivered={result.packets_delivered} "
+          f"max_occupancy={result.max_occupancy}")
+    print(f"sharded smoke: total {elapsed:.1f}s, "
+          f"{rounds / max(elapsed, 1e-9):.0f} rounds/s across {shards} workers")
+
+    rss_divisor = 1024.0 ** 2 if sys.platform == "darwin" else 1024.0
+    peak_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / rss_divisor
+    peak_worker = (
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / rss_divisor
+    )
+    tree_estimate = peak_self + shards * peak_worker
+    print(f"sharded smoke: peak RSS coordinator {peak_self:.0f} MB, "
+          f"largest worker {peak_worker:.0f} MB -> whole-tree estimate "
+          f"{tree_estimate:.0f} MB (limit {limit_mb:.0f} MB)")
+    if tree_estimate > limit_mb:
+        print("SMOKE FAILURE: estimated whole-tree peak RSS exceeds the "
+              "documented memory bound")
+        return 1
+    print("smoke ok: sharded run stayed within the memory bound")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small n, short horizons (CI)")
@@ -527,6 +637,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="with --smoke-mem: also run a save/restore round "
                              "trip at the halfway round and require the "
                              "resumed result to be identical (same RSS budget)")
+    parser.add_argument("--smoke-shards", type=int, default=None, metavar="K",
+                        help="with --smoke-mem: run the sharded-engine smoke "
+                             "(K worker processes) instead of the "
+                             "single-process streaming smoke, gating peak RSS "
+                             "across coordinator and workers")
     parser.add_argument("--smoke-nodes", type=int, default=SMOKE_NODES,
                         help=argparse.SUPPRESS)
     parser.add_argument("--smoke-rounds", type=int, default=SMOKE_ROUNDS,
@@ -534,6 +649,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke_mem:
+        if args.smoke_shards is not None:
+            return run_smoke_sharded(
+                args.smoke_limit_mb, args.smoke_nodes, args.smoke_rounds,
+                args.smoke_shards,
+            )
         return run_smoke(args.smoke_limit_mb, args.smoke_nodes, args.smoke_rounds,
                          checkpoint=args.smoke_checkpoint)
 

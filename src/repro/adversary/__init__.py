@@ -32,6 +32,7 @@ from .lower_bound import (
     lower_bound_network_size,
 )
 from .reduction import compressed_reduction, ell_reduction, phase_of_round, phase_start
+from .segmented import SegmentFilteredAdversary
 from .stress import (
     evenly_spaced_destinations,
     hierarchy_stress,
@@ -69,6 +70,7 @@ __all__ = [
     "front_position",
     "injection_site",
     "lower_bound_network_size",
+    "SegmentFilteredAdversary",
     "compressed_reduction",
     "ell_reduction",
     "phase_of_round",

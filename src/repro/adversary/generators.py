@@ -612,6 +612,37 @@ def hierarchy_random_destinations(num_nodes: int, branching: int, levels: int) -
     return min(num_nodes - 1, branching * levels)
 
 
+@register_adversary("explicit")
+def build_explicit_adversary(
+    topology,
+    *,
+    rho: float,
+    sigma: float,
+    rounds: int,
+    routes: Sequence[Sequence[int]] = (),
+) -> InjectionPattern:
+    """A literal injection schedule: ``routes`` is ``(round, source,
+    destination)`` triples, materialised in the given order.
+
+    Makes hand-crafted deterministic patterns addressable from specs (tests,
+    regression pinning, sharded boundary cases) without registering a new
+    builder.  ``rho``/``sigma`` are taken as declared; use
+    :func:`~repro.adversary.bounded.check_bounded` to audit the claim.
+    """
+    injections = []
+    for route in routes:
+        round_number, source, destination = route
+        if int(round_number) >= rounds:
+            raise ConfigurationError(
+                f"explicit route {route!r} is injected at round "
+                f"{round_number}, past the declared horizon {rounds}"
+            )
+        injections.append(
+            make_injection(int(round_number), int(source), int(destination))
+        )
+    return InjectionPattern(injections, rho=rho, sigma=sigma)
+
+
 @register_adversary("bounded", aliases=("random",))
 def build_bounded_adversary(
     topology,

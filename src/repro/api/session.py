@@ -227,15 +227,7 @@ class Session:
             topology, **_coerce_discipline(spec.algorithm.params)
         )
 
-        params: Dict[str, Any] = {"n": topology.num_nodes}
-        params.update(spec.topology.params)
-        params.pop("num_nodes", None)  # reported as "n"
-        params.update(
-            {"rho": spec.adversary.rho, "sigma": spec.adversary.sigma,
-             "rounds": spec.adversary.rounds}
-        )
-        params.update(spec.adversary.params)
-        params.update(spec.algorithm.params)
+        params = self._report_params(spec, topology)
         return PreparedRun(
             topology=topology,
             algorithm=algorithm,
@@ -245,15 +237,47 @@ class Session:
             params=params,
         )
 
+    @staticmethod
+    def _report_params(spec: ScenarioSpec, topology: Topology) -> Dict[str, Any]:
+        """The scenario parameters reported in a run's result row."""
+        params: Dict[str, Any] = {"n": topology.num_nodes}
+        params.update(spec.topology.params)
+        params.pop("num_nodes", None)  # reported as "n"
+        params.update(
+            {"rho": spec.adversary.rho, "sigma": spec.adversary.sigma,
+             "rounds": spec.adversary.rounds}
+        )
+        params.update(spec.adversary.params)
+        params.update(spec.algorithm.params)
+        return params
+
     # -- execution --------------------------------------------------------------
 
     def run(self, scenario: Runnable) -> RunReport:
-        """Execute one scenario and report the measured-vs-bound outcome."""
+        """Execute one scenario and report the measured-vs-bound outcome.
+
+        A spec whose policy sets ``shards > 1`` routes transparently to the
+        sharded engine (:mod:`repro.network.sharded`) — the report is built
+        from the merged result, which is bit-identical to ``shards=1``.
+        """
         if isinstance(scenario, ScenarioSpec):
+            if scenario.policy.shards is not None and scenario.policy.shards > 1:
+                return self._run_sharded(scenario)
             with packet_id_scope():
                 prepared = self.prepare(scenario)
                 return self._execute(prepared, spec=scenario)
         if isinstance(scenario, PreparedRun):
+            if (
+                scenario.policy.shards is not None
+                and scenario.policy.shards > 1
+            ):
+                from ..network.errors import UnshardableScenarioError
+
+                raise UnshardableScenarioError(
+                    "PreparedRun carries live (unpicklable) ingredients that "
+                    "cannot be shipped to segment workers; describe the "
+                    "scenario as a ScenarioSpec to run with shards > 1"
+                )
             # Pre-built ingredients already carry their packet ids; no scope.
             return self._execute(scenario, spec=None)
         raise SpecError(
@@ -294,11 +318,17 @@ class Session:
         items: Sequence[Runnable] = list(scenarios)
         workers = self.max_workers if max_workers is None else max_workers
         if use_processes:
-            for item in items:
+            for position, item in enumerate(items):
                 if not isinstance(item, ScenarioSpec):
+                    # A typed, actionable error (SpecError -> ReproError), not
+                    # a bare ValueError: live PreparedRun ingredients cannot
+                    # cross a process boundary.
                     raise SpecError(
-                        "run_many(use_processes=True) requires ScenarioSpec items; "
-                        f"got {type(item).__name__}"
+                        f"run_many(use_processes=True) requires every item to "
+                        f"be a ScenarioSpec (plain picklable data); item "
+                        f"{position} is a {type(item).__name__}.  Describe the "
+                        f"scenario declaratively, or drop use_processes to "
+                        f"run live PreparedRun objects in-process."
                     )
             if workers == 0 or len(items) <= 1:
                 return [self.run(item) for item in items]
@@ -359,11 +389,55 @@ class Session:
             )
         else:
             spec = ScenarioSpec.from_dict(loaded.spec)
+        if spec.policy.shards is not None and spec.policy.shards > 1:
+            # Resuming always continues in-process: sharding is outside the
+            # resume-identity hash (results are proven identical), and
+            # restore targets one engine.  A stitched sharded checkpoint
+            # therefore resumes exactly like a single-process one.
+            payload = spec.to_dict()
+            payload["policy"] = dict(payload["policy"], shards=None)
+            spec = ScenarioSpec.from_dict(payload)
         with packet_id_scope():
             prepared = self.prepare(spec)
             return self._execute(prepared, spec=spec, checkpoint=loaded)
 
     # -- internals ---------------------------------------------------------------
+
+    def _run_sharded(self, spec: ScenarioSpec) -> RunReport:
+        """Execute a spec on the sharded engine and assemble the report.
+
+        The merged :class:`SimulationResult` comes back from the segment
+        workers; only the bound comparison needs a local algorithm instance,
+        which is given every worker's discovered state first (PPTS learns
+        its destination set from the packets it stores, and each worker only
+        saw its own segment's).
+        """
+        from ..network.sharded import run_sharded
+
+        result, extras = run_sharded(spec)
+        topology = self.topology(spec.topology)
+        algorithm_builder = ALGORITHMS.get(spec.algorithm.name)
+        algorithm = algorithm_builder(
+            topology, **_coerce_discipline(spec.algorithm.params)
+        )
+        algorithm.fold_sibling_state(extras["algorithm_states"])
+        # Mirror _execute's sigma source exactly: the *built* adversary's
+        # declared sigma (workers report it), with no spec fallback — an
+        # adversary that claims no envelope gets no bound, sharded or not.
+        sigma = extras.get("adversary_sigma")
+        bound = (
+            algorithm.theoretical_bound(sigma) if sigma is not None else None
+        )
+        within = check_against_bound(result, bound).satisfied
+        return RunReport(
+            name=spec.label,
+            algorithm=result.algorithm,
+            result=result,
+            bound=bound,
+            within_bound=within,
+            params=self._report_params(spec, topology),
+            spec=spec,
+        )
 
     def _execute(
         self,

@@ -222,6 +222,13 @@ class RunPolicy(_SpecBase):
     checkpoint_path:
         Where the periodic snapshots go; required when ``checkpoint_every``
         is set.
+    shards:
+        Partition the line into this many contiguous segments and run one
+        engine per worker process (:mod:`repro.network.sharded`).  ``None``
+        or ``1`` means single-process.  Sharding never changes what the
+        simulation computes — results are bit-identical to ``shards=1`` —
+        so, like the checkpoint fields, it is excluded from the
+        resume-identity hash.
     """
 
     rounds: Optional[int] = None
@@ -234,6 +241,7 @@ class RunPolicy(_SpecBase):
     seed: Optional[int] = None
     checkpoint_every: Optional[int] = None
     checkpoint_path: Optional[str] = None
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.rounds is not None and (not isinstance(self.rounds, int) or self.rounds < 0):
@@ -263,6 +271,14 @@ class RunPolicy(_SpecBase):
             )
         if self.checkpoint_every is not None and self.checkpoint_path is None:
             raise SpecError("RunPolicy.checkpoint_every requires checkpoint_path")
+        if self.shards is not None and (
+            not isinstance(self.shards, int)
+            or isinstance(self.shards, bool)
+            or self.shards < 1
+        ):
+            raise SpecError(
+                f"RunPolicy.shards must be None or int >= 1, got {self.shards!r}"
+            )
         for flag in ("drain", "record_history", "record_occupancy_vectors", "validate_capacity"):
             if not isinstance(getattr(self, flag), bool):
                 raise SpecError(f"RunPolicy.{flag} must be a bool")

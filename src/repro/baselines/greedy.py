@@ -36,6 +36,11 @@ class GreedyForwarding(ForwardingAlgorithm):
         The greedy priority rule (defaults to FIFO).
     """
 
+    #: Greedy decisions are per-node (each nonempty buffer forwards by its
+    #: own priority rule), so the base class's filter-own-selection segment
+    #: path is already exact.
+    supports_sharding = True
+
     def __init__(
         self,
         topology: Topology,

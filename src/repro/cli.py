@@ -122,6 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
         "completion (scenario options are taken from the embedded spec; "
         "--spec, if given, must describe the same scenario)",
     )
+    simulate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition the line into N contiguous segments and run one "
+        "engine per worker process (results are bit-identical to a "
+        "single-process run; line topologies and non-adaptive adversaries "
+        "only)",
+    )
 
     bounds_cmd = subparsers.add_parser("bounds", help="print the closed-form bounds")
     bounds_cmd.add_argument("--nodes", type=int, default=64)
@@ -244,21 +254,20 @@ def _build_spec(args: argparse.Namespace) -> ScenarioSpec:
 
 
 def _with_checkpoint_policy(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
-    """Fold --checkpoint-every/--checkpoint into the spec's run policy.
+    """Fold --checkpoint-every/--checkpoint/--shards into the spec's policy.
 
-    Applied identically to fresh and resumed runs (the checkpoint fields are
+    Applied identically to fresh and resumed runs (all three fields are
     outside the resume-identity hash, so this never trips the spec check).
     """
-    if args.checkpoint_every is None:
+    overrides = {}
+    if args.checkpoint_every is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
+        overrides["checkpoint_path"] = args.checkpoint
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if not overrides:
         return spec
-    return (
-        Scenario.from_spec(spec)
-        .policy(
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_path=args.checkpoint,
-        )
-        .build()
-    )
+    return Scenario.from_spec(spec).policy(**overrides).build()
 
 
 def _command_simulate(args: argparse.Namespace) -> int:

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from ..network.errors import ConfigurationError
 from ..network.topology import Topology
 from .indexset import BufferIndex
 from .packet import Packet
@@ -73,6 +74,20 @@ class ForwardingAlgorithm(ABC):
     #: Human-readable identifier used in result tables.
     name: str = "abstract"
 
+    #: Whether this algorithm implements segment-exact selection — i.e. its
+    #: :meth:`boundary_view` / :meth:`select_segment_activations` pair
+    #: reproduces the *global* activation set restricted to a line segment,
+    #: bit for bit.  The sharded engine refuses algorithms that have not
+    #: opted in, rather than silently diverging from the single-process run.
+    supports_sharding: bool = False
+
+    #: Whether segment selection must run left-to-right with a carry token
+    #: threaded between neighbours (:meth:`select_segment_activations`'s
+    #: ``carry``).  Only algorithms whose per-round decision propagates
+    #: sequentially along the line (HPTS's pre-bad cascade) need this; for
+    #: everything else the coordinator fans selection out in parallel.
+    sharding_needs_carry: bool = False
+
     def __init__(
         self,
         topology: Topology,
@@ -83,6 +98,11 @@ class ForwardingAlgorithm(ABC):
         self.topology = topology
         self.discipline = discipline
         self._occupancy: Dict[int, int] = {node: 0 for node in topology.nodes}
+        #: Optional dense (index-addressable) mirror of ``_occupancy``, kept
+        #: exact by :meth:`_buffer_changed`.  Enabled only for bulk-snapshot
+        #: runs (``record_occupancy_vectors``); ``None`` costs nothing on the
+        #: hot path.
+        self._occupancy_dense = None
         self._dirty_nodes: Set[int] = set()
         self._total_stored = 0
         self._index = BufferIndex(bad_threshold)
@@ -101,9 +121,12 @@ class ForwardingAlgorithm(ABC):
     ) -> None:
         delta = new_len - old_len
         if delta:
-            self._occupancy[node] += delta
+            load = self._occupancy[node] + delta
+            self._occupancy[node] = load
             self._total_stored += delta
             self._dirty_nodes.add(node)
+            if self._occupancy_dense is not None:
+                self._occupancy_dense[node] = load
         self._index.update(node, key, old_len, new_len)
         self.on_buffer_change(node, key, old_len, new_len)
 
@@ -144,6 +167,67 @@ class ForwardingAlgorithm(ABC):
     @abstractmethod
     def select_activations(self, round_number: int) -> List[Activation]:
         """The family ``A`` of pseudo-buffers that forward this round."""
+
+    # -- segment (sharded) selection -----------------------------------------------
+    #
+    # The sharded engine (repro.network.sharded) runs one algorithm instance
+    # per contiguous line segment; each instance stores only its own segment's
+    # packets.  Per round every instance publishes a compact summary of its
+    # segment (`boundary_view`) and then computes the *global* activation set
+    # restricted to its own nodes from everyone's summaries
+    # (`select_segment_activations`).  An algorithm that sets
+    # ``supports_sharding = True`` guarantees this pair is exact: the union of
+    # segment activations equals the single-process `select_activations`.
+
+    def boundary_view(self, round_number: int, lo: int, hi: int) -> Dict[str, Any]:
+        """Selection-relevant summary of this engine's segment ``[lo, hi]``.
+
+        Must be small (O(keys with congestion), never O(n)) and picklable —
+        it crosses a process boundary every superstep.  The default empty
+        view suits algorithms whose per-node decision needs no remote state
+        (greedy baselines).
+        """
+        return {}
+
+    def select_segment_activations(
+        self,
+        round_number: int,
+        segment_index: int,
+        segments: Sequence[Tuple[int, int]],
+        views: Sequence[Dict[str, Any]],
+        carry: Any,
+    ) -> Tuple[List[Activation], Any]:
+        """The global activation set restricted to this engine's segment.
+
+        ``segments`` lists every segment's inclusive ``(lo, hi)`` bounds in
+        line order and ``views`` the matching :meth:`boundary_view` results;
+        this engine owns ``segments[segment_index]``.  ``carry`` is the token
+        returned by the left neighbour when :attr:`sharding_needs_carry` is
+        set (``None`` otherwise / for the left-most segment); the returned
+        second element is handed to the right neighbour.
+
+        The default filters the engine's own global selection to its segment
+        — exact for algorithms whose activation at a node depends only on
+        that node's buffers, since every packet this instance stores lives
+        inside its segment.
+        """
+        lo, hi = segments[segment_index]
+        activations = [
+            activation
+            for activation in self.select_activations(round_number)
+            if lo <= activation.node <= hi
+        ]
+        return activations, None
+
+    def fold_sibling_state(self, states: Sequence[Dict]) -> None:
+        """Fold sibling segment engines' :meth:`checkpoint_state` payloads in.
+
+        After a sharded run the coordinator gives one representative instance
+        every worker's state so globally *discovered* facts (PPTS's observed
+        destination set) are complete before :meth:`theoretical_bound` is
+        consulted.  The default does nothing — most algorithms' bounds depend
+        only on construction parameters.
+        """
 
     def on_round_end(self, round_number: int) -> None:
         """Hook called after the forwarding step completes.
@@ -186,6 +270,45 @@ class ForwardingAlgorithm(ABC):
         delta = {node: occupancy[node] for node in self._dirty_nodes}
         self._dirty_nodes.clear()
         return delta
+
+    def enable_dense_occupancy(self) -> None:
+        """Maintain a dense per-node occupancy vector alongside the dict.
+
+        Requires the node set to be the contiguous range ``0..n-1`` (lines).
+        The mirror is a numpy ``int64`` array when numpy is importable and a
+        pure-python ``array('q')`` otherwise; either way
+        :meth:`occupancy_array` afterwards returns index-addressable loads
+        that :class:`~repro.network.events.OccupancyTimeline` can fold in
+        bulk.  Existing loads are copied in, so enabling mid-life (e.g. just
+        before a checkpoint restore replays its stores) is safe.
+        """
+        num_nodes = self.topology.num_nodes
+        nodes = self.topology.nodes
+        if not (isinstance(nodes, range) and nodes == range(num_nodes)):
+            raise ConfigurationError(
+                "dense occupancy needs contiguous node ids 0..n-1 "
+                f"(got {type(self.topology).__name__})"
+            )
+        try:
+            import numpy
+
+            dense = numpy.zeros(num_nodes, dtype=numpy.int64)
+        except ImportError:  # pragma: no cover - numpy is normally present
+            from array import array
+
+            dense = array("q", bytes(8 * num_nodes))
+        for node, load in self._occupancy.items():
+            if load:
+                dense[node] = load
+        self._occupancy_dense = dense
+
+    def occupancy_array(self):
+        """The dense occupancy mirror (``enable_dense_occupancy`` first)."""
+        if self._occupancy_dense is None:
+            raise ConfigurationError(
+                "occupancy_array() requires enable_dense_occupancy()"
+            )
+        return self._occupancy_dense
 
     def max_occupancy(self) -> int:
         """The largest buffer occupancy right now."""

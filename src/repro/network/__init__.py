@@ -6,10 +6,14 @@ from .errors import (
     ConfigurationError,
     ReproError,
     SchedulingError,
+    ShardingError,
+    ShardingProtocolError,
     TopologyError,
+    UnshardableScenarioError,
 )
 from .events import HistoryPolicy, OccupancyTimeline, RoundRecord, SimulationResult
 from .forest import ForestTopology, forest_of
+from .sharded import ExecutionPolicy, SegmentSimulator, plan_segments, run_sharded
 from .simulator import Simulator, run_simulation
 from .topology import (
     LineTopology,
@@ -27,7 +31,14 @@ __all__ = [
     "ConfigurationError",
     "ReproError",
     "SchedulingError",
+    "ShardingError",
+    "ShardingProtocolError",
     "TopologyError",
+    "UnshardableScenarioError",
+    "ExecutionPolicy",
+    "SegmentSimulator",
+    "plan_segments",
+    "run_sharded",
     "HistoryPolicy",
     "OccupancyTimeline",
     "RoundRecord",

@@ -19,6 +19,9 @@ __all__ = [
     "CheckpointFormatError",
     "CheckpointVersionError",
     "CheckpointSpecMismatchError",
+    "ShardingError",
+    "UnshardableScenarioError",
+    "ShardingProtocolError",
 ]
 
 
@@ -139,4 +142,33 @@ class CheckpointSpecMismatchError(CheckpointError):
     algorithm name, history policy) of the run that produced it; resuming
     under a :class:`~repro.api.specs.ScenarioSpec` that hashes differently
     would silently produce a different execution, so it is refused.
+    """
+
+
+class ShardingError(ReproError):
+    """Base class for sharded-execution failures (:mod:`repro.network.sharded`).
+
+    Like the checkpoint family, every sharding error derives from
+    :class:`ReproError`, so the CLI maps the whole family to exit code 2.
+    """
+
+
+class UnshardableScenarioError(ShardingError):
+    """Raised when a scenario cannot be partitioned across worker processes.
+
+    Examples: a tree topology (only :class:`~repro.network.topology.LineTopology`
+    segments have the contiguous left-to-right structure the hand-off protocol
+    relies on), an adaptive adversary (its injections observe the *global*
+    configuration, which no single segment can see), an algorithm that has not
+    declared segment-exact selection (``supports_sharding``), or a
+    :class:`~repro.api.session.PreparedRun` whose live ingredients cannot be
+    shipped to worker processes.
+    """
+
+
+class ShardingProtocolError(ShardingError):
+    """Raised when the coordinator/worker superstep protocol breaks down.
+
+    Examples: a worker process died mid-run, a reply arrived for the wrong
+    round, or the per-segment engines disagree on the round counter.
     """

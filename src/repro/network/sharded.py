@@ -1,0 +1,811 @@
+"""Sharded execution: one huge line partitioned across worker processes.
+
+The single-process engine tops out at one core.  This module splits a
+:class:`~repro.network.topology.LineTopology` scenario into ``k`` contiguous
+segments, runs one :class:`SegmentSimulator` per worker, and drives them in
+lock-step *supersteps* — one superstep per simulated round — so the combined
+execution is **bit-identical** to the single-process run (the differential
+suite in ``tests/test_sharded_differential.py`` proves it for every bundled
+line algorithm x adversary x history mode).
+
+How a superstep works (see ``docs/SHARDING.md`` for the full protocol):
+
+1. **begin** — every worker materialises its segment's injections (each
+   worker drives the *full* row stream through its own packet-id allocator
+   and keeps only its own sources, so ids match the single-process run; see
+   :class:`~repro.adversary.segmented.SegmentFilteredAdversary`), measures
+   ``L^t`` and publishes a compact
+   :meth:`~repro.core.scheduler.ForwardingAlgorithm.boundary_view`.
+2. **select** — every worker replays the *global* activation selection
+   restricted to its own nodes from the merged views
+   (:meth:`~repro.core.scheduler.ForwardingAlgorithm.select_segment_activations`);
+   algorithms whose decision propagates along the line (HPTS pre-bad) thread
+   a carry token left-to-right.  Workers then pop and place their own moves;
+   a packet crossing the segment's right edge joins a columnar *hand-off
+   record* (the :class:`~repro.core.packet.PacketStore` column layout).
+3. **finish** — each worker ingests the hand-off from its left neighbour
+   (still inside the round: the move happened simultaneously with its own),
+   measures ``L^{t+}`` and runs end-of-round hooks.
+
+The coordinator mirrors the single-process drain loop (same caps, same
+quiescence window, fed by globally summed per-round counters), merges the
+per-segment statistics into one :class:`SimulationResult`, and — when the
+run policy asks for periodic checkpoints — saves per-segment snapshots and
+stitches them into a single global checkpoint file
+(:func:`repro.checkpoint.stitch_checkpoints`) that a plain single-process
+``Session.resume`` continues bit-identically.
+
+Two transports share all of the above: ``"processes"`` (the default — one OS
+process per segment, talking over pipes; this is what actually buys
+multi-core wall-clock) and ``"local"`` (same workers, same protocol, driven
+in-process — deterministic, fork-free, and what the differential test matrix
+uses).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import multiprocessing
+from array import array
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.packet import Injection, Packet, PacketState, packet_id_scope
+from .errors import ShardingProtocolError, UnshardableScenarioError
+from .events import RoundRecord, SimulationResult
+from .simulator import Simulator, default_max_drain_rounds, quiescence_window
+from .topology import LineTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.specs import ScenarioSpec
+
+__all__ = [
+    "ExecutionPolicy",
+    "SegmentSimulator",
+    "plan_segments",
+    "run_sharded",
+]
+
+#: Hand-off record column order — the in-flight extension of the columnar
+#: :class:`~repro.core.packet.PacketStore` layout (same first four columns,
+#: plus the mutable engine fields a mid-flight packet carries).
+_HANDOFF_COLUMNS = (
+    "ids", "sources", "destinations", "rounds",
+    "locations", "accepted_rounds", "hops",
+)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a sharded run is executed (engine-level, not part of the spec).
+
+    ``shards`` is the requested segment count (clamped to the line length —
+    ``shards > n`` degrades to one node per worker rather than failing);
+    ``transport`` picks worker processes (``"processes"``) or the in-process
+    protocol driver (``"local"``).
+    """
+
+    shards: int = 1
+    transport: str = "processes"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise UnshardableScenarioError(
+                f"shards must be an int >= 1, got {self.shards!r}"
+            )
+        if self.transport not in ("processes", "local"):
+            raise UnshardableScenarioError(
+                f"transport must be 'processes' or 'local', got {self.transport!r}"
+            )
+
+
+def plan_segments(num_nodes: int, shards: int) -> List[Tuple[int, int]]:
+    """Partition ``0..num_nodes-1`` into ``shards`` contiguous segments.
+
+    Balanced to within one node (the first ``num_nodes % shards`` segments
+    take the extra node); inclusive ``(lo, hi)`` bounds, in line order.
+    ``shards`` is clamped to ``num_nodes`` so every segment is non-empty.
+    """
+    if num_nodes < 1:
+        raise UnshardableScenarioError(f"cannot shard a {num_nodes}-node line")
+    shards = max(1, min(shards, num_nodes))
+    base, extra = divmod(num_nodes, shards)
+    segments: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(shards):
+        width = base + (1 if index < extra else 0)
+        segments.append((lo, lo + width - 1))
+        lo += width
+    return segments
+
+
+# ---------------------------------------------------------------------------
+# Hand-off records (columnar, PacketStore-style)
+# ---------------------------------------------------------------------------
+
+
+def encode_handoff(packets: Sequence[Packet]) -> Optional[Dict[str, array]]:
+    """Encode boundary-crossing packets as flat int64 columns."""
+    if not packets:
+        return None
+    columns = {name: array("q") for name in _HANDOFF_COLUMNS}
+    for packet in packets:
+        columns["ids"].append(packet.packet_id)
+        columns["sources"].append(packet.source)
+        columns["destinations"].append(packet.destination)
+        columns["rounds"].append(packet.injected_round)
+        columns["locations"].append(packet.location)
+        columns["accepted_rounds"].append(
+            -1 if packet.accepted_round is None else packet.accepted_round
+        )
+        columns["hops"].append(packet.hops)
+    return columns
+
+
+def decode_handoff(columns: Optional[Dict[str, array]]) -> List[Packet]:
+    """Rebuild the in-flight :class:`Packet` objects of a hand-off record."""
+    if not columns:
+        return []
+    packets: List[Packet] = []
+    for row in range(len(columns["ids"])):
+        injection = Injection(
+            columns["rounds"][row],
+            columns["sources"][row],
+            columns["destinations"][row],
+            columns["ids"][row],
+        )
+        accepted = columns["accepted_rounds"][row]
+        packets.append(
+            Packet(
+                injection,
+                location=columns["locations"][row],
+                state=PacketState.IN_TRANSIT,
+                accepted_round=None if accepted < 0 else accepted,
+                hops=columns["hops"][row],
+            )
+        )
+    return packets
+
+
+# ---------------------------------------------------------------------------
+# The per-worker engine
+# ---------------------------------------------------------------------------
+
+
+class SegmentSimulator(Simulator):
+    """A :class:`Simulator` that owns one contiguous segment of the line.
+
+    Built on the *full* topology (so every algorithm's index structures,
+    hierarchy partitions and bound parameters are identical to the
+    single-process engine's) but stores packets only for nodes in
+    ``[lo, hi]``.  The round loop is driven externally through the
+    begin/select/finish superstep methods instead of :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        topology: LineTopology,
+        algorithm,
+        adversary,
+        segment_index: int,
+        segments: Sequence[Tuple[int, int]],
+        **simulator_kwargs,
+    ) -> None:
+        super().__init__(topology, algorithm, adversary, **simulator_kwargs)
+        self.segment_index = segment_index
+        self.segments = list(segments)
+        self.lo, self.hi = self.segments[segment_index]
+        self._outbox: List[Packet] = []
+        #: (injected, staged, occupancy_before) captured by begin_round for
+        #: the round record assembled in finish_round.
+        self._round_scratch: Tuple[int, int, Optional[Dict[int, int]]] = (0, 0, None)
+        self._round_moves: Tuple[int, int] = (0, 0)
+
+    # -- engine hooks ------------------------------------------------------------
+
+    def _place_packet(self, packet: Packet, next_hop: int, round_number: int) -> None:
+        if next_hop > self.hi:
+            # Ownership transfers with the packet: the right neighbour stores
+            # it and, in retaining modes, keeps its delivered record too.
+            self._outbox.append(packet)
+            del self.packets[packet.packet_id]
+        else:
+            self.algorithm.on_arrival(packet, next_hop, round_number)
+
+    def _segment_occupancy(self) -> Dict[int, int]:
+        occupancy = self.algorithm._occupancy
+        return {node: occupancy[node] for node in range(self.lo, self.hi + 1)}
+
+    # -- superstep phases --------------------------------------------------------
+
+    def begin_round(self, round_number: int, *, inject: bool) -> Dict[str, Any]:
+        """Injection + ``L^t`` measurement; returns the boundary view."""
+        new_packets = self._materialize_injections(round_number, inject=inject)
+        staged = self.algorithm.staged_count()
+        occupancy_before: Optional[Dict[int, int]] = None
+        if self.record_history:
+            occupancy_before = self._segment_occupancy()
+            if self._bulk_occupancy:
+                self._timeline.observe_bulk(self.algorithm.occupancy_array(), staged)
+            else:
+                self._timeline.observe(occupancy_before, staged)
+        else:
+            self._timeline.observe_delta(self.algorithm.occupancy_delta(), staged)
+        self._round_scratch = (len(new_packets), staged, occupancy_before)
+        return {
+            "view": self.algorithm.boundary_view(round_number, self.lo, self.hi),
+            "staged": staged,
+        }
+
+    def select_round(
+        self, round_number: int, views: Sequence[Dict[str, Any]], carry: Any
+    ) -> Dict[str, Any]:
+        """Global selection restricted to this segment, then apply own moves."""
+        activations, carry_out = self.algorithm.select_segment_activations(
+            round_number, self.segment_index, self.segments, views, carry
+        )
+        if self.validate_capacity:
+            self._validate_activations(activations, round_number)
+        self._outbox = []
+        forwarded, delivered = self._apply_activations(activations, round_number)
+        self._delivered += delivered
+        self._round_moves = (forwarded, delivered)
+        handoff = encode_handoff(self._outbox)
+        self._outbox = []
+        return {
+            "handoff": handoff,
+            "carry": carry_out,
+            "forwarded": forwarded,
+            "delivered": delivered,
+        }
+
+    def finish_round(
+        self, round_number: int, handoff_in: Optional[Dict[str, array]]
+    ) -> Dict[str, Any]:
+        """Ingest the left neighbour's hand-off and close the round."""
+        for packet in decode_handoff(handoff_in):
+            self.packets[packet.packet_id] = packet
+            self.algorithm.on_arrival(packet, packet.location, round_number)
+        occupancy_after = (
+            self._segment_occupancy() if self.record_history else None
+        )
+        self.algorithm.on_round_end(round_number)
+        if self.record_history:
+            injected, staged, occupancy_before = self._round_scratch
+            forwarded, delivered = self._round_moves
+            self._history.append(
+                RoundRecord(
+                    round=round_number,
+                    injected=injected,
+                    forwarded=forwarded,
+                    delivered=delivered,
+                    max_occupancy=max(occupancy_before.values(), default=0),
+                    max_occupancy_after_forwarding=max(
+                        occupancy_after.values(), default=0
+                    ),
+                    staged=staged,
+                    occupancy=dict(occupancy_before)
+                    if self.record_occupancy_vectors
+                    else None,
+                )
+            )
+        self._round = round_number + 1
+        return {
+            "pending": self._pending(),
+            "staged": self.algorithm.staged_count(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker wrapper (shared by both transports)
+# ---------------------------------------------------------------------------
+
+
+class _SegmentWorker:
+    """Builds one segment's scenario ingredients and dispatches commands."""
+
+    def __init__(
+        self,
+        spec_payload: Dict[str, Any],
+        segment_index: int,
+        segments: Sequence[Tuple[int, int]],
+    ) -> None:
+        from ..api.session import Session
+        from ..api.specs import ScenarioSpec
+        from ..adversary.segmented import SegmentFilteredAdversary
+
+        spec = ScenarioSpec.from_dict(spec_payload)
+        session = Session(cache_topologies=False)
+        prepared = session.prepare(spec)
+        topology = prepared.topology
+        if not isinstance(topology, LineTopology):
+            raise UnshardableScenarioError(
+                f"sharded execution needs a LineTopology, got "
+                f"{type(topology).__name__}; run with shards=1"
+            )
+        algorithm = prepared.algorithm
+        if not algorithm.supports_sharding:
+            raise UnshardableScenarioError(
+                f"algorithm {algorithm.name!r} has not declared segment-exact "
+                f"selection (supports_sharding); run with shards=1"
+            )
+        lo, hi = segments[segment_index]
+        adversary = SegmentFilteredAdversary(prepared.adversary, lo, hi)
+        policy = spec.policy
+        self.spec = spec
+        self.base_adversary = prepared.adversary
+        self.simulator = SegmentSimulator(
+            topology,
+            algorithm,
+            adversary,
+            segment_index,
+            segments,
+            record_history=policy.record_history,
+            record_occupancy_vectors=policy.record_occupancy_vectors,
+            history=policy.history,
+            validate_capacity=policy.validate_capacity,
+        )
+
+    def init_info(self) -> Dict[str, Any]:
+        algorithm = self.simulator.algorithm
+        return {
+            "horizon": self.base_adversary.horizon,
+            "needs_carry": algorithm.sharding_needs_carry,
+            "algorithm_name": algorithm.name,
+        }
+
+    def dispatch(self, command: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if command == "begin":
+            return self.simulator.begin_round(
+                payload["round"], inject=payload["inject"]
+            )
+        if command == "select":
+            return self.simulator.select_round(
+                payload["round"], payload["views"], payload["carry"]
+            )
+        if command == "finish":
+            return self.simulator.finish_round(
+                payload["round"], payload["handoff"]
+            )
+        if command == "checkpoint":
+            size = self.simulator.save_checkpoint(payload["path"], spec=self.spec)
+            return {"bytes": size}
+        if command == "result":
+            return self._result_payload()
+        raise ShardingProtocolError(f"unknown worker command {command!r}")
+
+    def _result_payload(self) -> Dict[str, Any]:
+        simulator = self.simulator
+        history: List[Tuple] = []
+        if simulator.record_history:
+            history = [
+                (
+                    record.round, record.injected, record.forwarded,
+                    record.delivered, record.max_occupancy,
+                    record.max_occupancy_after_forwarding, record.staged,
+                    record.occupancy,
+                )
+                for record in simulator._history
+            ]
+        return {
+            "round": simulator._round,
+            "injected": simulator._injected,
+            "delivered": simulator._delivered,
+            "latency_sum": simulator._latency_sum,
+            "latency_max": simulator._latency_max,
+            "pending": simulator._pending(),
+            "max_occupancy": simulator._timeline.max_occupancy,
+            "max_per_node": simulator._timeline.per_node_maxima(),
+            "history": history,
+            "algorithm_name": simulator.algorithm.name,
+            "algorithm_state": simulator.algorithm.checkpoint_state(),
+            "adversary_sigma": getattr(self.base_adversary, "sigma", None),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+
+
+class _LocalHandle:
+    """In-process worker: same protocol, no pipes, per-worker id context."""
+
+    def __init__(self, spec_payload, segment_index, segments) -> None:
+        self._context = contextvars.copy_context()
+
+        def build() -> _SegmentWorker:
+            # Enter a fresh packet-id scope that lives as long as this
+            # context does — each in-process worker numbers the full schedule
+            # independently, exactly like a worker process would.
+            packet_id_scope().__enter__()
+            return _SegmentWorker(spec_payload, segment_index, segments)
+
+        self._worker = self._context.run(build)
+        self.init_payload = self._worker.init_info()
+        self._reply: Optional[Dict[str, Any]] = None
+
+    def send(self, command: str, payload: Dict[str, Any]) -> None:
+        self._reply = self._context.run(self._worker.dispatch, command, payload)
+
+    def recv(self) -> Dict[str, Any]:
+        reply, self._reply = self._reply, None
+        if reply is None:
+            raise ShardingProtocolError("recv() before send() on local worker")
+        return reply
+
+    def close(self) -> None:
+        self._worker = None
+
+
+def _process_worker_main(connection, spec_payload, segment_index, segments) -> None:
+    """Worker-process entry point: build the segment engine, serve commands."""
+    try:
+        with packet_id_scope():
+            worker = _SegmentWorker(spec_payload, segment_index, segments)
+            connection.send(("ok", worker.init_info()))
+            while True:
+                try:
+                    message = connection.recv()
+                except EOFError:
+                    return  # coordinator went away
+                command, payload = message
+                if command == "close":
+                    return
+                connection.send(("ok", worker.dispatch(command, payload)))
+    except BaseException as error:  # noqa: BLE001 - forwarded to coordinator
+        try:
+            connection.send(("error", error))
+        except Exception:
+            try:
+                connection.send(
+                    ("error", ShardingProtocolError(
+                        f"segment {segment_index}: {type(error).__name__}: {error}"
+                    ))
+                )
+            except Exception:
+                pass
+    finally:
+        connection.close()
+
+
+class _ProcessHandle:
+    """One worker process plus its pipe."""
+
+    def __init__(self, context, spec_payload, segment_index, segments) -> None:
+        self.segment_index = segment_index
+        self._conn, child_conn = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=_process_worker_main,
+            args=(child_conn, spec_payload, segment_index, segments),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        self.init_payload = self._recv_checked()
+
+    def send(self, command: str, payload: Dict[str, Any]) -> None:
+        try:
+            self._conn.send((command, payload))
+        except (BrokenPipeError, OSError) as error:
+            raise ShardingProtocolError(
+                f"segment worker {self.segment_index} is gone: {error}"
+            ) from error
+
+    def recv(self) -> Dict[str, Any]:
+        return self._recv_checked()
+
+    def _recv_checked(self) -> Dict[str, Any]:
+        try:
+            status, payload = self._conn.recv()
+        except EOFError:
+            raise ShardingProtocolError(
+                f"segment worker {self.segment_index} died without replying"
+            ) from None
+        if status == "error":
+            if isinstance(payload, BaseException):
+                raise payload
+            raise ShardingProtocolError(
+                f"segment worker {self.segment_index} failed: {payload}"
+            )
+        return payload
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("close", {}))
+        except Exception:
+            pass
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=10)
+        self._conn.close()
+
+
+def _spawn_workers(transport, spec_payload, segments):
+    if transport == "local":
+        return [
+            _LocalHandle(spec_payload, index, segments)
+            for index in range(len(segments))
+        ]
+    methods = multiprocessing.get_all_start_methods()
+    # fork is dramatically cheaper than spawn (no interpreter + import replay
+    # per worker) and the coordinator is single-threaded at spawn time.
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    handles = []
+    try:
+        for index in range(len(segments)):
+            handles.append(
+                _ProcessHandle(context, spec_payload, index, segments)
+            )
+    except BaseException:
+        # A mid-list spawn failure (fd exhaustion, a worker refusing the
+        # scenario) must not leak the workers already started.
+        for handle in handles:
+            handle.close()
+        raise
+    return handles
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+class _ShardedCoordinator:
+    """Drives the superstep loop and merges the per-segment results."""
+
+    def __init__(self, spec: "ScenarioSpec", execution: ExecutionPolicy) -> None:
+        from ..api.session import build_topology
+
+        topology = build_topology(spec.topology)
+        if not isinstance(topology, LineTopology):
+            raise UnshardableScenarioError(
+                f"sharded execution needs a line topology, got "
+                f"{spec.topology.kind!r}; run with shards=1"
+            )
+        self.spec = spec
+        self.execution = execution
+        self.num_nodes = topology.num_nodes
+        self.segments = plan_segments(self.num_nodes, execution.shards)
+        self.handles: List[Any] = []
+        self.needs_carry = False
+        self.max_staged = 0
+        self._executed = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def run(self) -> Tuple[SimulationResult, Dict[str, Any]]:
+        policy = self.spec.policy
+        spec_payload = self.spec.to_dict()
+        self.handles = _spawn_workers(
+            self.execution.transport, spec_payload, self.segments
+        )
+        try:
+            infos = [handle.init_payload for handle in self.handles]
+            horizon = infos[0]["horizon"]
+            for info in infos[1:]:
+                if info["horizon"] != horizon:
+                    raise ShardingProtocolError(
+                        "segment workers disagree on the adversary horizon"
+                    )
+            self.needs_carry = any(info["needs_carry"] for info in infos)
+            num_rounds = policy.rounds if policy.rounds is not None else horizon
+
+            pending = 0
+            staged = 0
+            for round_number in range(num_rounds):
+                _forwarded, staged, pending = self._superstep(
+                    round_number, inject=True
+                )
+                if (
+                    policy.checkpoint_every is not None
+                    and (round_number + 1) % policy.checkpoint_every == 0
+                ):
+                    self._checkpoint(policy.checkpoint_path)
+            drained = self._drain(
+                num_rounds, pending, staged, policy
+            ) if policy.drain else pending == 0
+            result, extras = self._collect(drained)
+            return result, extras
+        finally:
+            for handle in self.handles:
+                handle.close()
+
+    # -- superstep ----------------------------------------------------------------
+
+    def _broadcast(self, command: str, payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+        for handle in self.handles:
+            handle.send(command, payload)
+        return [handle.recv() for handle in self.handles]
+
+    def _superstep(self, round_number: int, *, inject: bool) -> Tuple[int, int, int]:
+        begin = self._broadcast(
+            "begin", {"round": round_number, "inject": inject}
+        )
+        staged_now = sum(reply["staged"] for reply in begin)
+        if staged_now > self.max_staged:
+            self.max_staged = staged_now
+        views = [reply["view"] for reply in begin]
+
+        if self.needs_carry:
+            # Selection information flows strictly left-to-right: thread the
+            # carry token through the workers in segment order.
+            selections = []
+            carry = None
+            for handle in self.handles:
+                handle.send(
+                    "select",
+                    {"round": round_number, "views": views, "carry": carry},
+                )
+                reply = handle.recv()
+                carry = reply["carry"]
+                selections.append(reply)
+        else:
+            selections = self._broadcast(
+                "select", {"round": round_number, "views": views, "carry": None}
+            )
+        forwarded = sum(reply["forwarded"] for reply in selections)
+        if selections[-1]["handoff"] is not None:
+            raise ShardingProtocolError(
+                "right-most segment produced a hand-off past the line end"
+            )
+
+        for index, handle in enumerate(self.handles):
+            handoff_in = selections[index - 1]["handoff"] if index > 0 else None
+            handle.send(
+                "finish", {"round": round_number, "handoff": handoff_in}
+            )
+        finishes = [handle.recv() for handle in self.handles]
+        pending = sum(reply["pending"] for reply in finishes)
+        staged_after = sum(reply["staged"] for reply in finishes)
+        self._executed = round_number + 1
+        return forwarded, staged_after, pending
+
+    # -- drain (mirrors Simulator._drain) ------------------------------------------
+
+    def _drain(self, start_round: int, pending: int, staged: int, policy) -> bool:
+        max_drain_rounds = policy.max_drain_rounds
+        if max_drain_rounds is None:
+            max_drain_rounds = default_max_drain_rounds(self.num_nodes, pending)
+        window = quiescence_window(self.num_nodes)
+        quiet_rounds = 0
+        previous_staged = staged
+        round_number = start_round
+        rounds_drained = 0
+        while pending > 0 and rounds_drained < max_drain_rounds:
+            forwarded, staged, pending = self._superstep(
+                round_number, inject=False
+            )
+            round_number += 1
+            rounds_drained += 1
+            if forwarded == 0 and staged == previous_staged:
+                quiet_rounds += 1
+                if quiet_rounds >= window:
+                    break
+            else:
+                quiet_rounds = 0
+            previous_staged = staged
+        return pending == 0
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def _checkpoint(self, path: str) -> None:
+        import os
+
+        from ..checkpoint import load_checkpoint, save_stitched
+
+        segment_paths = [
+            f"{path}.seg{index}" for index in range(len(self.handles))
+        ]
+        for handle, segment_path in zip(self.handles, segment_paths):
+            handle.send("checkpoint", {"path": segment_path})
+        for handle in self.handles:
+            handle.recv()
+        save_stitched(
+            [load_checkpoint(segment_path) for segment_path in segment_paths],
+            path,
+            max_staged=self.max_staged,
+        )
+        # The stitched file is the product; the per-segment snapshots are
+        # scaffolding.  Remove them so periodic checkpointing does not k-fold
+        # the on-disk footprint (and a later run with fewer shards cannot
+        # leave stale higher-index files behind).  Kept only if stitching
+        # raised above — then they are the debugging evidence.
+        for segment_path in segment_paths:
+            try:
+                os.unlink(segment_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    # -- result merge -----------------------------------------------------------------
+
+    def _collect(self, drained: bool) -> Tuple[SimulationResult, Dict[str, Any]]:
+        replies = self._broadcast("result", {})
+        for reply in replies:
+            if reply["round"] != self._executed:
+                raise ShardingProtocolError(
+                    f"segment engines disagree on the round counter: "
+                    f"{reply['round']} != {self._executed}"
+                )
+        injected = sum(reply["injected"] for reply in replies)
+        delivered = sum(reply["delivered"] for reply in replies)
+        latency_sum = sum(reply["latency_sum"] for reply in replies)
+        latency_maxima = [
+            reply["latency_max"] for reply in replies
+            if reply["latency_max"] is not None
+        ]
+        max_per_node: Dict[int, int] = {}
+        for reply in replies:
+            max_per_node.update(reply["max_per_node"])
+
+        history: List[RoundRecord] = []
+        lengths = {len(reply["history"]) for reply in replies}
+        if len(lengths) != 1:
+            raise ShardingProtocolError(
+                f"segment histories disagree on length: {sorted(lengths)}"
+            )
+        if lengths != {0}:
+            for rows in zip(*(reply["history"] for reply in replies)):
+                occupancy: Optional[Dict[int, int]] = None
+                if any(row[7] is not None for row in rows):
+                    occupancy = {}
+                    for row in rows:
+                        occupancy.update(row[7] or {})
+                history.append(
+                    RoundRecord(
+                        round=rows[0][0],
+                        injected=sum(row[1] for row in rows),
+                        forwarded=sum(row[2] for row in rows),
+                        delivered=sum(row[3] for row in rows),
+                        max_occupancy=max(row[4] for row in rows),
+                        max_occupancy_after_forwarding=max(row[5] for row in rows),
+                        staged=sum(row[6] for row in rows),
+                        occupancy=occupancy,
+                    )
+                )
+
+        result = SimulationResult(
+            algorithm=replies[0]["algorithm_name"],
+            num_nodes=self.num_nodes,
+            rounds_executed=self._executed,
+            max_occupancy=max(reply["max_occupancy"] for reply in replies),
+            max_occupancy_per_node=max_per_node,
+            max_staged=self.max_staged,
+            packets_injected=injected,
+            packets_delivered=delivered,
+            packets_undelivered=injected - delivered,
+            max_latency=max(latency_maxima) if latency_maxima else None,
+            mean_latency=(latency_sum / delivered) if delivered else None,
+            drained=drained,
+            history=history,
+        )
+        extras = {
+            "algorithm_states": [reply["algorithm_state"] for reply in replies],
+            "adversary_sigma": replies[0]["adversary_sigma"],
+            "segments": list(self.segments),
+        }
+        return result, extras
+
+
+def run_sharded(
+    spec: "ScenarioSpec",
+    *,
+    shards: Optional[int] = None,
+    transport: str = "processes",
+) -> Tuple[SimulationResult, Dict[str, Any]]:
+    """Execute ``spec`` sharded across segment workers.
+
+    ``shards`` defaults to the spec's ``policy.shards``.  Returns the merged
+    :class:`SimulationResult` — bit-identical to the ``shards=1`` run — plus
+    an extras mapping (per-segment algorithm states for bound folding, the
+    adversary's declared sigma, and the segment plan).
+    """
+    if shards is None:
+        shards = spec.policy.shards
+    if not shards or shards < 1:
+        raise UnshardableScenarioError(
+            f"run_sharded() needs shards >= 1, got {shards!r}"
+        )
+    execution = ExecutionPolicy(shards=shards, transport=transport)
+    return _ShardedCoordinator(spec, execution).run()

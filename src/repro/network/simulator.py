@@ -31,7 +31,35 @@ from .events import HistoryPolicy, OccupancyTimeline, RoundRecord, SimulationRes
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, typing only
     from ..adversary.base import Adversary
 
-__all__ = ["HistoryPolicy", "Simulator", "run_simulation"]
+__all__ = [
+    "HistoryPolicy",
+    "Simulator",
+    "run_simulation",
+    "default_max_drain_rounds",
+    "quiescence_window",
+]
+
+
+def default_max_drain_rounds(num_nodes: int, pending: int) -> int:
+    """Safety cap on drain rounds when the caller does not pass one.
+
+    Every packet needs at most ``num_nodes`` hops and at most one packet
+    leaves each buffer per round, so ``pending * n`` is a safe cap even for
+    very lazy algorithms; slack added for phase-based algorithms.  Shared by
+    the single-process drain loop and the sharded coordinator — the two must
+    agree bit for bit on how long a drain may run.
+    """
+    return (pending + 1) * (num_nodes + 2) + 64
+
+
+def quiescence_window(num_nodes: int) -> int:
+    """Consecutive no-progress rounds before a drain declares a fixed point.
+
+    The paper's algorithms are not work-conserving: a configuration with no
+    bad (pseudo-)buffer never changes once injections stop.  Shared with the
+    sharded coordinator for the same bit-identity reason as the drain cap.
+    """
+    return 2 * num_nodes + 8
 
 
 class Simulator:
@@ -110,7 +138,18 @@ class Simulator:
         self.packet_store: Optional[PacketStore] = (
             PacketStore() if policy is HistoryPolicy.STREAMING else None
         )
-        self._timeline = OccupancyTimeline()
+        #: Bulk-snapshot mode: occupancy-vector runs on contiguous node ids
+        #: fold a dense per-round load vector into a dense maxima vector
+        #: (numpy when available) instead of walking a dict of n entries.
+        nodes = topology.nodes
+        self._bulk_occupancy = record_occupancy_vectors and (
+            isinstance(nodes, range) and nodes == range(topology.num_nodes)
+        )
+        if self._bulk_occupancy:
+            self._timeline = OccupancyTimeline(dense_size=topology.num_nodes)
+            algorithm.enable_dense_occupancy()
+        else:
+            self._timeline = OccupancyTimeline()
         self._history: List[RoundRecord] = []
         self._round = 0
         self._injected = 0
@@ -216,7 +255,8 @@ class Simulator:
 
     # -- round mechanics --------------------------------------------------------
 
-    def _execute_round(self, round_number: int, *, inject: bool) -> int:
+    def _materialize_injections(self, round_number: int, *, inject: bool) -> List[Packet]:
+        """The injection step: ask the adversary, create and store packets."""
         if not inject:
             injections = []
         elif getattr(self.adversary, "adaptive", False):
@@ -238,17 +278,33 @@ class Simulator:
             new_packets.append(packet)
         self._injected += len(new_packets)
         self.algorithm.on_inject(round_number, new_packets)
+        return new_packets
+
+    def _measure_before_forwarding(self, staged: int) -> Optional[Dict[int, int]]:
+        """Record ``L^t`` (after injection, before forwarding).
+
+        Returns the full occupancy snapshot when per-round history is being
+        recorded (the round record needs it anyway), ``None`` otherwise.
+        """
+        if self.record_history:
+            occupancy_before = self.algorithm.occupancy_vector()
+            if self._bulk_occupancy:
+                self._timeline.observe_bulk(self.algorithm.occupancy_array(), staged)
+            else:
+                self._timeline.observe(occupancy_before, staged)
+            return occupancy_before
+        self._timeline.observe_delta(self.algorithm.occupancy_delta(), staged)
+        return None
+
+    def _execute_round(self, round_number: int, *, inject: bool) -> int:
+        new_packets = self._materialize_injections(round_number, inject=inject)
 
         # L^t: after injection, before forwarding.  The hot path folds only
         # the nodes whose load changed since the previous measurement into
         # the running maxima; full snapshots are taken only when per-round
         # history is requested (which needs them anyway).
         staged = self.algorithm.staged_count()
-        if self.record_history:
-            occupancy_before = self.algorithm.occupancy_vector()
-            self._timeline.observe(occupancy_before, staged)
-        else:
-            self._timeline.observe_delta(self.algorithm.occupancy_delta(), staged)
+        occupancy_before = self._measure_before_forwarding(staged)
 
         activations = self.algorithm.select_activations(round_number)
         if self.validate_capacity:
@@ -341,8 +397,16 @@ class Simulator:
                     # only remaining trace; release the object.
                     del self.packets[packet.packet_id]
             else:
-                self.algorithm.on_arrival(packet, next_hop, round_number)
+                self._place_packet(packet, next_hop, round_number)
         return len(moves), delivered
+
+    def _place_packet(self, packet: Packet, next_hop: int, round_number: int) -> None:
+        """Hand a forwarded (undelivered) packet to its next-hop buffer.
+
+        The segment engine overrides this: a packet whose next hop lies past
+        the segment's right edge joins the outgoing hand-off record instead.
+        """
+        self.algorithm.on_arrival(packet, next_hop, round_number)
 
     def _pending(self) -> int:
         return self.algorithm.pending_packets()
@@ -350,18 +414,15 @@ class Simulator:
     def _drain(self, start_round: int, max_drain_rounds: Optional[int]) -> bool:
         pending = self._pending()
         if max_drain_rounds is None:
-            # Every packet needs at most num_nodes hops and at most one packet
-            # leaves each buffer per round, so pending * n is a safe cap even
-            # for very lazy algorithms; add slack for phase-based algorithms.
-            max_drain_rounds = (pending + 1) * (self.topology.num_nodes + 2) + 64
+            max_drain_rounds = default_max_drain_rounds(
+                self.topology.num_nodes, pending
+            )
         round_number = start_round
         rounds_drained = 0
-        # The paper's algorithms are not work-conserving: a configuration with
-        # no bad (pseudo-)buffer is a fixed point and will never change once
-        # injections stop.  Detect such quiescence (several consecutive rounds
-        # with no forwarding and no change in staged packets) and stop early
-        # instead of spinning until the cap.
-        quiescence_window = 2 * self.topology.num_nodes + 8
+        # Detect quiescence (several consecutive rounds with no forwarding
+        # and no change in staged packets) and stop early instead of
+        # spinning until the cap.
+        window = quiescence_window(self.topology.num_nodes)
         quiet_rounds = 0
         previous_staged = self.algorithm.staged_count()
         while self._pending() > 0 and rounds_drained < max_drain_rounds:
@@ -371,7 +432,7 @@ class Simulator:
             staged = self.algorithm.staged_count()
             if forwarded == 0 and staged == previous_staged:
                 quiet_rounds += 1
-                if quiet_rounds >= quiescence_window:
+                if quiet_rounds >= window:
                     break
             else:
                 quiet_rounds = 0
@@ -391,7 +452,7 @@ class Simulator:
             num_nodes=self.topology.num_nodes,
             rounds_executed=self._round,
             max_occupancy=self._timeline.max_occupancy,
-            max_occupancy_per_node=dict(self._timeline.max_per_node),
+            max_occupancy_per_node=self._timeline.per_node_maxima(),
             max_staged=self._timeline.max_staged,
             packets_injected=self._injected,
             packets_delivered=delivered,

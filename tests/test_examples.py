@@ -25,6 +25,7 @@ EXAMPLES = [
     ("adversarial_lower_bound.py", "Theorem 5.1 floor"),
     ("hierarchy_visualisation.py", "Segment decomposition"),
     ("checkpoint_resume.py", "bit-identical to the uninterrupted run"),
+    ("sharded_run.py", "bit-identical to the single-process run"),
 ]
 
 
