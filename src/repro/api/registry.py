@@ -30,7 +30,7 @@ the leaf ``network.errors`` module, so that ``core/``, ``adversary/`` and
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Optional, TypeVar, Union
 
 from ..network.errors import ReproError
 
@@ -87,7 +87,7 @@ class Registry:
         obj: Optional[T] = None,
         *,
         aliases: Iterable[str] = (),
-    ):
+    ) -> Union[T, Callable[[T], T]]:
         """Register ``obj`` under ``name``; usable as a decorator.
 
         Re-registering an existing name replaces the entry (so reloading a
@@ -113,7 +113,7 @@ class Registry:
         """Resolve an alias to its canonical key (identity for canonical keys)."""
         return self._aliases.get(name, name)
 
-    def get(self, name: str):
+    def get(self, name: str) -> Any:
         """The registered entry, or raise :class:`RegistryError`."""
         key = self.canonical(name)
         try:
@@ -124,6 +124,31 @@ class Registry:
     def names(self) -> List[str]:
         """All canonical keys, sorted."""
         return sorted(self._entries)
+
+    def aliases_of(self, name: str) -> List[str]:
+        """All aliases resolving to ``name`` (itself canonical), sorted."""
+        key = self.canonical(name)
+        return sorted(a for a, target in self._aliases.items() if target == key)
+
+    def catalog(self) -> List[Dict[str, object]]:
+        """One row per canonical entry: name, aliases, first docstring line.
+
+        This is the discovery surface behind ``python -m repro registry``
+        (lint rule RPR005 keeps it honest: every registered name must be
+        reachable from the CLI or the docs).
+        """
+        rows: List[Dict[str, object]] = []
+        for name in self.names():
+            entry = self._entries[name]
+            doc = (getattr(entry, "__doc__", None) or "").strip()
+            rows.append(
+                {
+                    "name": name,
+                    "aliases": self.aliases_of(name),
+                    "summary": doc.splitlines()[0] if doc else "",
+                }
+            )
+        return rows
 
     def __contains__(self, name: str) -> bool:
         return self.canonical(name) in self._entries

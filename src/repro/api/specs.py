@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Type, TypeVar
 
 from ..network.errors import ConfigurationError
 
@@ -38,6 +38,9 @@ __all__ = [
 
 class SpecError(ConfigurationError):
     """A malformed or inconsistent scenario spec."""
+
+
+_SpecT = TypeVar("_SpecT", bound="_SpecBase")
 
 
 def _normalize_params(params: Optional[Mapping[str, Any]], owner: str) -> Dict[str, Any]:
@@ -82,7 +85,7 @@ class _SpecBase:
         return result
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]):
+    def from_dict(cls: Type[_SpecT], payload: Mapping[str, Any]) -> _SpecT:
         _check_keys(payload, {f.name for f in fields(cls)}, cls.__name__)
         return cls(**dict(payload))
 
@@ -90,7 +93,7 @@ class _SpecBase:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
-    def from_json(cls, text: str):
+    def from_json(cls: Type[_SpecT], text: str) -> _SpecT:
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as error:

@@ -68,8 +68,11 @@ from .network.errors import (
 from .network.events import HistoryPolicy, RoundRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, typing only
+    from .adversary.base import Adversary
     from .api.specs import ScenarioSpec
+    from .core.scheduler import ForwardingAlgorithm
     from .network.simulator import Simulator
+    from .network.topology import Topology
 
 __all__ = [
     "FORMAT_VERSION",
@@ -976,9 +979,9 @@ def save_stitched(
 
 def restore_simulator(
     checkpoint: Checkpoint,
-    topology,
-    algorithm,
-    adversary,
+    topology: "Topology",
+    algorithm: "ForwardingAlgorithm",
+    adversary: "Adversary",
 ) -> "Simulator":
     """Build a :class:`~repro.network.simulator.Simulator` positioned at the
     checkpoint's round boundary, from freshly constructed ingredients."""

@@ -22,6 +22,12 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Sub-commands:
 ``figure1``
     Render the Figure 1 hierarchy (optionally with a sample trajectory).
 
+``registry``
+    List every registered algorithm, adversary and topology name (with
+    aliases) usable in a ``ScenarioSpec`` — the full catalogue, including
+    names the ``simulate`` shortcuts do not expose, lives in
+    ``docs/REGISTRY.md``.
+
 Examples
 --------
 ::
@@ -149,6 +155,21 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--levels", type=int, default=4)
     figure.add_argument("--source", type=int, default=None)
     figure.add_argument("--destination", type=int, default=None)
+
+    registry = subparsers.add_parser(
+        "registry",
+        help="list registered algorithm/adversary/topology names "
+        "(see docs/REGISTRY.md)",
+    )
+    registry.add_argument(
+        "--kind",
+        choices=("algorithms", "adversaries", "topologies"),
+        default=None,
+        help="restrict the listing to one registry",
+    )
+    registry.add_argument(
+        "--json", action="store_true", help="emit the catalogue as JSON"
+    )
 
     return parser
 
@@ -368,6 +389,35 @@ def _command_figure1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_registry(args: argparse.Namespace) -> int:
+    from .api.registry import ADVERSARIES, ALGORITHMS, TOPOLOGIES
+
+    registries = {
+        "algorithms": ALGORITHMS,
+        "adversaries": ADVERSARIES,
+        "topologies": TOPOLOGIES,
+    }
+    if args.kind is not None:
+        registries = {args.kind: registries[args.kind]}
+    if args.json:
+        payload = {kind: reg.catalog() for kind, reg in registries.items()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for kind, reg in registries.items():
+        rows = [
+            {
+                "name": row["name"],
+                "aliases": ", ".join(row["aliases"]) or "-",
+                "summary": row["summary"],
+            }
+            for row in reg.catalog()
+        ]
+        print(format_table(rows, title=f"Registered {kind}"))
+        print()
+    print("Full catalogue with parameters: docs/REGISTRY.md")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -383,6 +433,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_bounds(args)
         if args.command == "figure1":
             return _command_figure1(args)
+        if args.command == "registry":
+            return _command_registry(args)
         parser.error(f"unknown command {args.command!r}")
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)

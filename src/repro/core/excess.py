@@ -53,6 +53,8 @@ class ExcessTracker:
     so the implementation simply uses ``max(xi_{t-1} + N_t - rho, 0)``.
     """
 
+    __slots__ = ("num_nodes", "rho", "_excess", "_previous", "round")
+
     def __init__(self, num_nodes: int, rho: float) -> None:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")

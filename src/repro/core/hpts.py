@@ -220,7 +220,7 @@ class HierarchicalPeakToSink(ForwardingAlgorithm):
             end = start + size - 1
             overlap_lo, overlap_hi = max(start, lo), min(end, hi)
             entry: Dict[int, int] = {}
-            for w in candidates:
+            for w in sorted(candidates):
                 position = self._index.bad((level, w)).first_in(
                     overlap_lo, overlap_hi
                 )
@@ -331,6 +331,19 @@ class HierarchicalPeakToSink(ForwardingAlgorithm):
             "open": open_out,
         }
         return activations, carry_out
+
+    def fold_sibling_state(self, states) -> None:
+        """Nothing to fold: HPTS discovers no global state worth keeping.
+
+        Sibling segments' :meth:`checkpoint_state` payloads only carry
+        staged packet ids, which are strictly segment-local; the per-level
+        destination sets are derived state rebuilt from this instance's own
+        buffers via ``on_buffer_change``, and :meth:`theoretical_bound`
+        depends only on construction parameters (``n``, ``ell``).  The
+        override is deliberate (RPR004): it records that the question "does
+        HPTS learn anything global from its siblings?" was answered, rather
+        than silently inheriting the base no-op.
+        """
 
     def _pre_bad_key_from_carry(
         self, node: int, level: int, last_info: Optional[Dict]

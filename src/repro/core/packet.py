@@ -99,6 +99,8 @@ class packet_id_scope:
     0
     """
 
+    __slots__ = ("allocator", "_token")
+
     def __init__(self, start: int = 0) -> None:
         self.allocator = PacketIdAllocator(start)
         self._token: Optional[contextvars.Token] = None

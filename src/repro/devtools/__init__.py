@@ -1,0 +1,9 @@
+"""Developer tooling for the repro engine.
+
+Nothing in this package is imported by the runtime engine; it exists so
+contracts that the engine relies on (determinism, ``__slots__`` discipline,
+checkpoint coverage, sharding hooks) can be checked mechanically.  See
+:mod:`repro.devtools.lint` and ``docs/LINTING.md``.
+"""
+
+__all__ = ["lint"]

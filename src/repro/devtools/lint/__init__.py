@@ -1,0 +1,35 @@
+"""AST contract linter for the repro engine.
+
+Run as ``python -m repro.devtools.lint src/repro`` from the repository
+root.  The rule catalogue, suppression policy and how-to-add-a-rule guide
+live in ``docs/LINTING.md``.
+"""
+
+from .framework import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    LintConfig,
+    LintResult,
+    ProjectModel,
+    RULES,
+    build_model,
+    collect_modules,
+    rule,
+    run_lint,
+)
+from . import rules as _rules  # noqa: F401  (importing registers RPR001-RPR007)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ProjectModel",
+    "RULES",
+    "build_model",
+    "collect_modules",
+    "rule",
+    "run_lint",
+]

@@ -81,9 +81,13 @@ class RoundRecord:
     occupancy: Optional[Dict[int, int]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationResult:
-    """Summary of one simulated execution."""
+    """Summary of one simulated execution.
+
+    Slotted like every other hot-path record: sweeps hold one of these per
+    scenario, and the no-``__dict__`` regression test covers it.
+    """
 
     #: Name of the forwarding algorithm.
     algorithm: str

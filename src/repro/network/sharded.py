@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import contextvars
 import multiprocessing
+import pickle
 from array import array
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
@@ -454,17 +455,24 @@ def _process_worker_main(connection, spec_payload, segment_index, segments) -> N
                     return
                 connection.send(("ok", worker.dispatch(command, payload)))
     except BaseException as error:  # noqa: BLE001 - forwarded to coordinator
+        # The pipe is the only channel out of this process; the coordinator's
+        # _recv_checked re-raises whatever arrives, so forwarding is not
+        # swallowing.  A worker that cannot forward re-raises instead: its
+        # nonzero exit code is then reported by _ProcessHandle.close().
         try:
             connection.send(("error", error))
-        except Exception:
+        except (pickle.PicklingError, TypeError, AttributeError, ValueError):
+            # The original exception does not pickle — ship a typed summary.
             try:
                 connection.send(
                     ("error", ShardingProtocolError(
                         f"segment {segment_index}: {type(error).__name__}: {error}"
                     ))
                 )
-            except Exception:
-                pass
+            except OSError:
+                raise error
+        except OSError:
+            raise error
     finally:
         connection.close()
 
@@ -510,16 +518,35 @@ class _ProcessHandle:
             )
         return payload
 
-    def close(self) -> None:
+    def close(self) -> Optional[str]:
+        """Shut the worker down and report how it went.
+
+        Returns ``None`` on a clean exit, otherwise a diagnostic string.
+        Raising here would mask whatever error is already propagating
+        through the coordinator's unwind, so the *caller* decides whether a
+        dirty shutdown escalates (see ``_ShardedCoordinator._shutdown``).
+        """
+        problem: Optional[str] = None
         try:
             self._conn.send(("close", {}))
-        except Exception:
-            pass
+        except OSError as error:
+            # Worker hung up first; the exit code below says whether that
+            # was a crash or an earlier clean return.
+            problem = (
+                f"segment worker {self.segment_index} pipe already closed: {error}"
+            )
         self._process.join(timeout=10)
         if self._process.is_alive():  # pragma: no cover - defensive
             self._process.terminate()
             self._process.join(timeout=10)
+            problem = f"segment worker {self.segment_index} had to be terminated"
+        elif self._process.exitcode:
+            problem = (
+                f"segment worker {self.segment_index} exited with code "
+                f"{self._process.exitcode}"
+            )
         self._conn.close()
+        return problem
 
 
 def _spawn_workers(transport, spec_payload, segments):
@@ -607,10 +634,27 @@ class _ShardedCoordinator:
                 num_rounds, pending, staged, policy
             ) if policy.drain else pending == 0
             result, extras = self._collect(drained)
-            return result, extras
-        finally:
-            for handle in self.handles:
-                handle.close()
+        except BaseException:
+            # An error is already propagating — close best-effort and let it
+            # through; shutdown diagnostics must not mask the original fault.
+            self._shutdown(strict=False)
+            raise
+        # Success path: a worker that crashed or hung at shutdown invalidates
+        # the clean-run claim, so close diagnostics escalate.
+        self._shutdown(strict=True)
+        return result, extras
+
+    def _shutdown(self, *, strict: bool) -> None:
+        problems: List[str] = []
+        for handle in self.handles:
+            problem = handle.close()
+            if problem:
+                problems.append(problem)
+        if strict and problems:
+            raise ShardingProtocolError(
+                "worker shutdown failed after a completed run: "
+                + "; ".join(problems)
+            )
 
     # -- superstep ----------------------------------------------------------------
 

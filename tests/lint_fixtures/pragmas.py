@@ -1,0 +1,10 @@
+"""Suppression pragma fixture: RPR006 violations, all silenced."""
+
+
+def forgiven(connection):
+    try:
+        connection.send("x")
+    except Exception:  # repro-lint: disable=RPR006
+        pass
+    # repro-lint: disable=RPR006
+    print("own-line pragma governs the next line")

@@ -1,0 +1,18 @@
+"""RPR001 true positives: unseeded randomness + raw set iteration."""
+
+import random
+
+
+def jitter():
+    return random.random()  # unseeded module-level RNG
+
+
+class Algo:
+    def __init__(self):
+        self._targets: set = set()
+
+    def select_activations(self, round_number):
+        out = []
+        for node in self._targets:  # raw set iteration, order leaks
+            out.append(node)
+        return out

@@ -1,0 +1,19 @@
+"""RPR001 clean: seeded RNG, sorted iteration, order-insensitive folds."""
+
+import random
+
+
+def seeded(seed):
+    return random.Random(seed).random()
+
+
+class Algo:
+    def __init__(self):
+        self._targets: set = set()
+
+    def select_activations(self, round_number):
+        out = []
+        for node in sorted(self._targets):  # explicit order
+            out.append(node)
+        peak = max(self._targets, default=0)  # order-insensitive fold
+        return out, peak

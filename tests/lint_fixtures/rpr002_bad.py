@@ -1,0 +1,24 @@
+"""RPR002 true positives: dict-ful classes in a hot-path module."""
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class HotRecord:  # no __slots__
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+@dataclass
+class HotRow:  # dataclass without slots=True
+    a: int
+    b: int
+
+
+class Mode(Enum):  # exempt: Enum members are class-level
+    ON = "on"
+
+
+class HotPathError(Exception):  # exempt: exceptions are cold
+    pass

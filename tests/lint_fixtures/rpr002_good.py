@@ -1,0 +1,17 @@
+"""RPR002 clean: slotted classes in a hot-path module."""
+
+from dataclasses import dataclass
+
+
+class HotRecord:
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+@dataclass(slots=True)
+class HotRow:
+    a: int
+    b: int

@@ -1,0 +1,25 @@
+"""RPR003 true positives: uncovered mutable state + rogue row table."""
+
+
+class ForwardingAlgorithm:
+    def checkpoint_state(self):
+        return {}
+
+    def restore_checkpoint_state(self, state, packets):
+        pass
+
+
+class Leaky(ForwardingAlgorithm):
+    """Assigns mutable state, inherits only the root's no-op hooks."""
+
+    def __init__(self, topology):
+        self._seen = {}
+        self._order = []
+
+
+class ResumableRows:
+    pass
+
+
+class BrokenRows:
+    """Row table that cannot produce a resume cursor."""

@@ -1,0 +1,35 @@
+"""RPR003 clean: covered mutable state + conforming row table."""
+
+
+class ForwardingAlgorithm:
+    def checkpoint_state(self):
+        return {}
+
+    def restore_checkpoint_state(self, state, packets):
+        pass
+
+
+class Covered(ForwardingAlgorithm):
+    def __init__(self, topology):
+        self._seen = {}
+
+    def checkpoint_state(self):
+        return {"seen": sorted(self._seen)}
+
+    def restore_checkpoint_state(self, state, packets):
+        self._seen = dict.fromkeys(state["seen"])
+
+
+class Stateless(ForwardingAlgorithm):
+    """No mutable instance state: the root hooks are sufficient."""
+
+    def __init__(self, topology):
+        self.threshold = 2
+
+
+class ResumableRows:
+    pass
+
+
+class GoodRows(ResumableRows):
+    pass

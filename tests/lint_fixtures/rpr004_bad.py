@@ -1,0 +1,31 @@
+"""RPR004 true positives: sharding claimed without the hook triad."""
+
+
+class ForwardingAlgorithm:
+    supports_sharding = False
+
+    def boundary_view(self, round_number, lo, hi):
+        return {}
+
+    def select_segment_activations(self, round_number, segment_index,
+                                   segments, views, carry):
+        return [], None
+
+    def fold_sibling_state(self, states):
+        pass
+
+
+class ShardedNoHooks(ForwardingAlgorithm):
+    supports_sharding = True  # no hooks of its own
+
+
+class CarryNoFold(ForwardingAlgorithm):
+    supports_sharding = True
+    sharding_needs_carry = True
+
+    def boundary_view(self, round_number, lo, hi):
+        return {}
+
+    def select_segment_activations(self, round_number, segment_index,
+                                   segments, views, carry):
+        return [], None

@@ -1,0 +1,46 @@
+"""RPR004 clean: the hook triad is defined (directly or via a real base)."""
+
+
+class ForwardingAlgorithm:
+    supports_sharding = False
+
+    def boundary_view(self, round_number, lo, hi):
+        return {}
+
+    def select_segment_activations(self, round_number, segment_index,
+                                   segments, views, carry):
+        return [], None
+
+    def fold_sibling_state(self, states):
+        pass
+
+
+class ShardedDirect(ForwardingAlgorithm):
+    supports_sharding = True
+    sharding_needs_carry = True
+
+    def boundary_view(self, round_number, lo, hi):
+        return {}
+
+    def select_segment_activations(self, round_number, segment_index,
+                                   segments, views, carry):
+        return [], None
+
+    def fold_sibling_state(self, states):
+        pass
+
+
+class HookedBase(ForwardingAlgorithm):
+    def boundary_view(self, round_number, lo, hi):
+        return {}
+
+    def select_segment_activations(self, round_number, segment_index,
+                                   segments, views, carry):
+        return [], None
+
+
+class ShardedViaBase(HookedBase):
+    """Hooks inherited from a non-root base count: the base's override is
+    the proof, and this class shares it."""
+
+    supports_sharding = True

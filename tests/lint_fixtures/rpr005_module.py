@@ -1,0 +1,13 @@
+"""RPR005 fixture: a registration whose discoverability the test controls."""
+
+
+def register_algorithm(name, aliases=()):
+    def deco(obj):
+        return obj
+
+    return deco
+
+
+@register_algorithm("mystery-algo", aliases=("mystery_algo",))
+def build_mystery(topology):
+    return None

@@ -1,0 +1,13 @@
+"""RPR006 true positives: swallowed exceptions and stray print."""
+
+
+def risky(connection):
+    try:
+        connection.send("x")
+    except Exception:
+        pass  # swallowed
+    try:
+        connection.recv()
+    except:  # bare
+        return None
+    print("done")  # library code writing to stdout

@@ -1,0 +1,17 @@
+"""RPR006 clean: narrow catches, typed re-raise."""
+
+
+class ShardingProtocolError(Exception):
+    pass
+
+
+def careful(connection):
+    try:
+        connection.send("x")
+    except OSError as error:
+        raise ShardingProtocolError(f"worker gone: {error}") from error
+    try:
+        return connection.recv()
+    except Exception as error:
+        # Broad, but re-raised as a typed error: nothing is swallowed.
+        raise ShardingProtocolError(str(error)) from error

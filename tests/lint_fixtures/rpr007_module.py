@@ -1,0 +1,6 @@
+"""RPR007 fixture: clean or a finding depending on where it is placed."""
+
+
+class FrozenThing:
+    def __post_init__(self):
+        object.__setattr__(self, "digest", "abc123")

@@ -16,12 +16,14 @@ from repro.adversary.bounded import check_bounded
 from repro.adversary.generators import trickle_adversary
 from repro.api.session import Session
 from repro.api.specs import RunPolicy, ScenarioSpec, SpecError
+from repro.core.excess import ExcessTracker
+from repro.core.hierarchy import HierarchicalPartition, Segment
 from repro.core.packet import Packet, PacketStore, make_injection, packet_id_scope
 from repro.core.pseudobuffer import NodeBuffer, PseudoBuffer
 from repro.core.pts import PeakToSink
 from repro.core.scheduler import Activation
 from repro.network.errors import ConfigurationError
-from repro.network.events import HistoryPolicy
+from repro.network.events import HistoryPolicy, SimulationResult
 from repro.network.simulator import Simulator
 from repro.network.topology import LineTopology
 
@@ -281,6 +283,13 @@ class TestSlottedHotClasses:
             NodeBuffer(0),
             Activation(node=0, key=1),
             PacketStore(),
+            # Slotted by the RPR002 sweep (see docs/LINTING.md).
+            ExcessTracker(4, 0.5),
+            Segment(start=0, end=3, level=1),
+            HierarchicalPartition(8, 3, 2),
+            packet_id_scope(),
+            SimulationResult(algorithm="pts", num_nodes=4, rounds_executed=0,
+                             max_occupancy=0),
         ],
         ids=lambda obj: type(obj).__name__,
     )
