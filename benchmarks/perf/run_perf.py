@@ -58,7 +58,7 @@ from repro.api.session import Session  # noqa: E402
 from repro.api.specs import ScenarioSpec  # noqa: E402
 from repro.network.simulator import Simulator  # noqa: E402
 
-SCHEMA = "BENCH_engine/v3"
+SCHEMA = "BENCH_engine/v4"
 
 #: (n, engine rounds) per scale tier.  Rounds shrink as n grows so the seed
 #: engine's O(n) rounds stay measurable in bounded time.
@@ -165,9 +165,14 @@ def _stream_spec(n: int, rounds: int) -> ScenarioSpec:
     )
 
 
-def _sharded_smoke_spec(n: int, rounds: int) -> ScenarioSpec:
+def _sharded_smoke_spec(
+    n: int, rounds: int, extra_policy: Optional[Dict[str, Any]] = None
+) -> ScenarioSpec:
     """The sharded smoke workload: enough per-round move work (greedy visits
     every nonempty buffer) that superstep coordination is a small fraction."""
+    policy: Dict[str, Any] = {"seed": 7, "drain": False, "history": "streaming"}
+    if extra_policy:
+        policy.update(extra_policy)
     return ScenarioSpec.from_dict(
         {
             "name": f"perf/sharded/greedy/n{n}",
@@ -183,7 +188,7 @@ def _sharded_smoke_spec(n: int, rounds: int) -> ScenarioSpec:
                     "destinations": [n // 4, n // 2, n - 1],
                 },
             },
-            "policy": {"seed": 7, "drain": False, "history": "streaming"},
+            "policy": policy,
         }
     )
 
@@ -209,6 +214,63 @@ def _time_sharded(spec: ScenarioSpec, shards: int, repeats: int) -> Dict[str, An
         "repeats": repeats,
         "elapsed_sec": elapsed,
         "rounds_per_sec": rounds / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def _time_chaos(n: int, rounds: int, shards: int, repeats: int) -> Dict[str, Any]:
+    """Time worker-crash recovery: one injected kill mid-run, restart mode.
+
+    Publishes ``recovery_time_s`` — the supervisor's teardown + restitch +
+    respawn + rewind cost, measured with an injected perf_counter clock —
+    alongside the chaos run's overall rounds/sec.  The recovered result is
+    asserted identical to the fault-free run, so this case doubles as an
+    end-to-end recovery check in every perf run.
+    """
+    import tempfile
+
+    from repro.network.faults import FaultEvent, FaultPlan
+    from repro.network.sharded import run_sharded
+
+    plan = FaultPlan(events=(
+        FaultEvent(kind="crash", round=rounds // 2, segment=0, phase="begin"),
+    ))
+    recovery_sec = float("inf")
+    elapsed = float("inf")
+    with tempfile.TemporaryDirectory() as scratch:
+        spec = _sharded_smoke_spec(n, rounds, {
+            "checkpoint_every": max(rounds // 4, 1),
+            "checkpoint_path": os.path.join(scratch, "chaos.ckpt"),
+            "recovery": "restart",
+            "max_worker_restarts": 2,
+        })
+        baseline, _ = run_sharded(spec, shards=shards, transport="processes")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result, extras = run_sharded(
+                spec, shards=shards, transport="processes", faults=plan,
+                clock=time.perf_counter,
+            )
+            elapsed = min(elapsed, time.perf_counter() - start)
+            recovery = extras["recovery"]
+            if recovery["restarts"] != 1 or result != baseline:
+                raise RuntimeError(
+                    f"chaos case broke: restarts={recovery['restarts']}, "
+                    f"identical={result == baseline}"
+                )
+            recovery_sec = min(recovery_sec, recovery["recovery_time_s"])
+    return {
+        "case": f"chaos/sharded{shards}/{spec.label}",
+        "kind": "chaos",
+        "n": n,
+        "algorithm": spec.algorithm.name,
+        "topology": spec.topology.kind,
+        "shards": shards,
+        "rounds": rounds,
+        "repeats": repeats,
+        "elapsed_sec": elapsed,
+        "rounds_per_sec": rounds / elapsed if elapsed > 0 else float("inf"),
+        "recovery_time_s": recovery_sec,
+        "restarts": 1,
     }
 
 
@@ -393,6 +455,17 @@ def run_suite(quick: bool, repeats: int) -> Dict[str, Any]:
     print(
         f"{case['case']:<40} {case['rounds_per_sec']:>12.0f} rounds/s "
         f"({case['normalized_throughput']:.1f} norm, 2 workers)"
+    )
+    # Worker-crash recovery on the same tier: publishes recovery_time_s (the
+    # restitch + respawn + rewind cost) and proves chaos == fault-free on
+    # every perf run.  Throughput is published unnormalized only — recovery
+    # cost is dominated by process spawn, which the calibration loop does
+    # not model, so the gate sticks to the regular sharded case above.
+    case = _time_chaos(n_stream, max(rounds_stream // 4, 64), 2, repeats)
+    cases.append(case)
+    print(
+        f"{case['case']:<40} {case['recovery_time_s'] * 1e3:>12.1f} ms recovery "
+        f"({case['rounds_per_sec']:.0f} rounds/s with 1 injected kill)"
     )
     # End-to-end Session timing on the smallest tier only: it exists to catch
     # regressions in resolution/drain/result assembly, not to re-time the loop.
@@ -614,6 +687,72 @@ def run_smoke_sharded(limit_mb: float, nodes: int, rounds: int,
     return 0
 
 
+def run_smoke_chaos(limit_mb: float, nodes: int, rounds: int,
+                    shards: int) -> int:
+    """The chaos smoke: a horizon-scale sharded streaming run that loses a
+    worker mid-flight and must finish anyway, inside the same RSS budget.
+
+    One ``crash`` fault kills a worker process halfway through; the
+    supervisor restitches the surviving per-segment checkpoints, respawns a
+    replacement and resumes.  The gate: exactly one restart, a result
+    identical to the fault-free twin, and the whole-tree peak-RSS estimate
+    (coordinator + ``shards`` x largest worker, as in the sharded smoke)
+    under the limit — recovery must not double-buffer the line.
+    """
+    import resource
+    import tempfile
+
+    from repro.network.faults import FaultEvent, FaultPlan
+    from repro.network.sharded import run_sharded
+
+    plan = FaultPlan(events=(
+        FaultEvent(kind="crash", round=rounds // 2, segment=0, phase="begin"),
+    ))
+    with tempfile.TemporaryDirectory() as scratch:
+        spec = _sharded_smoke_spec(nodes, rounds, {
+            "checkpoint_every": max(rounds // 4, 1),
+            "checkpoint_path": os.path.join(scratch, "chaos.ckpt"),
+            "recovery": "restart",
+            "max_worker_restarts": 2,
+        })
+        baseline, _ = run_sharded(spec, shards=shards, transport="processes")
+        start = time.perf_counter()
+        result, extras = run_sharded(
+            spec, shards=shards, transport="processes", faults=plan,
+            clock=time.perf_counter,
+        )
+        elapsed = time.perf_counter() - start
+    recovery = extras["recovery"]
+    print(f"chaos smoke: n={nodes} rounds={rounds} shards={shards}, "
+          f"1 worker killed at round {rounds // 2}")
+    print(f"chaos smoke: total {elapsed:.1f}s, restarts={recovery['restarts']}, "
+          f"recovery {recovery['recovery_time_s']:.2f}s")
+    if recovery["restarts"] != 1:
+        print(f"SMOKE FAILURE: expected exactly 1 worker restart, got "
+              f"{recovery['restarts']}")
+        return 1
+    if result != baseline:
+        print("SMOKE FAILURE: recovered result differs from the fault-free run")
+        return 1
+    print("chaos smoke: recovered result is identical to the fault-free run")
+
+    rss_divisor = 1024.0 ** 2 if sys.platform == "darwin" else 1024.0
+    peak_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / rss_divisor
+    peak_worker = (
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / rss_divisor
+    )
+    tree_estimate = peak_self + shards * peak_worker
+    print(f"chaos smoke: peak RSS coordinator {peak_self:.0f} MB, "
+          f"largest worker {peak_worker:.0f} MB -> whole-tree estimate "
+          f"{tree_estimate:.0f} MB (limit {limit_mb:.0f} MB)")
+    if tree_estimate > limit_mb:
+        print("SMOKE FAILURE: estimated whole-tree peak RSS exceeds the "
+              "documented memory bound")
+        return 1
+    print("smoke ok: recovery stayed within the memory bound")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small n, short horizons (CI)")
@@ -642,6 +781,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(K worker processes) instead of the "
                              "single-process streaming smoke, gating peak RSS "
                              "across coordinator and workers")
+    parser.add_argument("--smoke-chaos", action="store_true",
+                        help="with --smoke-mem --smoke-shards K: kill one "
+                             "worker mid-run and require restitch-recovery to "
+                             "finish with an identical result inside the same "
+                             "RSS budget")
     parser.add_argument("--smoke-nodes", type=int, default=SMOKE_NODES,
                         help=argparse.SUPPRESS)
     parser.add_argument("--smoke-rounds", type=int, default=SMOKE_ROUNDS,
@@ -649,6 +793,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke_mem:
+        if args.smoke_chaos:
+            if args.smoke_shards is None:
+                parser.error("--smoke-chaos needs --smoke-shards K")
+            return run_smoke_chaos(
+                args.smoke_limit_mb, args.smoke_nodes, args.smoke_rounds,
+                args.smoke_shards,
+            )
         if args.smoke_shards is not None:
             return run_smoke_sharded(
                 args.smoke_limit_mb, args.smoke_nodes, args.smoke_rounds,

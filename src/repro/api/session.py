@@ -32,6 +32,7 @@ from typing import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..checkpoint import Checkpoint
+    from ..network.faults import FaultPlan
 
 from ..analysis.metrics import check_against_bound
 from ..analysis.tables import format_table
@@ -253,19 +254,38 @@ class Session:
 
     # -- execution --------------------------------------------------------------
 
-    def run(self, scenario: Runnable) -> RunReport:
+    def run(
+        self, scenario: Runnable, *, faults: Optional["FaultPlan"] = None
+    ) -> RunReport:
         """Execute one scenario and report the measured-vs-bound outcome.
 
         A spec whose policy sets ``shards > 1`` routes transparently to the
         sharded engine (:mod:`repro.network.sharded`) — the report is built
         from the merged result, which is bit-identical to ``shards=1``.
+        Sharded runs are supervised: worker failures are handled per the
+        spec's ``policy.recovery`` / ``max_worker_restarts`` /
+        ``heartbeat_timeout`` knobs, and ``faults`` optionally threads a
+        deterministic :class:`~repro.network.faults.FaultPlan` through the
+        supervisor for reproducible chaos runs (sharded specs only — faults
+        describe worker/transport failures, which a single-process run does
+        not have).
         """
         if isinstance(scenario, ScenarioSpec):
             if scenario.policy.shards is not None and scenario.policy.shards > 1:
-                return self._run_sharded(scenario)
+                return self._run_sharded(scenario, faults=faults)
+            if faults is not None:
+                raise SpecError(
+                    "faults describe segment-worker failures and need a "
+                    "sharded run; set policy.shards > 1 to use a FaultPlan"
+                )
             with packet_id_scope():
                 prepared = self.prepare(scenario)
                 return self._execute(prepared, spec=scenario)
+        if faults is not None:
+            raise SpecError(
+                "faults require a ScenarioSpec with policy.shards > 1, "
+                f"got {type(scenario).__name__}"
+            )
         if isinstance(scenario, PreparedRun):
             if (
                 scenario.policy.shards is not None
@@ -403,7 +423,9 @@ class Session:
 
     # -- internals ---------------------------------------------------------------
 
-    def _run_sharded(self, spec: ScenarioSpec) -> RunReport:
+    def _run_sharded(
+        self, spec: ScenarioSpec, faults: Optional["FaultPlan"] = None
+    ) -> RunReport:
         """Execute a spec on the sharded engine and assemble the report.
 
         The merged :class:`SimulationResult` comes back from the segment
@@ -414,7 +436,7 @@ class Session:
         """
         from ..network.sharded import run_sharded
 
-        result, extras = run_sharded(spec)
+        result, extras = run_sharded(spec, faults=faults)
         topology = self.topology(spec.topology)
         algorithm_builder = ALGORITHMS.get(spec.algorithm.name)
         algorithm = algorithm_builder(

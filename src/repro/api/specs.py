@@ -232,6 +232,23 @@ class RunPolicy(_SpecBase):
         simulation computes — results are bit-identical to ``shards=1`` —
         so, like the checkpoint fields, it is excluded from the
         resume-identity hash.
+    recovery:
+        What the sharded coordinator does when a segment worker dies or
+        stops answering: ``"fail"`` (default) raises the typed
+        :class:`~repro.network.errors.WorkerFailedError` immediately,
+        ``"restart"`` respawns a replacement worker from the per-segment
+        periodic checkpoints and resumes the superstep loop, ``"fold"``
+        merges the orphaned segment into a neighbouring worker instead of
+        respawning.  Recovery never changes what the simulation computes —
+        results are bit-identical to the fault-free run — so all three
+        recovery fields are excluded from the resume-identity hash.
+    max_worker_restarts:
+        Recovery budget: how many worker failures the coordinator absorbs
+        before giving up with
+        :class:`~repro.network.errors.RecoveryExhaustedError`.
+    heartbeat_timeout:
+        Seconds the coordinator waits for a worker's phase reply before
+        declaring it hung (process transport only; ``None`` waits forever).
     """
 
     rounds: Optional[int] = None
@@ -245,6 +262,9 @@ class RunPolicy(_SpecBase):
     checkpoint_every: Optional[int] = None
     checkpoint_path: Optional[str] = None
     shards: Optional[int] = None
+    recovery: str = "fail"
+    max_worker_restarts: int = 3
+    heartbeat_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.rounds is not None and (not isinstance(self.rounds, int) or self.rounds < 0):
@@ -281,6 +301,29 @@ class RunPolicy(_SpecBase):
         ):
             raise SpecError(
                 f"RunPolicy.shards must be None or int >= 1, got {self.shards!r}"
+            )
+        if self.recovery not in ("fail", "restart", "fold"):
+            raise SpecError(
+                f"RunPolicy.recovery must be 'fail', 'restart' or 'fold', "
+                f"got {self.recovery!r}"
+            )
+        if (
+            not isinstance(self.max_worker_restarts, int)
+            or isinstance(self.max_worker_restarts, bool)
+            or self.max_worker_restarts < 0
+        ):
+            raise SpecError(
+                f"RunPolicy.max_worker_restarts must be an int >= 0, "
+                f"got {self.max_worker_restarts!r}"
+            )
+        if self.heartbeat_timeout is not None and (
+            not isinstance(self.heartbeat_timeout, (int, float))
+            or isinstance(self.heartbeat_timeout, bool)
+            or self.heartbeat_timeout <= 0
+        ):
+            raise SpecError(
+                f"RunPolicy.heartbeat_timeout must be None or a number > 0 "
+                f"seconds, got {self.heartbeat_timeout!r}"
             )
         for flag in ("drain", "record_history", "record_occupancy_vectors", "validate_capacity"):
             if not isinstance(getattr(self, flag), bool):

@@ -152,13 +152,20 @@ def resume_spec_hash(spec: "ScenarioSpec") -> str:
     with different checkpointing settings is still the same run.  ``shards``
     is cleared for the same reason — the sharded engine is proven
     bit-identical to the single-process one, so a checkpoint taken sharded
-    may be resumed unsharded (and vice versa).
+    may be resumed unsharded (and vice versa).  The recovery knobs
+    (``recovery`` / ``max_worker_restarts`` / ``heartbeat_timeout``) are
+    normalized to their defaults too: worker supervision only decides how a
+    run survives process failures, never what it computes, so a checkpoint
+    taken under one recovery policy resumes under any other.
     """
     payload = spec.to_dict()
     policy = dict(payload.get("policy") or {})
     policy["checkpoint_every"] = None
     policy["checkpoint_path"] = None
     policy["shards"] = None
+    policy["recovery"] = "fail"
+    policy["max_worker_restarts"] = 3
+    policy["heartbeat_timeout"] = None
     payload["policy"] = policy
     return type(spec).from_dict(payload).spec_hash()
 
@@ -736,10 +743,16 @@ def restore_into(simulator: "Simulator", checkpoint: Checkpoint) -> "Simulator":
 
 
 def _require_equal(values: List[Any], what: str) -> Any:
+    """All per-segment values must agree; the disagreement is a *format*
+    error (typed :class:`CheckpointFormatError`, a :class:`CheckpointError`
+    subclass) so recovery code can distinguish "these segment files are not
+    a consistent cut" — e.g. a crash mid-checkpoint left one segment a round
+    behind — from logical misuse, and fall back to an older consistent cut
+    instead of failing the run."""
     first = values[0]
     for value in values[1:]:
         if value != first:
-            raise CheckpointError(
+            raise CheckpointFormatError(
                 f"segment checkpoints disagree on {what}: {first!r} != {value!r}"
             )
     return first
@@ -858,13 +871,24 @@ def stitch_checkpoints(
         buffer_ids.extend(checkpoint.section("buffers/packet_ids"))
     sections.append(("buffers/packet_ids", buffer_ids))
 
-    timeline_nodes = array("q")
-    timeline_loads = array("q")
+    # Per-segment maxima arrive in observation order, which depends on the
+    # segmentation; re-sort by node id so the stitched bytes are canonical
+    # (segment node ranges are disjoint, so the key is unique).
+    timeline_pairs: List[Tuple[int, int]] = []
     for checkpoint in checkpoints:
-        timeline_nodes.extend(checkpoint.section("timeline/nodes"))
-        timeline_loads.extend(checkpoint.section("timeline/loads"))
-    sections.append(("timeline/nodes", timeline_nodes))
-    sections.append(("timeline/loads", timeline_loads))
+        timeline_pairs.extend(
+            zip(
+                checkpoint.section("timeline/nodes"),
+                checkpoint.section("timeline/loads"),
+            )
+        )
+    timeline_pairs.sort(key=lambda pair: pair[0])
+    sections.append(
+        ("timeline/nodes", array("q", (node for node, _ in timeline_pairs)))
+    )
+    sections.append(
+        ("timeline/loads", array("q", (load for _, load in timeline_pairs)))
+    )
 
     if first.history_policy is HistoryPolicy.STREAMING:
         store = _concat_sorted_rows(checkpoints, "store", _STORE_COLUMNS, "ids")

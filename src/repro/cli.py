@@ -138,6 +138,40 @@ def build_parser() -> argparse.ArgumentParser:
         "single-process run; line topologies and non-adaptive adversaries "
         "only)",
     )
+    simulate.add_argument(
+        "--recovery",
+        choices=("fail", "restart", "fold"),
+        default=None,
+        help="what the sharded coordinator does when a worker dies: "
+        "'fail' aborts (default), 'restart' respawns a replacement and "
+        "resumes from the last consistent checkpoint cut, 'fold' merges "
+        "the dead segment into a neighbour (results stay bit-identical "
+        "in every mode)",
+    )
+    simulate.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="recovery budget: after N worker failures the run aborts "
+        "with RecoveryExhaustedError (exit code 2)",
+    )
+    simulate.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-phase reply deadline for sharded workers; a worker that "
+        "stays silent longer is declared failed and recovery kicks in",
+    )
+    simulate.add_argument(
+        "--faults",
+        metavar="FILE",
+        default=None,
+        help="inject a deterministic FaultPlan (JSON, see docs/FAULTS.md) "
+        "into the sharded run; requires --shards > 1 (or a spec with "
+        "policy.shards > 1) and cannot be combined with --resume",
+    )
 
     bounds_cmd = subparsers.add_parser("bounds", help="print the closed-form bounds")
     bounds_cmd.add_argument("--nodes", type=int, default=64)
@@ -275,9 +309,9 @@ def _build_spec(args: argparse.Namespace) -> ScenarioSpec:
 
 
 def _with_checkpoint_policy(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
-    """Fold --checkpoint-every/--checkpoint/--shards into the spec's policy.
+    """Fold the checkpoint/sharding/recovery flags into the spec's policy.
 
-    Applied identically to fresh and resumed runs (all three fields are
+    Applied identically to fresh and resumed runs (all of these fields are
     outside the resume-identity hash, so this never trips the spec check).
     """
     overrides = {}
@@ -286,6 +320,12 @@ def _with_checkpoint_policy(spec: ScenarioSpec, args: argparse.Namespace) -> Sce
         overrides["checkpoint_path"] = args.checkpoint
     if args.shards is not None:
         overrides["shards"] = args.shards
+    if args.recovery is not None:
+        overrides["recovery"] = args.recovery
+    if args.max_worker_restarts is not None:
+        overrides["max_worker_restarts"] = args.max_worker_restarts
+    if args.heartbeat_timeout is not None:
+        overrides["heartbeat_timeout"] = args.heartbeat_timeout
     if not overrides:
         return spec
     return Scenario.from_spec(spec).policy(**overrides).build()
@@ -294,6 +334,17 @@ def _with_checkpoint_policy(spec: ScenarioSpec, args: argparse.Namespace) -> Sce
 def _command_simulate(args: argparse.Namespace) -> int:
     if args.checkpoint_every is not None and args.checkpoint is None:
         raise ReproError("--checkpoint-every requires --checkpoint FILE")
+    faults = None
+    if args.faults is not None:
+        if args.resume is not None:
+            raise ReproError(
+                "--faults cannot be combined with --resume: fault plans "
+                "describe a full run from round 0"
+            )
+        from .network.faults import FaultPlan
+
+        with open(args.faults, "r", encoding="utf-8") as handle:
+            faults = FaultPlan.from_json(handle.read())
     spec = None
     if args.spec is not None:
         with open(args.spec, "r", encoding="utf-8") as handle:
@@ -318,7 +369,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
     else:
         if spec is None:
             spec = _build_spec(args)
-        report = Session().run(_with_checkpoint_policy(spec, args))
+        report = Session().run(_with_checkpoint_policy(spec, args), faults=faults)
     if args.json:
         print(json.dumps(report.as_row(), indent=2, sort_keys=True))
     else:

@@ -143,6 +143,8 @@ class LintConfig:
         "on_round_end",
         "on_buffer_change",
         "injections_for_round",
+        "directives_for",
+        "drop_next_send",
     )
     #: Modules allowed to call ``print`` (user-facing surfaces).
     print_allowed_modules: Tuple[str, ...] = (
@@ -150,8 +152,12 @@ class LintConfig:
         "repro/__main__.py",
     )
     print_allowed_prefixes: Tuple[str, ...] = ("repro/devtools/",)
-    #: Modules allowed to use ``object.__setattr__`` (frozen-spec init).
-    frozen_setattr_modules: Tuple[str, ...] = ("repro/api/specs.py",)
+    #: Modules allowed to use ``object.__setattr__`` (frozen-dataclass
+    #: ``__post_init__`` normalization: specs and fault plans).
+    frozen_setattr_modules: Tuple[str, ...] = (
+        "repro/api/specs.py",
+        "repro/network/faults.py",
+    )
     #: Root class of the forwarding-algorithm hierarchy.  Hook defaults on
     #: the root itself do not satisfy RPR003/RPR004 — each algorithm owns
     #: its segment-exactness and checkpoint proof obligations.

@@ -22,6 +22,8 @@ __all__ = [
     "ShardingError",
     "UnshardableScenarioError",
     "ShardingProtocolError",
+    "WorkerFailedError",
+    "RecoveryExhaustedError",
 ]
 
 
@@ -171,4 +173,63 @@ class ShardingProtocolError(ShardingError):
 
     Examples: a worker process died mid-run, a reply arrived for the wrong
     round, or the per-segment engines disagree on the round counter.
+    """
+
+
+def _rebuild_worker_failed(
+    message: str,
+    segment: "int | None",
+    round_number: "int | None",
+    phase: "str | None",
+) -> "WorkerFailedError":
+    """Pickle helper: rebuild a :class:`WorkerFailedError` with its context."""
+    return WorkerFailedError(
+        message, segment=segment, round_number=round_number, phase=phase
+    )
+
+
+class WorkerFailedError(ShardingProtocolError):
+    """Raised when one segment worker dies, hangs or stops answering.
+
+    This is the *recoverable* member of the sharding family: the supervisor
+    in :class:`~repro.network.sharded._ShardedCoordinator` catches it and —
+    depending on ``RunPolicy.recovery`` — restitches the per-segment
+    checkpoints and respawns (or folds) the dead worker instead of failing
+    the whole run.  The attributes identify which worker failed and where,
+    so both the recovery machinery and the final diagnostics can act on it.
+
+    Raised for transport-level failures only (worker process exited, no
+    heartbeat within ``heartbeat_timeout``, send retries exhausted).  A
+    *logic* error raised inside a worker is forwarded as its original typed
+    exception and is never retried — it would recur deterministically.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        segment: "int | None" = None,
+        round_number: "int | None" = None,
+        phase: "str | None" = None,
+    ) -> None:
+        self.segment = segment
+        self.round_number = round_number
+        self.phase = phase
+        super().__init__(message)
+
+    def __reduce__(self):  # keyword-only context survives the worker pipe
+        return (
+            _rebuild_worker_failed,
+            (str(self), self.segment, self.round_number, self.phase),
+        )
+
+
+class RecoveryExhaustedError(ShardingError):
+    """Raised when worker recovery gives up.
+
+    Either the restart budget (``RunPolicy.max_worker_restarts``) ran out,
+    or the configured mode cannot apply (folding a single-segment run).  The
+    message carries the last underlying :class:`WorkerFailedError` and the
+    knob to turn, so the failure is actionable; the original failure is
+    chained as ``__cause__``.
     """

@@ -40,20 +40,56 @@ process per segment, talking over pipes; this is what actually buys
 multi-core wall-clock) and ``"local"`` (same workers, same protocol, driven
 in-process — deterministic, fork-free, and what the differential test matrix
 uses).
+
+**Supervision and recovery.**  The coordinator doubles as a worker
+supervisor: every phase reply is awaited under ``RunPolicy.heartbeat_timeout``
+(process transport), transport sends retry with bounded backoff, and a worker
+that dies, hangs or stops answering escalates as the typed
+:class:`~repro.network.errors.WorkerFailedError`.  What happens next is
+``RunPolicy.recovery``'s call: ``"fail"`` (default) propagates immediately;
+``"restart"`` tears every worker down, respawns the full set from the last
+consistent per-segment checkpoint cut and replays the superstep loop from
+that round; ``"fold"`` merges the orphaned segment into a neighbouring
+worker (restitching the pair's snapshots via
+:func:`repro.checkpoint.stitch_checkpoints`) and continues on ``k - 1``
+segments.  Because recovery always resumes from checkpoints that are proven
+bit-identical to the single-process run, a recovered run's results and
+checkpoint files are byte-identical to the fault-free run — the differential
+recovery suite (``tests/test_recovery_differential.py``) asserts exactly
+that, driven by the deterministic fault plans of
+:mod:`repro.network.faults`.
 """
 
 from __future__ import annotations
 
 import contextvars
 import multiprocessing
+import os
 import pickle
+import time
 from array import array
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.packet import Injection, Packet, PacketState, packet_id_scope
-from .errors import ShardingProtocolError, UnshardableScenarioError
+from .errors import (
+    CheckpointError,
+    RecoveryExhaustedError,
+    ShardingProtocolError,
+    UnshardableScenarioError,
+    WorkerFailedError,
+)
 from .events import RoundRecord, SimulationResult
+from .faults import FAULT_PHASES, FaultInjector, FaultPlan
 from .simulator import Simulator, default_max_drain_rounds, quiescence_window
 from .topology import LineTopology
 
@@ -66,6 +102,11 @@ __all__ = [
     "plan_segments",
     "run_sharded",
 ]
+
+#: Hard exit code an injected ``crash`` fault uses in a worker process —
+#: ``os._exit`` so the failure looks exactly like a SIGKILL'd/OOM'd worker
+#: (no unwind, no pickled traceback, just a dead pipe).
+_CRASH_EXIT_CODE = 70
 
 #: Hand-off record column order — the in-flight extension of the columnar
 #: :class:`~repro.core.packet.PacketStore` layout (same first four columns,
@@ -84,10 +125,24 @@ class ExecutionPolicy:
     ``shards > n`` degrades to one node per worker rather than failing);
     ``transport`` picks worker processes (``"processes"``) or the in-process
     protocol driver (``"local"``).
+
+    The remaining knobs configure the supervisor.  ``faults`` threads a
+    deterministic :class:`~repro.network.faults.FaultPlan` through the run —
+    it lives here, *not* in the :class:`~repro.api.specs.ScenarioSpec`, so a
+    chaos run and its fault-free twin share identical specs, spec hashes and
+    checkpoint headers.  ``max_retries`` / ``retry_backoff`` bound the
+    retry-with-backoff loop on transport sends.  ``clock`` is an injectable
+    monotonic time source (e.g. ``time.perf_counter``) used only to measure
+    ``recovery_time_s`` for the perf harness; the engine itself never reads
+    wall-clock time, so results stay deterministic with or without one.
     """
 
     shards: int = 1
     transport: str = "processes"
+    faults: Optional[FaultPlan] = None
+    max_retries: int = 2
+    retry_backoff: float = 0.01
+    clock: Optional[Callable[[], float]] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.shards, int) or self.shards < 1:
@@ -97,6 +152,32 @@ class ExecutionPolicy:
         if self.transport not in ("processes", "local"):
             raise UnshardableScenarioError(
                 f"transport must be 'processes' or 'local', got {self.transport!r}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise UnshardableScenarioError(
+                f"faults must be None or a FaultPlan, got "
+                f"{type(self.faults).__name__}"
+            )
+        if (
+            not isinstance(self.max_retries, int)
+            or isinstance(self.max_retries, bool)
+            or self.max_retries < 0
+        ):
+            raise UnshardableScenarioError(
+                f"max_retries must be an int >= 0, got {self.max_retries!r}"
+            )
+        if (
+            not isinstance(self.retry_backoff, (int, float))
+            or isinstance(self.retry_backoff, bool)
+            or self.retry_backoff < 0
+        ):
+            raise UnshardableScenarioError(
+                f"retry_backoff must be >= 0 seconds, got {self.retry_backoff!r}"
+            )
+        if self.clock is not None and not callable(self.clock):
+            raise UnshardableScenarioError(
+                f"clock must be None or a zero-argument callable returning "
+                f"seconds, got {self.clock!r}"
             )
 
 
@@ -303,13 +384,22 @@ class SegmentSimulator(Simulator):
 
 
 class _SegmentWorker:
-    """Builds one segment's scenario ingredients and dispatches commands."""
+    """Builds one segment's scenario ingredients and dispatches commands.
+
+    ``restore_path`` (recovery respawns only) points at a per-segment
+    checkpoint; the freshly built engine is fast-forwarded through
+    :func:`repro.checkpoint.restore_into` before serving commands — the same
+    restore machinery the resume differential suites prove bit-identical.
+    The worker must be built inside a fresh packet-id scope for the restore
+    to renumber correctly (both transports guarantee that).
+    """
 
     def __init__(
         self,
         spec_payload: Dict[str, Any],
         segment_index: int,
         segments: Sequence[Tuple[int, int]],
+        restore_path: Optional[str] = None,
     ) -> None:
         from ..api.session import Session
         from ..api.specs import ScenarioSpec
@@ -346,6 +436,14 @@ class _SegmentWorker:
             history=policy.history,
             validate_capacity=policy.validate_capacity,
         )
+        #: Whether an injected crash fault should kill the whole process
+        #: (``os._exit``) instead of raising; set by the process transport so
+        #: a chaos crash is indistinguishable from a real worker death.
+        self._hard_crash = False
+        if restore_path is not None:
+            from ..checkpoint import load_checkpoint, restore_into
+
+            restore_into(self.simulator, load_checkpoint(restore_path))
 
     def init_info(self) -> Dict[str, Any]:
         algorithm = self.simulator.algorithm
@@ -356,6 +454,9 @@ class _SegmentWorker:
         }
 
     def dispatch(self, command: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        fault = payload.get("fault")
+        if fault is not None:
+            self._apply_fault(fault, command)
         if command == "begin":
             return self.simulator.begin_round(
                 payload["round"], inject=payload["inject"]
@@ -371,9 +472,31 @@ class _SegmentWorker:
         if command == "checkpoint":
             size = self.simulator.save_checkpoint(payload["path"], spec=self.spec)
             return {"bytes": size}
+        if command == "status":
+            # Queried after a recovery respawn: the restored engines know
+            # their pending/staged counts, the (new) coordinator does not.
+            return {
+                "pending": self.simulator._pending(),
+                "staged": self.simulator.algorithm.staged_count(),
+            }
         if command == "result":
             return self._result_payload()
         raise ShardingProtocolError(f"unknown worker command {command!r}")
+
+    def _apply_fault(self, fault: Dict[str, Any], command: str) -> None:
+        """Act out an injected fault directive shipped with a phase command."""
+        delay = fault.get("delay", 0.0)
+        if delay > 0:
+            time.sleep(delay)
+        if fault.get("crash"):
+            if self._hard_crash:
+                os._exit(_CRASH_EXIT_CODE)
+            raise WorkerFailedError(
+                f"injected crash in segment worker "
+                f"{self.simulator.segment_index} during {command!r}",
+                segment=self.simulator.segment_index,
+                phase=command,
+            )
 
     def _result_payload(self) -> Dict[str, Any]:
         simulator = self.simulator
@@ -412,7 +535,10 @@ class _SegmentWorker:
 class _LocalHandle:
     """In-process worker: same protocol, no pipes, per-worker id context."""
 
-    def __init__(self, spec_payload, segment_index, segments) -> None:
+    def __init__(
+        self, spec_payload, segment_index, segments, restore_path=None
+    ) -> None:
+        self.segment_index = segment_index
         self._context = contextvars.copy_context()
 
         def build() -> _SegmentWorker:
@@ -420,7 +546,9 @@ class _LocalHandle:
             # context does — each in-process worker numbers the full schedule
             # independently, exactly like a worker process would.
             packet_id_scope().__enter__()
-            return _SegmentWorker(spec_payload, segment_index, segments)
+            return _SegmentWorker(
+                spec_payload, segment_index, segments, restore_path
+            )
 
         self._worker = self._context.run(build)
         self.init_payload = self._worker.init_info()
@@ -429,21 +557,33 @@ class _LocalHandle:
     def send(self, command: str, payload: Dict[str, Any]) -> None:
         self._reply = self._context.run(self._worker.dispatch, command, payload)
 
-    def recv(self) -> Dict[str, Any]:
+    def recv(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        # ``timeout`` is accepted for handle-interface parity; dispatch ran
+        # synchronously in send(), so an in-process worker can never hang
+        # (injected ``slow`` faults just make send() itself take longer).
         reply, self._reply = self._reply, None
         if reply is None:
             raise ShardingProtocolError("recv() before send() on local worker")
         return reply
 
+    def kill(self) -> None:
+        self._worker = None
+        self._reply = None
+
     def close(self) -> None:
         self._worker = None
 
 
-def _process_worker_main(connection, spec_payload, segment_index, segments) -> None:
+def _process_worker_main(
+    connection, spec_payload, segment_index, segments, restore_path=None
+) -> None:
     """Worker-process entry point: build the segment engine, serve commands."""
     try:
         with packet_id_scope():
-            worker = _SegmentWorker(spec_payload, segment_index, segments)
+            worker = _SegmentWorker(
+                spec_payload, segment_index, segments, restore_path
+            )
+            worker._hard_crash = True
             connection.send(("ok", worker.init_info()))
             while True:
                 try:
@@ -480,12 +620,15 @@ def _process_worker_main(connection, spec_payload, segment_index, segments) -> N
 class _ProcessHandle:
     """One worker process plus its pipe."""
 
-    def __init__(self, context, spec_payload, segment_index, segments) -> None:
+    def __init__(
+        self, context, spec_payload, segment_index, segments, restore_path=None
+    ) -> None:
         self.segment_index = segment_index
         self._conn, child_conn = context.Pipe(duplex=True)
         self._process = context.Process(
             target=_process_worker_main,
-            args=(child_conn, spec_payload, segment_index, segments),
+            args=(child_conn, spec_payload, segment_index, segments,
+                  restore_path),
             daemon=True,
         )
         self._process.start()
@@ -496,19 +639,37 @@ class _ProcessHandle:
         try:
             self._conn.send((command, payload))
         except (BrokenPipeError, OSError) as error:
-            raise ShardingProtocolError(
-                f"segment worker {self.segment_index} is gone: {error}"
+            raise WorkerFailedError(
+                f"segment worker {self.segment_index} is gone: {error}",
+                segment=self.segment_index,
             ) from error
 
-    def recv(self) -> Dict[str, Any]:
-        return self._recv_checked()
+    def recv(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._recv_checked(timeout)
 
-    def _recv_checked(self) -> Dict[str, Any]:
+    def _recv_checked(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        if timeout is not None:
+            try:
+                ready = self._conn.poll(timeout)
+            except (OSError, EOFError):
+                # A dead pipe is "ready": fall through and let recv() below
+                # classify the death precisely.
+                ready = True
+            if not ready:
+                raise WorkerFailedError(
+                    f"segment worker {self.segment_index} sent no reply "
+                    f"within heartbeat_timeout={timeout:g}s; treating it as "
+                    f"hung",
+                    segment=self.segment_index,
+                )
         try:
             status, payload = self._conn.recv()
         except EOFError:
-            raise ShardingProtocolError(
-                f"segment worker {self.segment_index} died without replying"
+            raise WorkerFailedError(
+                f"segment worker {self.segment_index} died without replying "
+                f"(worker process exited; exit code appears in the shutdown "
+                f"diagnostics)",
+                segment=self.segment_index,
             ) from None
         if status == "error":
             if isinstance(payload, BaseException):
@@ -517,6 +678,17 @@ class _ProcessHandle:
                 f"segment worker {self.segment_index} failed: {payload}"
             )
         return payload
+
+    def kill(self) -> None:
+        """Fast teardown for recovery: no close handshake (the worker may be
+        dead or hung), just drop the pipe and make sure the process is gone."""
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - pipe already torn down
+            pass
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=10)
 
     def close(self) -> Optional[str]:
         """Shut the worker down and report how it went.
@@ -549,10 +721,12 @@ class _ProcessHandle:
         return problem
 
 
-def _spawn_workers(transport, spec_payload, segments):
+def _spawn_workers(transport, spec_payload, segments, restore_paths=None):
+    if restore_paths is None:
+        restore_paths = [None] * len(segments)
     if transport == "local":
         return [
-            _LocalHandle(spec_payload, index, segments)
+            _LocalHandle(spec_payload, index, segments, restore_paths[index])
             for index in range(len(segments))
         ]
     methods = multiprocessing.get_all_start_methods()
@@ -563,7 +737,10 @@ def _spawn_workers(transport, spec_payload, segments):
     try:
         for index in range(len(segments)):
             handles.append(
-                _ProcessHandle(context, spec_payload, index, segments)
+                _ProcessHandle(
+                    context, spec_payload, index, segments,
+                    restore_paths[index],
+                )
             )
     except BaseException:
         # A mid-list spawn failure (fd exhaustion, a worker refusing the
@@ -580,7 +757,16 @@ def _spawn_workers(transport, spec_payload, segments):
 
 
 class _ShardedCoordinator:
-    """Drives the superstep loop and merges the per-segment results."""
+    """Drives the superstep loop, supervises the workers and merges results.
+
+    The coordinator is also the supervisor: every transport operation runs
+    through :meth:`_send` / :meth:`_recv` (fault directives, bounded retry,
+    heartbeat timeout), and :meth:`run` wraps the whole attempt in a
+    recovery loop — a :class:`WorkerFailedError` tears all workers down and,
+    when ``RunPolicy.recovery`` allows, rewinds to the last consistent
+    per-segment checkpoint cut and respawns (``"restart"``) or folds the
+    orphaned segment into a neighbour (``"fold"``) before retrying.
+    """
 
     def __init__(self, spec: "ScenarioSpec", execution: ExecutionPolicy) -> None:
         from ..api.session import build_topology
@@ -599,46 +785,88 @@ class _ShardedCoordinator:
         self.needs_carry = False
         self.max_staged = 0
         self._executed = 0
+        # -- supervisor configuration ------------------------------------------
+        policy = spec.policy
+        self._recovery_mode = policy.recovery
+        self._max_restarts = policy.max_worker_restarts
+        self._heartbeat_timeout = policy.heartbeat_timeout
+        self._injector = (
+            FaultInjector(execution.faults) if execution.faults else None
+        )
+        self._clock = execution.clock
+        # -- recovery state -----------------------------------------------------
+        self._restarts = 0
+        self._recovery_seconds = 0.0
+        self._resume_round = 0
+        self._restore_paths: Optional[List[Optional[str]]] = None
+        #: The last *complete* per-segment checkpoint cut: rounds executed,
+        #: the coordinator's global staged maximum at that point, and one
+        #: restore file per current segment (kept aligned with
+        #: ``self.segments`` even across folds).
+        self._cut_rounds: Optional[int] = None
+        self._cut_max_staged = 0
+        self._cut_paths: List[str] = []
+        #: Recovery scaffolding currently on disk (per-segment snapshots and
+        #: fold merges); refreshed — and stale members unlinked — at every
+        #: successful checkpoint.
+        self._disk_paths: set = set()
 
     # -- lifecycle ---------------------------------------------------------------
 
     def run(self) -> Tuple[SimulationResult, Dict[str, Any]]:
+        while True:
+            try:
+                return self._run_attempt()
+            except WorkerFailedError as failure:
+                self._teardown()
+                self._plan_recovery(failure)
+            except BaseException:
+                # An error is already propagating — close best-effort and let
+                # it through; shutdown diagnostics must not mask the fault.
+                self._teardown()
+                raise
+
+    def _run_attempt(self) -> Tuple[SimulationResult, Dict[str, Any]]:
         policy = self.spec.policy
         spec_payload = self.spec.to_dict()
         self.handles = _spawn_workers(
-            self.execution.transport, spec_payload, self.segments
+            self.execution.transport, spec_payload, self.segments,
+            self._restore_paths,
         )
-        try:
-            infos = [handle.init_payload for handle in self.handles]
-            horizon = infos[0]["horizon"]
-            for info in infos[1:]:
-                if info["horizon"] != horizon:
-                    raise ShardingProtocolError(
-                        "segment workers disagree on the adversary horizon"
-                    )
-            self.needs_carry = any(info["needs_carry"] for info in infos)
-            num_rounds = policy.rounds if policy.rounds is not None else horizon
-
-            pending = 0
-            staged = 0
-            for round_number in range(num_rounds):
-                _forwarded, staged, pending = self._superstep(
-                    round_number, inject=True
+        infos = [handle.init_payload for handle in self.handles]
+        horizon = infos[0]["horizon"]
+        for info in infos[1:]:
+            if info["horizon"] != horizon:
+                raise ShardingProtocolError(
+                    "segment workers disagree on the adversary horizon"
                 )
-                if (
-                    policy.checkpoint_every is not None
-                    and (round_number + 1) % policy.checkpoint_every == 0
-                ):
-                    self._checkpoint(policy.checkpoint_path)
-            drained = self._drain(
-                num_rounds, pending, staged, policy
-            ) if policy.drain else pending == 0
-            result, extras = self._collect(drained)
-        except BaseException:
-            # An error is already propagating — close best-effort and let it
-            # through; shutdown diagnostics must not mask the original fault.
-            self._shutdown(strict=False)
-            raise
+        self.needs_carry = any(info["needs_carry"] for info in infos)
+        num_rounds = policy.rounds if policy.rounds is not None else horizon
+
+        start_round = self._resume_round
+        pending = 0
+        staged = 0
+        if start_round:
+            # Restored engines know their pending/staged counts; the
+            # coordinator's were lost with the failed attempt.  Matters when
+            # the cut sits exactly at the horizon (crash during drain): the
+            # injection loop below is empty and drain needs real counters.
+            status = self._broadcast("status", {}, start_round)
+            pending = sum(reply["pending"] for reply in status)
+            staged = sum(reply["staged"] for reply in status)
+        for round_number in range(start_round, num_rounds):
+            _forwarded, staged, pending = self._superstep(
+                round_number, inject=True
+            )
+            if (
+                policy.checkpoint_every is not None
+                and (round_number + 1) % policy.checkpoint_every == 0
+            ):
+                self._checkpoint(policy.checkpoint_path, round_number + 1)
+        drained = self._drain(
+            num_rounds, pending, staged, policy
+        ) if policy.drain else pending == 0
+        result, extras = self._collect(drained)
         # Success path: a worker that crashed or hung at shutdown invalidates
         # the clean-run claim, so close diagnostics escalate.
         self._shutdown(strict=True)
@@ -650,22 +878,220 @@ class _ShardedCoordinator:
             problem = handle.close()
             if problem:
                 problems.append(problem)
+        self.handles = []
         if strict and problems:
             raise ShardingProtocolError(
                 "worker shutdown failed after a completed run: "
                 + "; ".join(problems)
             )
 
+    def _teardown(self) -> None:
+        """Recovery-path shutdown: no close handshake — peers of the failed
+        worker may be mid-phase and a handshake could hang on them."""
+        for handle in self.handles:
+            handle.kill()
+        self.handles = []
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _plan_recovery(self, failure: WorkerFailedError) -> None:
+        """Decide how the next attempt runs, or re-raise if recovery is off
+        the table.  On return, ``self.segments`` / ``self._restore_paths`` /
+        ``self._resume_round`` describe the next attempt."""
+        if self._recovery_mode == "fail":
+            raise failure
+        if self._restarts >= self._max_restarts:
+            who = (
+                f"segment worker {failure.segment}"
+                if failure.segment is not None else "a segment worker"
+            )
+            raise RecoveryExhaustedError(
+                f"worker recovery budget exhausted: {self._restarts} "
+                f"restart(s) already used and {who} failed again "
+                f"(max_worker_restarts={self._max_restarts}).  Last failure: "
+                f"{failure}.  Raise RunPolicy.max_worker_restarts, or "
+                f"investigate why workers keep dying."
+            ) from failure
+        if self._recovery_mode == "fold" and len(self.segments) == 1:
+            raise RecoveryExhaustedError(
+                f"cannot fold after the failure of segment worker "
+                f"{failure.segment}: the run is down to a single segment, "
+                f"so there is no neighbouring worker to absorb it.  Use "
+                f"recovery='restart' or start with more shards."
+            ) from failure
+        started = self._clock() if self._clock is not None else None
+        self._restarts += 1
+        cut = self._load_consistent_cut()
+        if self._recovery_mode == "fold" and failure.segment is not None:
+            self._fold_segment(failure.segment, cut)
+        if cut is None:
+            # No checkpointing configured, no cut taken yet, or the cut was
+            # torn by the failure (e.g. mid-checkpoint crash): replay from
+            # round 0 with fresh workers.  Deterministic, just slower.
+            self._resume_round = 0
+            self._restore_paths = None
+            self.max_staged = 0
+            self._executed = 0
+        else:
+            self._resume_round = self._cut_rounds or 0
+            self._restore_paths = list(self._cut_paths)
+            self.max_staged = self._cut_max_staged
+            self._executed = self._resume_round
+        if started is not None:
+            self._recovery_seconds += self._clock() - started
+
+    def _load_consistent_cut(self) -> Optional[List[Any]]:
+        """Load and validate the last per-segment checkpoint cut.
+
+        Returns the loaded :class:`~repro.checkpoint.Checkpoint` objects (in
+        segment order, aligned with ``self.segments``) or ``None`` when no
+        usable cut exists.  Validation reuses
+        :func:`~repro.checkpoint.stitch_checkpoints`: the files must agree on
+        round, spec hash, allocator position and adversary cursor — a
+        mismatch (now a typed
+        :class:`~repro.network.errors.CheckpointFormatError`) means the
+        failure tore the cut, and recovery falls back to round 0 rather than
+        resuming from inconsistent state.
+        """
+        from ..checkpoint import load_checkpoint, stitch_checkpoints
+
+        if self._cut_rounds is None or not self._cut_paths:
+            return None
+        try:
+            checkpoints = [load_checkpoint(path) for path in self._cut_paths]
+            stitched = stitch_checkpoints(
+                checkpoints, max_staged=self._cut_max_staged
+            )
+        except (OSError, CheckpointError):
+            self._forget_cut()
+            return None
+        if stitched.round != self._cut_rounds:
+            self._forget_cut()
+            return None
+        return checkpoints
+
+    def _forget_cut(self) -> None:
+        self._cut_rounds = None
+        self._cut_max_staged = 0
+        self._cut_paths = []
+
+    def _fold_segment(self, dead: int, cut: Optional[List[Any]]) -> None:
+        """Merge the dead worker's segment into a neighbour (k -> k-1).
+
+        The left neighbour absorbs it (the right one for segment 0).  With a
+        usable cut, the pair's snapshots are restitched into one merge file
+        the widened worker restores from; without one, the merged plan simply
+        replays from round 0.  The cut bookkeeping is updated in the same
+        step so it stays aligned with ``self.segments``.
+        """
+        from ..checkpoint import save_stitched
+
+        if not 0 <= dead < len(self.segments):
+            # The failure could not name its segment (or named a stale one);
+            # there is nothing to fold, so keep the plan and just respawn.
+            return
+        neighbour = dead - 1 if dead > 0 else dead + 1
+        left, right = sorted((dead, neighbour))
+        merged = (self.segments[left][0], self.segments[right][1])
+        self.segments = (
+            self.segments[:left] + [merged] + self.segments[right + 1:]
+        )
+        if cut is not None:
+            merge_path = (
+                f"{self.spec.policy.checkpoint_path}.segfold{self._restarts}"
+            )
+            save_stitched([cut[left], cut[right]], merge_path)
+            self._disk_paths.add(merge_path)
+            self._cut_paths = (
+                self._cut_paths[:left] + [merge_path]
+                + self._cut_paths[right + 1:]
+            )
+
+    # -- supervised transport ----------------------------------------------------
+
+    def _send(
+        self,
+        handle: Any,
+        command: str,
+        payload: Dict[str, Any],
+        round_number: int,
+    ) -> None:
+        """One supervised send: fault directives, simulated-loss retry loop.
+
+        Injected ``drop`` faults model a lossy transport: each matching drop
+        token makes one attempt fail, and the supervisor retries with linear
+        backoff up to ``ExecutionPolicy.max_retries`` before escalating the
+        worker as failed.  (A *real* dead pipe raises
+        :class:`WorkerFailedError` from the handle directly — retrying a
+        dead worker cannot help, recovery can.)
+        """
+        if self._injector is not None and command in FAULT_PHASES:
+            directive = self._injector.directives_for(
+                round_number, handle.segment_index, command
+            )
+            if directive is not None:
+                payload = dict(payload, fault=directive)
+            attempts = 0
+            while self._injector.drop_next_send(
+                round_number, handle.segment_index, command
+            ):
+                attempts += 1
+                if attempts > self.execution.max_retries:
+                    raise WorkerFailedError(
+                        f"send of {command!r} to segment worker "
+                        f"{handle.segment_index} (round {round_number}) "
+                        f"still failing after "
+                        f"{self.execution.max_retries} retries",
+                        segment=handle.segment_index,
+                        round_number=round_number,
+                        phase=command,
+                    )
+                if self.execution.retry_backoff > 0:
+                    time.sleep(self.execution.retry_backoff * attempts)
+        try:
+            handle.send(command, payload)
+        except WorkerFailedError as error:
+            # The local transport serves the command synchronously inside
+            # send(), so a failing worker surfaces here rather than in
+            # _recv(); attach the same (segment, round, phase) coordinate.
+            raise WorkerFailedError(
+                f"segment worker {handle.segment_index} failed during "
+                f"{command!r} of round {round_number}: {error}",
+                segment=handle.segment_index,
+                round_number=round_number,
+                phase=command,
+            ) from error
+
+    def _recv(
+        self, handle: Any, command: str, round_number: int
+    ) -> Dict[str, Any]:
+        """One supervised receive: heartbeat timeout + failure context."""
+        try:
+            return handle.recv(timeout=self._heartbeat_timeout)
+        except WorkerFailedError as error:
+            raise WorkerFailedError(
+                f"segment worker {handle.segment_index} failed during "
+                f"{command!r} of round {round_number}: {error}",
+                segment=handle.segment_index,
+                round_number=round_number,
+                phase=command,
+            ) from error
+
     # -- superstep ----------------------------------------------------------------
 
-    def _broadcast(self, command: str, payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    def _broadcast(
+        self, command: str, payload: Dict[str, Any], round_number: int
+    ) -> List[Dict[str, Any]]:
         for handle in self.handles:
-            handle.send(command, payload)
-        return [handle.recv() for handle in self.handles]
+            self._send(handle, command, payload, round_number)
+        return [
+            self._recv(handle, command, round_number)
+            for handle in self.handles
+        ]
 
     def _superstep(self, round_number: int, *, inject: bool) -> Tuple[int, int, int]:
         begin = self._broadcast(
-            "begin", {"round": round_number, "inject": inject}
+            "begin", {"round": round_number, "inject": inject}, round_number
         )
         staged_now = sum(reply["staged"] for reply in begin)
         if staged_now > self.max_staged:
@@ -678,16 +1104,20 @@ class _ShardedCoordinator:
             selections = []
             carry = None
             for handle in self.handles:
-                handle.send(
+                self._send(
+                    handle,
                     "select",
                     {"round": round_number, "views": views, "carry": carry},
+                    round_number,
                 )
-                reply = handle.recv()
+                reply = self._recv(handle, "select", round_number)
                 carry = reply["carry"]
                 selections.append(reply)
         else:
             selections = self._broadcast(
-                "select", {"round": round_number, "views": views, "carry": None}
+                "select",
+                {"round": round_number, "views": views, "carry": None},
+                round_number,
             )
         forwarded = sum(reply["forwarded"] for reply in selections)
         if selections[-1]["handoff"] is not None:
@@ -697,10 +1127,16 @@ class _ShardedCoordinator:
 
         for index, handle in enumerate(self.handles):
             handoff_in = selections[index - 1]["handoff"] if index > 0 else None
-            handle.send(
-                "finish", {"round": round_number, "handoff": handoff_in}
+            self._send(
+                handle,
+                "finish",
+                {"round": round_number, "handoff": handoff_in},
+                round_number,
             )
-        finishes = [handle.recv() for handle in self.handles]
+        finishes = [
+            self._recv(handle, "finish", round_number)
+            for handle in self.handles
+        ]
         pending = sum(reply["pending"] for reply in finishes)
         staged_after = sum(reply["staged"] for reply in finishes)
         self._executed = round_number + 1
@@ -734,23 +1170,52 @@ class _ShardedCoordinator:
 
     # -- checkpointing ---------------------------------------------------------------
 
-    def _checkpoint(self, path: str) -> None:
-        import os
-
+    def _checkpoint(self, path: str, rounds_done: int) -> None:
         from ..checkpoint import load_checkpoint, save_stitched
 
+        keep = self._recovery_mode != "fail"
+        round_number = rounds_done - 1  # the round this checkpoint follows
         segment_paths = [
             f"{path}.seg{index}" for index in range(len(self.handles))
         ]
-        for handle, segment_path in zip(self.handles, segment_paths):
-            handle.send("checkpoint", {"path": segment_path})
+        # Two-phase cut when recovery needs the per-segment files: workers
+        # write to *.new staging names, and only after every worker replied
+        # does the coordinator rename the whole set into place.  A worker
+        # that crashes mid-checkpoint therefore tears the *new* cut, never
+        # the previous consistent one.
+        write_paths = (
+            [f"{p}.new" for p in segment_paths] if keep else segment_paths
+        )
+        for handle, write_path in zip(self.handles, write_paths):
+            self._send(
+                handle, "checkpoint", {"path": write_path}, round_number
+            )
         for handle in self.handles:
-            handle.recv()
+            self._recv(handle, "checkpoint", round_number)
+        if keep:
+            for write_path, segment_path in zip(write_paths, segment_paths):
+                os.replace(write_path, segment_path)
         save_stitched(
             [load_checkpoint(segment_path) for segment_path in segment_paths],
             path,
             max_staged=self.max_staged,
         )
+        if keep:
+            # The per-segment snapshots ARE the recovery cut: retain them,
+            # record the coordinator state a rewind must restore, and drop
+            # whatever scaffolding the previous cut left behind (stale
+            # higher-index files after a fold, fold merge files).
+            stale = self._disk_paths - set(segment_paths)
+            for stale_path in stale:
+                try:
+                    os.unlink(stale_path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+            self._disk_paths = set(segment_paths)
+            self._cut_rounds = rounds_done
+            self._cut_max_staged = self.max_staged
+            self._cut_paths = list(segment_paths)
+            return
         # The stitched file is the product; the per-segment snapshots are
         # scaffolding.  Remove them so periodic checkpointing does not k-fold
         # the on-disk footprint (and a later run with fewer shards cannot
@@ -765,7 +1230,7 @@ class _ShardedCoordinator:
     # -- result merge -----------------------------------------------------------------
 
     def _collect(self, drained: bool) -> Tuple[SimulationResult, Dict[str, Any]]:
-        replies = self._broadcast("result", {})
+        replies = self._broadcast("result", {}, self._executed)
         for reply in replies:
             if reply["round"] != self._executed:
                 raise ShardingProtocolError(
@@ -828,6 +1293,12 @@ class _ShardedCoordinator:
             "algorithm_states": [reply["algorithm_state"] for reply in replies],
             "adversary_sigma": replies[0]["adversary_sigma"],
             "segments": list(self.segments),
+            "recovery": {
+                "restarts": self._restarts,
+                "recovery_time_s": (
+                    self._recovery_seconds if self._clock is not None else None
+                ),
+            },
         }
         return result, extras
 
@@ -837,13 +1308,23 @@ def run_sharded(
     *,
     shards: Optional[int] = None,
     transport: str = "processes",
+    faults: Optional[FaultPlan] = None,
+    clock: Optional[Callable[[], float]] = None,
 ) -> Tuple[SimulationResult, Dict[str, Any]]:
     """Execute ``spec`` sharded across segment workers.
 
     ``shards`` defaults to the spec's ``policy.shards``.  Returns the merged
     :class:`SimulationResult` — bit-identical to the ``shards=1`` run — plus
     an extras mapping (per-segment algorithm states for bound folding, the
-    adversary's declared sigma, and the segment plan).
+    adversary's declared sigma, the segment plan, and the recovery stats:
+    how many worker restarts the run absorbed and, when a ``clock`` was
+    injected, the seconds spent restitching/respawning).
+
+    ``faults`` threads a deterministic
+    :class:`~repro.network.faults.FaultPlan` through the supervisor for
+    chaos runs; it never touches the spec, so results and checkpoints stay
+    byte-identical to the fault-free run whenever recovery is enabled
+    (``spec.policy.recovery``).
     """
     if shards is None:
         shards = spec.policy.shards
@@ -851,5 +1332,7 @@ def run_sharded(
         raise UnshardableScenarioError(
             f"run_sharded() needs shards >= 1, got {shards!r}"
         )
-    execution = ExecutionPolicy(shards=shards, transport=transport)
+    execution = ExecutionPolicy(
+        shards=shards, transport=transport, faults=faults, clock=clock
+    )
     return _ShardedCoordinator(spec, execution).run()

@@ -18,7 +18,9 @@ import pytest
 from repro.api import Scenario, ScenarioSpec, Session
 from repro.checkpoint import (
     CheckpointError,
+    CheckpointFormatError,
     load_checkpoint,
+    resume_spec_hash,
     stitch_checkpoints,
 )
 from repro.network.sharded import run_sharded
@@ -116,6 +118,66 @@ def test_stitch_validates_segment_agreement(tmp_path):
         stitch_checkpoints(
             [load_checkpoint(path_a), load_checkpoint(path_b)]
         )
+
+
+def test_stitch_mismatched_rounds_is_a_typed_format_error(tmp_path):
+    """Snapshots taken at different round boundaries are not a consistent
+    cut: stitching must raise CheckpointFormatError naming the round — the
+    recovery supervisor keys its fallback-to-round-0 decision on exactly
+    this error type."""
+    early_path = str(tmp_path / "early.ckpt")
+    late_path = str(tmp_path / "late.ckpt")
+    # Same scenario, checkpointed at different cadences: final snapshots
+    # land at rounds 28 (every 7) and 25 (every 5).
+    Session().run(
+        _spec("ppts", "summary", checkpoint_path=early_path, checkpoint_every=5)
+    )
+    Session().run(
+        _spec("ppts", "summary", checkpoint_path=late_path, checkpoint_every=7)
+    )
+    early = load_checkpoint(early_path)
+    late = load_checkpoint(late_path)
+    assert early.round != late.round
+    with pytest.raises(CheckpointFormatError, match="round"):
+        stitch_checkpoints([early, late])
+
+
+def test_recovery_mode_retains_per_segment_cut(tmp_path):
+    """recovery='restart' keeps the per-segment snapshots on disk — they ARE
+    the recovery cut — and they stitch to the same round as the global
+    file.  (With recovery='fail' the scaffolding is removed; see
+    test_stitched_checkpoint_resumes_bit_identically.)"""
+    path = str(tmp_path / "kept.ckpt")
+    base = _spec("ppts", "summary", checkpoint_path=path, checkpoint_every=7)
+    spec = Scenario.from_spec(base).policy(
+        shards=3, recovery="restart", max_worker_restarts=2
+    ).build()
+    sharded, _ = run_sharded(spec, transport="local")
+    assert os.path.exists(path)
+    segments = [load_checkpoint(f"{path}.seg{index}") for index in range(3)]
+    restitched = stitch_checkpoints(segments)
+    assert restitched.round == load_checkpoint(path).round == (ROUNDS // 7) * 7
+
+
+def test_resume_hash_ignores_recovery_knobs(tmp_path):
+    """The recovery knobs decide how a run survives failures, not what it
+    computes: they are normalized out of the resume-identity hash, so a
+    checkpoint taken under one recovery policy resumes under any other."""
+    base = _spec("ppts", "summary")
+    tuned = Scenario.from_spec(base).policy(
+        recovery="fold", max_worker_restarts=9, heartbeat_timeout=2.5
+    ).build()
+    assert resume_spec_hash(base) == resume_spec_hash(tuned)
+
+    path = str(tmp_path / "cross.ckpt")
+    ckpt_spec = Scenario.from_spec(base).policy(
+        checkpoint_every=7, checkpoint_path=path, shards=3,
+        recovery="restart", max_worker_restarts=2,
+    ).build()
+    uninterrupted = Session().run(base).result
+    run_sharded(ckpt_spec, transport="local")
+    # Resume under the default (recovery='fail') policy: same run.
+    assert Session().resume(path).result == uninterrupted
 
 
 def test_stitched_file_is_a_plain_checkpoint(tmp_path):

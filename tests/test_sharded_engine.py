@@ -23,10 +23,13 @@ from repro.api.session import build_topology
 from repro.core.packet import packet_id_scope
 from repro.core.pts import PeakToSink
 from repro.network.errors import (
+    RecoveryExhaustedError,
     ReproError,
     ShardingError,
     UnshardableScenarioError,
+    WorkerFailedError,
 )
+from repro.network.faults import FaultEvent, FaultPlan
 from repro.network.sharded import (
     ExecutionPolicy,
     plan_segments,
@@ -349,3 +352,182 @@ def test_topology_is_built_once_per_worker_not_shared():
     topology = build_topology(spec.topology)
     assert isinstance(topology, LineTopology)
     assert topology.num_nodes == 16
+
+
+# ---------------------------------------------------------------------------
+# Supervision: heartbeats, retries, recovery on real worker processes
+# ---------------------------------------------------------------------------
+
+
+def _crash_plan(round_number: int, segment: int, phase: str = "begin") -> FaultPlan:
+    return FaultPlan(events=(
+        FaultEvent(kind="crash", round=round_number, segment=segment,
+                   phase=phase),
+    ))
+
+
+def test_execution_policy_supervisor_validation():
+    with pytest.raises(UnshardableScenarioError):
+        ExecutionPolicy(shards=2, max_retries=-1)
+    with pytest.raises(UnshardableScenarioError):
+        ExecutionPolicy(shards=2, retry_backoff=-0.5)
+    with pytest.raises(UnshardableScenarioError):
+        ExecutionPolicy(shards=2, faults={"events": []})
+
+
+def test_recovery_error_hierarchy():
+    assert issubclass(WorkerFailedError, ShardingError)
+    assert issubclass(RecoveryExhaustedError, ShardingError)
+    assert issubclass(WorkerFailedError, ReproError)
+    error = WorkerFailedError("boom", segment=2, round_number=5, phase="begin")
+    assert (error.segment, error.round_number, error.phase) == (2, 5, "begin")
+
+
+def test_process_worker_hard_crash_recovers():
+    """A real worker process dying mid-run (os._exit) is detected, respawned
+    and the run still matches its fault-free twin."""
+    spec = _line_spec(shards=3, recovery="restart", max_worker_restarts=2)
+    baseline, _ = run_sharded(spec, transport="local")
+    recovered, extras = run_sharded(
+        spec, transport="processes", faults=_crash_plan(9, 1, "finish")
+    )
+    assert recovered == baseline
+    assert extras["recovery"]["restarts"] == 1
+
+
+def test_heartbeat_timeout_detects_hung_worker():
+    """A worker stalled well past heartbeat_timeout is declared failed and
+    replaced; the injected delay fires only once, so the retry completes."""
+    spec = _line_spec(shards=2, recovery="restart", max_worker_restarts=2,
+                      heartbeat_timeout=0.25)
+    baseline, _ = run_sharded(spec, transport="local")
+    slow = FaultPlan(events=(
+        FaultEvent(kind="slow", round=5, segment=1, phase="begin", delay=5.0),
+    ))
+    recovered, extras = run_sharded(spec, transport="processes", faults=slow)
+    assert recovered == baseline
+    assert extras["recovery"]["restarts"] == 1
+
+
+def test_dropped_sends_are_retried_without_recovery():
+    """Simulated transport loss within the retry budget is absorbed by
+    backoff alone — no worker restart, identical results."""
+    spec = _line_spec(shards=3, recovery="restart", max_worker_restarts=2)
+    baseline, _ = run_sharded(spec, transport="local")
+    drops = FaultPlan(events=(
+        FaultEvent(kind="drop", round=4, segment=0, phase="select", count=2),
+    ))
+    recovered, extras = run_sharded(spec, transport="local", faults=drops)
+    assert recovered == baseline
+    assert extras["recovery"]["restarts"] == 0
+
+
+def test_drop_exhaustion_escalates_to_recovery():
+    """More consecutive losses than max_retries marks the worker failed;
+    the supervisor then recovers instead of looping forever.  count=5 burns
+    the full retry budget once (3 attempts), escalates, and leaves the
+    replayed superstep enough tokens to fail twice more before the retry
+    succeeds — one restart, no exhaustion."""
+    spec = _line_spec(shards=3, recovery="restart", max_worker_restarts=2)
+    baseline, _ = run_sharded(spec, transport="local")
+    drops = FaultPlan(events=(
+        FaultEvent(kind="drop", round=4, segment=0, phase="select", count=5),
+    ))
+    recovered, extras = run_sharded(spec, transport="local", faults=drops)
+    assert recovered == baseline
+    assert extras["recovery"]["restarts"] == 1
+
+
+def test_recovery_extras_report_wall_clock_time():
+    """An injected clock makes recovery_time_s observable and deterministic
+    to assert against (monotonic fake, no real time reads)."""
+    ticks = iter(range(100))
+    spec = _line_spec(shards=2, recovery="restart", max_worker_restarts=2)
+    baseline, _ = run_sharded(spec, transport="local")
+    recovered, extras = run_sharded(
+        spec, transport="local", faults=_crash_plan(6, 0),
+        clock=lambda: float(next(ticks)),
+    )
+    assert recovered == baseline
+    assert extras["recovery"]["restarts"] == 1
+    assert extras["recovery"]["recovery_time_s"] == 1.0
+    # Without a clock the metric is absent-but-present: explicitly None.
+    _, no_clock_extras = run_sharded(
+        spec, transport="local", faults=_crash_plan(6, 0)
+    )
+    assert no_clock_extras["recovery"]["recovery_time_s"] is None
+
+
+def test_session_threads_faults_and_recovers(tmp_path):
+    """Session.run(spec, faults=...) reaches the sharded supervisor."""
+    spec = _line_spec(shards=3, recovery="restart", max_worker_restarts=2)
+    baseline = Session().run(spec)
+    recovered = Session().run(spec, faults=_crash_plan(7, 2))
+    assert recovered.result == baseline.result
+    assert recovered.bound == baseline.bound
+
+
+def test_session_rejects_faults_without_sharding():
+    spec = _line_spec()
+    with pytest.raises(SpecError, match="shards"):
+        Session().run(spec, faults=_crash_plan(1, 0))
+
+
+def test_cli_recovery_flags_and_fault_plan(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+
+    spec = _line_spec()
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(spec.to_json())
+    base_argv = [
+        "simulate", "--spec", str(spec_path), "--shards", "3", "--json",
+    ]
+    assert main(base_argv) in (0, 1)
+    baseline_row = json.loads(capsys.readouterr().out)
+
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(_crash_plan(8, 1, "select").to_json())
+    chaos_argv = base_argv + [
+        "--recovery", "restart", "--max-worker-restarts", "2",
+        "--heartbeat-timeout", "30", "--faults", str(plan_path),
+    ]
+    assert main(chaos_argv) in (0, 1)
+    assert json.loads(capsys.readouterr().out) == baseline_row
+
+
+def test_cli_exhausted_recovery_budget_exits_2(tmp_path, capsys):
+    from repro.cli import main
+
+    spec = _line_spec()
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(spec.to_json())
+    plan_path = tmp_path / "plan.json"
+    plan = FaultPlan(events=(
+        FaultEvent(kind="crash", round=3, segment=0),
+        FaultEvent(kind="crash", round=6, segment=1),
+    ))
+    plan_path.write_text(plan.to_json())
+    exit_code = main([
+        "simulate", "--spec", str(spec_path), "--shards", "3",
+        "--recovery", "restart", "--max-worker-restarts", "1",
+        "--faults", str(plan_path),
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "recovery budget exhausted" in captured.err
+
+
+def test_cli_faults_with_resume_is_refused(tmp_path, capsys):
+    from repro.cli import main
+
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(_crash_plan(1, 0).to_json())
+    exit_code = main([
+        "simulate", "--resume", str(tmp_path / "missing.ckpt"),
+        "--faults", str(plan_path),
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "--resume" in captured.err
