@@ -1,0 +1,172 @@
+"""CI smoke: the job service survives ``kill -9`` without losing a job.
+
+The scenario the service exists for, end to end and out of process:
+
+1. compute fault-free twin rows in-process (``Session().run``),
+2. start a **real** ``repro service serve`` process,
+3. submit ``--jobs`` jobs through the unix socket,
+4. SIGKILL the server mid-run — no drain, no atexit, nothing,
+5. start a fresh server over the same data directory,
+6. require every job to finish ``done`` with a result row **bit-identical**
+   to its twin, inside the same peak-RSS budget as the engine smokes.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/service_chaos_smoke.py --smoke-limit-mb 768
+
+Exit codes: 0 ok, 1 contract violation (lost job, diverged row, or RSS over
+budget) — CI-friendly, like ``benchmarks/perf/run_perf.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import resource
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api import ScenarioSpec, Session  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+from repro.service.errors import ServiceUnavailableError  # noqa: E402
+
+MAX_RUNNING = 2
+
+
+def job_spec(seed: int, rounds: int) -> dict:
+    return {
+        "name": f"smoke-{seed}",
+        "topology": {"kind": "line", "params": {"num_nodes": 6 + seed}},
+        "adversary": {"name": "single", "rho": 0.5, "sigma": 2.0,
+                      "rounds": rounds},
+        "algorithm": {"name": "greedy", "params": {}},
+        "policy": {"seed": seed},
+    }
+
+
+def start_server(data_dir: str, socket_path: str) -> subprocess.Popen:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "service", "serve",
+         "--data", data_dir, "--socket", socket_path,
+         "--max-running", str(MAX_RUNNING)],
+        env={**os.environ, "PYTHONPATH": "src"},
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    client = ServiceClient(socket_path, timeout=10.0)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if client.ping():
+            return process
+        if process.poll() is not None:
+            raise SystemExit(
+                f"server exited during startup (code {process.returncode})"
+            )
+        time.sleep(0.1)
+    raise SystemExit("server never came up")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--rounds", type=int, default=20_000,
+                        help="injection rounds per job (~0.5 s of simulation)")
+    parser.add_argument("--smoke-limit-mb", type=float, default=768.0)
+    args = parser.parse_args()
+
+    print(f"service chaos smoke: {args.jobs} jobs x {args.rounds} rounds, "
+          f"max_running={MAX_RUNNING}")
+    session = Session()
+    twins = {
+        seed: session.run(
+            ScenarioSpec.from_dict(job_spec(seed, args.rounds))
+        ).as_row()
+        for seed in range(args.jobs)
+    }
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as scratch:
+        data_dir = os.path.join(scratch, "data")
+        socket_path = os.path.join(scratch, "svc.sock")
+        start = time.perf_counter()
+        server = start_server(data_dir, socket_path)
+        client = ServiceClient(socket_path, timeout=10.0)
+        # checkpoint_every is sized so each job snapshots ~10 times: enough
+        # that the killed server's running jobs resume mid-run, without the
+        # fsync storm a per-default-cadence (every 20 rounds) run would be.
+        job_ids = {
+            seed: client.submit(job_spec(seed, args.rounds),
+                                submit_key=f"smoke-{seed}",
+                                checkpoint_every=max(args.rounds // 10, 1))["job"]
+            for seed in range(args.jobs)
+        }
+        print(f"submitted {len(job_ids)} jobs")
+
+        # Let the pool get properly mid-flight: some jobs done, some holding
+        # leases, some still queued — then kill -9 the whole server.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            states = [row["state"] for row in client.ls()]
+            if states.count("done") >= 1 and "running" in states:
+                break
+            time.sleep(0.05)
+        print(f"states at kill time: {sorted(states)}")
+        os.kill(server.pid, signal.SIGKILL)
+        server.wait(timeout=30)
+        print(f"server killed (SIGKILL, pid {server.pid})")
+
+        server = start_server(data_dir, socket_path)
+        print("server restarted over the same journal")
+        for seed, job_id in job_ids.items():
+            try:
+                view = client.wait(job_id, timeout=300)
+            except ServiceUnavailableError:
+                print(f"SMOKE FAILURE: server died again waiting on {job_id}")
+                failures += 1
+                continue
+            if view["state"] != "done":
+                print(f"SMOKE FAILURE: {job_id} ended {view['state']!r} "
+                      f"({view.get('error_type')}: {view.get('error_message')})")
+                failures += 1
+            elif view["result"] != twins[seed]:
+                print(f"SMOKE FAILURE: {job_id} survived the crash but its "
+                      f"result row diverged from the fault-free twin")
+                failures += 1
+        elapsed = time.perf_counter() - start
+        recovered = args.jobs - failures
+        print(f"{recovered}/{args.jobs} jobs done bit-identical to their "
+              f"twins, {elapsed:.1f}s total")
+        client.drain()
+        server.wait(timeout=30)
+
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.  RUSAGE_CHILDREN
+    # reports the max over reaped children (each server process folds in its
+    # own reaped workers), so the tree estimate conservatively assumes the
+    # server and a full worker pool all peaked simultaneously.
+    rss_divisor = 1024.0 ** 2 if sys.platform == "darwin" else 1024.0
+    peak_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / rss_divisor
+    peak_child = (
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / rss_divisor
+    )
+    tree_estimate = peak_self + (1 + MAX_RUNNING) * peak_child
+    print(f"peak RSS: harness {peak_self:.0f} MB, largest child "
+          f"{peak_child:.0f} MB -> whole-tree estimate {tree_estimate:.0f} MB "
+          f"(limit {args.smoke_limit_mb:.0f} MB)")
+    if tree_estimate > args.smoke_limit_mb:
+        print("SMOKE FAILURE: estimated whole-tree peak RSS exceeds the "
+              "documented memory bound")
+        failures += 1
+    if failures:
+        return 1
+    print("smoke ok: no accepted job was lost, every result bit-identical, "
+          "memory inside the bound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

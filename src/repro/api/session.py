@@ -67,6 +67,13 @@ class RunReport:
     params: Dict[str, Any] = field(default_factory=dict)
     #: The originating spec (``None`` for compatibility-layer runs).
     spec: Optional[ScenarioSpec] = None
+    #: Recovery telemetry from the sharded supervisor (``None`` for
+    #: single-process runs): ``restarts`` counts worker respawns the run
+    #: absorbed and ``recovery_time_s`` the wall clock spent restitching
+    #: (``None`` unless a clock was injected).  Surfaced in the CLI's
+    #: ``--json`` rows so a run that survived faults is distinguishable from
+    #: one that never saw any — their results are bit-identical by design.
+    recovery: Optional[Dict[str, Any]] = None
 
     @property
     def max_occupancy(self) -> int:
@@ -459,6 +466,7 @@ class Session:
             within_bound=within,
             params=self._report_params(spec, topology),
             spec=spec,
+            recovery=extras.get("recovery"),
         )
 
     def _execute(

@@ -28,6 +28,13 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Sub-commands:
     names the ``simulate`` shortcuts do not expose, lives in
     ``docs/REGISTRY.md``.
 
+``service``
+    The crash-safe job service (docs/SERVICE.md): ``serve`` runs the durable
+    server on a data directory, ``submit`` queues a scenario spec, and
+    ``ls`` / ``info`` / ``logs`` / ``cancel`` / ``stats`` / ``cleanup`` /
+    ``drain`` manage it.  Accepted jobs survive ``kill -9`` of the server;
+    every failure mode is a typed error (exit code 2).
+
 Examples
 --------
 ::
@@ -39,14 +46,17 @@ Examples
     python -m repro simulate --spec scenario.json --json
     python -m repro bounds --nodes 64 --destinations 12 --rho 0.5 --sigma 2 --json
     python -m repro figure1 --branching 2 --levels 4 --source 2 --destination 13
+    python -m repro service serve --data jobs.d &
+    python -m repro service submit --data jobs.d --spec scenario.json --wait
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from .adversary.generators import hierarchy_random_destinations
 from .analysis.tables import format_kv, format_table
@@ -204,6 +214,124 @@ def build_parser() -> argparse.ArgumentParser:
     registry.add_argument(
         "--json", action="store_true", help="emit the catalogue as JSON"
     )
+
+    service = subparsers.add_parser(
+        "service",
+        help="the crash-safe job service (docs/SERVICE.md)",
+    )
+    verbs = service.add_subparsers(dest="service_command", required=True)
+
+    def _service_common(verb: argparse.ArgumentParser) -> None:
+        verb.add_argument(
+            "--data",
+            metavar="DIR",
+            default="service-data",
+            help="service data directory (journal + job files); the socket "
+            "defaults to DIR/service.sock",
+        )
+        verb.add_argument(
+            "--socket",
+            metavar="PATH",
+            default=None,
+            help="Unix socket path (overrides the --data default)",
+        )
+
+    serve = verbs.add_parser(
+        "serve", help="run the durable job server on a data directory"
+    )
+    _service_common(serve)
+    serve.add_argument(
+        "--max-running", type=int, default=2, metavar="N",
+        help="worker-pool width: concurrent job leases",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=64, metavar="N",
+        help="admission bound on queued jobs (past it submissions are "
+        "rejected with ServiceOverloadedError)",
+    )
+    serve.add_argument(
+        "--lease-seconds", type=float, default=30.0, metavar="S",
+        help="heartbeat staleness after which a worker is declared dead "
+        "and its job retried from the last checkpoint",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="default per-job retry budget for worker failures",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=20, metavar="K",
+        help="default per-job checkpoint cadence (injection rounds)",
+    )
+    serve.add_argument(
+        "--faults", metavar="FILE", default=None,
+        help="inject a deterministic service-level FaultPlan (JSON with "
+        "phases queued/running/checkpointing/draining; see docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on journal appends (faster; loses power-failure "
+        "durability, process crashes stay safe)",
+    )
+
+    submit = verbs.add_parser("submit", help="queue one scenario spec")
+    _service_common(submit)
+    submit.add_argument(
+        "--spec", metavar="FILE", required=True,
+        help="ScenarioSpec JSON file to run",
+    )
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--submit-key", default=None, metavar="KEY",
+        help="idempotency key: resubmitting with the same key returns the "
+        "already-admitted job instead of queueing a duplicate (use it when "
+        "retrying after a lost reply)",
+    )
+    submit.add_argument("--max-retries", type=int, default=None, metavar="N")
+    submit.add_argument("--checkpoint-every", type=int, default=None, metavar="K")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is terminal and print its outcome "
+        "(a failed job exits 2 with its typed error)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="how long --wait waits before giving up",
+    )
+    submit.add_argument("--json", action="store_true")
+
+    ls = verbs.add_parser("ls", help="list jobs")
+    _service_common(ls)
+    ls.add_argument("--json", action="store_true")
+
+    info = verbs.add_parser("info", help="show one job's full state")
+    _service_common(info)
+    info.add_argument("job", help="job id, e.g. job-000003")
+    info.add_argument("--json", action="store_true")
+
+    logs = verbs.add_parser("logs", help="print one job's service+worker log")
+    _service_common(logs)
+    logs.add_argument("job")
+
+    cancel = verbs.add_parser("cancel", help="cancel a queued or running job")
+    _service_common(cancel)
+    cancel.add_argument("job")
+
+    stats = verbs.add_parser("stats", help="queue and worker-pool statistics")
+    _service_common(stats)
+    stats.add_argument("--json", action="store_true")
+
+    cleanup = verbs.add_parser(
+        "cleanup", help="purge terminal jobs and their files"
+    )
+    _service_common(cleanup)
+
+    drain = verbs.add_parser(
+        "drain",
+        help="gracefully stop the server: admission ends, running jobs are "
+        "checkpointed and requeued for the next serve",
+    )
+    _service_common(drain)
 
     return parser
 
@@ -371,7 +499,14 @@ def _command_simulate(args: argparse.Namespace) -> int:
             spec = _build_spec(args)
         report = Session().run(_with_checkpoint_policy(spec, args), faults=faults)
     if args.json:
-        print(json.dumps(report.as_row(), indent=2, sort_keys=True))
+        row = report.as_row()
+        if report.recovery is not None:
+            # Sharded runs surface their recovery telemetry (worker restarts
+            # absorbed, seconds spent restitching) next to the result, so a
+            # run that survived faults is distinguishable from one that never
+            # saw any — the results themselves are bit-identical.
+            row["recovery"] = report.recovery
+        print(json.dumps(row, indent=2, sort_keys=True))
     else:
         print(reports_to_table([report], title="Simulation result"))
     return 0 if report.within_bound else 1
@@ -469,6 +604,146 @@ def _command_registry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_socket(args: argparse.Namespace) -> str:
+    if args.socket is not None:
+        return str(args.socket)
+    return os.path.join(args.data, "service.sock")
+
+
+def _service_client(args: argparse.Namespace) -> "Any":
+    from .service import ServiceClient
+
+    return ServiceClient(_service_socket(args))
+
+
+def _command_service_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .service import JobService
+
+    faults = None
+    if args.faults is not None:
+        from .network.faults import FaultPlan
+
+        with open(args.faults, "r", encoding="utf-8") as handle:
+            faults = FaultPlan.from_json(handle.read())
+    service = JobService(
+        args.data,
+        socket_path=args.socket,
+        max_running=args.max_running,
+        max_queue_depth=args.max_queue_depth,
+        lease_seconds=args.lease_seconds,
+        default_max_retries=args.max_retries,
+        default_checkpoint_every=args.checkpoint_every,
+        faults=faults,
+        fsync=not args.no_fsync,
+        crash_mode="exit",  # injected server crashes die for real, like kill -9
+    )
+    service.start()
+    print(f"serving on {service.socket_path} (data: {service.data_dir})")
+    interrupted = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: interrupted.set())
+    # Wake on SIGTERM/SIGINT (graceful drain) or on the server ending by
+    # itself (client-requested drain, or an injected crash).
+    while service.is_alive() and not interrupted.wait(0.2):
+        pass
+    service.stop()
+    print("drained: running jobs checkpointed and requeued; journal flushed")
+    return 0
+
+
+def _command_service(args: argparse.Namespace) -> int:
+    from .service.errors import JobFailedError
+
+    verb = args.service_command
+    if verb == "serve":
+        return _command_service_serve(args)
+    client = _service_client(args)
+    if verb == "submit":
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec_payload = json.loads(handle.read())
+        reply = client.submit(
+            spec_payload,
+            tenant=args.tenant,
+            priority=args.priority,
+            submit_key=args.submit_key,
+            max_retries=args.max_retries,
+            checkpoint_every=args.checkpoint_every,
+        )
+        if not args.wait:
+            if args.json:
+                print(json.dumps(reply, indent=2, sort_keys=True))
+            else:
+                print(f"{reply['job']} {reply['state']}")
+            return 0
+        view = client.wait(reply["job"], timeout=args.timeout)
+        if view["state"] == "failed":
+            raise JobFailedError(
+                f"{view['job_id']} failed: {view.get('error_type')}: "
+                f"{view.get('error_message')}"
+            )
+        if args.json:
+            print(json.dumps(view, indent=2, sort_keys=True))
+        else:
+            print(format_kv(_job_view_row(view), title=view["job_id"]))
+        return 0
+    if verb == "ls":
+        rows = client.ls()
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        elif rows:
+            print(format_table(rows, title="Jobs"))
+        else:
+            print("no jobs")
+        return 0
+    if verb == "info":
+        view = client.info(args.job)
+        if args.json:
+            print(json.dumps(view, indent=2, sort_keys=True))
+        else:
+            print(format_kv(_job_view_row(view), title=view["job_id"]))
+        return 0
+    if verb == "logs":
+        sys.stdout.write(client.logs(args.job))
+        return 0
+    if verb == "cancel":
+        reply = client.cancel(args.job)
+        print(f"{reply['job']} {reply['state']}")
+        return 0
+    if verb == "stats":
+        payload = client.stats()
+        payload.pop("ok", None)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(format_kv(payload, title="Service stats"))
+        return 0
+    if verb == "cleanup":
+        purged = client.cleanup()
+        print(f"purged {len(purged)} terminal job(s)" +
+              (f": {', '.join(purged)}" if purged else ""))
+        return 0
+    if verb == "drain":
+        client.drain()
+        print("drain requested: the server stops admitting and exits after "
+              "requeueing running jobs")
+        return 0
+    raise ReproError(f"unknown service verb {verb!r}")
+
+
+def _job_view_row(view: Dict[str, Any]) -> Dict[str, Any]:
+    """Flatten a job info view for the key-value formatter."""
+    row = {key: value for key, value in view.items() if key != "result"}
+    result = view.get("result")
+    if isinstance(result, dict):
+        for key in ("max_occupancy", "bound", "within_bound"):
+            if key in result:
+                row[f"result.{key}"] = result[key]
+    return row
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -486,6 +761,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_figure1(args)
         if args.command == "registry":
             return _command_registry(args)
+        if args.command == "service":
+            return _command_service(args)
         parser.error(f"unknown command {args.command!r}")
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)

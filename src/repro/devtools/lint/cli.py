@@ -106,7 +106,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--write-baseline",
         action="store_true",
-        help="write all current active findings to the baseline file and exit 0",
+        help="write all current active findings to the baseline file and "
+        "exit 0 (requires --justification)",
+    )
+    parser.add_argument(
+        "--justification",
+        default=None,
+        metavar="TEXT",
+        help="why the baselined findings are acceptable debt; recorded on "
+        "every entry written by --write-baseline (required with it, must "
+        "be non-empty)",
     )
     parser.add_argument(
         "--select",
@@ -126,6 +135,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "default: ./docs and <target>/../../docs)",
     )
     args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        # A baseline entry without a reason is unpayable debt: nobody can
+        # later tell whether it is still justified.  Refuse up front.
+        if args.justification is None or not args.justification.strip():
+            parser.error(
+                "--write-baseline requires --justification TEXT explaining "
+                "why the grandfathered findings are acceptable (empty "
+                "strings are rejected)"
+            )
+    elif args.justification is not None:
+        parser.error("--justification only makes sense with --write-baseline")
 
     targets = [Path(p) for p in args.paths]
     for target in targets:
@@ -153,10 +174,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     if args.write_baseline:
-        Baseline.write(baseline_path, result.active, justification="TODO: justify")
+        Baseline.write(
+            baseline_path, result.active, justification=args.justification.strip()
+        )
         sys.stdout.write(
-            f"wrote {len(result.active)} finding(s) to {baseline_path} — "
-            "add a justification to every entry before committing\n"
+            f"wrote {len(result.active)} finding(s) to {baseline_path} "
+            f"(justification: {args.justification.strip()})\n"
         )
         return 0
 

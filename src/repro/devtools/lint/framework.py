@@ -113,10 +113,16 @@ class LintConfig:
     """
 
     #: Module prefixes that form the deterministic engine (RPR001 scope).
+    #: The clock-free service modules join too: lifecycle records, the
+    #: journal codec and the scheduler must stay deterministic functions of
+    #: their inputs (wall-clock leases live in server.py, outside the scope).
     engine_prefixes: Tuple[str, ...] = (
         "repro/core/",
         "repro/network/",
         "repro/adversary/",
+        "repro/service/jobs.py",
+        "repro/service/journal.py",
+        "repro/service/scheduler.py",
     )
     #: Modules whose classes are allocated on the simulation hot path and
     #: must declare ``__slots__`` (RPR002 scope).
@@ -127,6 +133,8 @@ class LintConfig:
         "repro/core/excess.py",
         "repro/core/hierarchy.py",
         "repro/network/events.py",
+        "repro/service/jobs.py",
+        "repro/service/journal.py",
     )
     #: Methods whose iteration order feeds activation selection, boundary
     #: hand-off or checkpoint payloads — raw set/dict iteration here breaks
@@ -145,6 +153,8 @@ class LintConfig:
         "injections_for_round",
         "directives_for",
         "drop_next_send",
+        "select_next",
+        "replay",
     )
     #: Modules allowed to call ``print`` (user-facing surfaces).
     print_allowed_modules: Tuple[str, ...] = (

@@ -33,6 +33,7 @@ from .errors import ConfigurationError
 __all__ = [
     "FAULT_KINDS",
     "FAULT_PHASES",
+    "SERVICE_FAULT_PHASES",
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",
@@ -48,6 +49,14 @@ FAULT_KINDS = ("crash", "slow", "drop")
 #: Superstep phases a fault can target; ``checkpoint`` covers the periodic
 #: per-segment snapshot command between supersteps.
 FAULT_PHASES = ("begin", "select", "finish", "checkpoint")
+
+#: Job-lifecycle phases the service layer (:mod:`repro.service`) targets
+#: with the same plan machinery.  Coordinates there read differently —
+#: ``segment`` is the job's admission index and ``round`` the attempt
+#: number — but the algebra (fire-once crash/slow, token-counted drop,
+#: JSON round-trip, seeded sampling) is shared.  ``FaultPlan.sample`` only
+#: draws from :data:`FAULT_PHASES`; service plans are written explicitly.
+SERVICE_FAULT_PHASES = ("queued", "running", "checkpointing", "draining")
 
 _PLAN_VERSION = 1
 
@@ -77,10 +86,11 @@ class FaultEvent:
                 f"unknown fault kind {self.kind!r}; expected one of "
                 f"{list(FAULT_KINDS)}"
             )
-        if self.phase not in FAULT_PHASES:
+        if self.phase not in FAULT_PHASES and self.phase not in SERVICE_FAULT_PHASES:
             raise ConfigurationError(
-                f"unknown fault phase {self.phase!r}; expected one of "
-                f"{list(FAULT_PHASES)}"
+                f"unknown fault phase {self.phase!r}; expected a superstep "
+                f"phase {list(FAULT_PHASES)} or a service job-lifecycle "
+                f"phase {list(SERVICE_FAULT_PHASES)}"
             )
         if not isinstance(self.round, int) or isinstance(self.round, bool) \
                 or self.round < 0:

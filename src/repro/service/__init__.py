@@ -1,0 +1,42 @@
+"""The crash-safe simulation job service (``repro service ...``).
+
+A durable front door for running :class:`~repro.api.specs.ScenarioSpec`
+simulations as supervised jobs: accepted work is journalled before it is
+acknowledged, executed in lease-holding worker processes with periodic
+checkpoints, retried with backoff from the last checkpoint on worker death,
+and recovered to its exact lifecycle state after ``kill -9`` of the server.
+Every failure mode is a typed :class:`~repro.network.errors.ReproError`
+subclass.  See docs/SERVICE.md for the design.
+"""
+
+from .client import ServiceClient
+from .errors import (
+    JobError,
+    JobFailedError,
+    JobNotFoundError,
+    JournalCorruptError,
+    JournalError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+from .jobs import JOB_STATES, TERMINAL_STATES, JobRecord
+from .journal import Journal
+from .server import JobService
+
+__all__ = [
+    "JobService",
+    "ServiceClient",
+    "Journal",
+    "JobRecord",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceUnavailableError",
+    "JobError",
+    "JobNotFoundError",
+    "JobFailedError",
+    "JournalError",
+    "JournalCorruptError",
+]

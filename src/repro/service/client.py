@@ -1,0 +1,191 @@
+"""Typed synchronous client for the job service's Unix-socket protocol.
+
+One JSON line out, one JSON line back, one connection per call.  Failures
+are never stringly-typed: a server-side error deserialises back into the
+exception class it was on the server (:func:`~repro.service.errors.
+error_from_wire`), and transport-level trouble — no socket, nobody
+listening, or a connection that died before the reply — raises
+:class:`~repro.service.errors.ServiceUnavailableError` with the recovery
+recipe in the message (resubmit with the same ``submit_key``; admission is
+idempotent on it, so a retry can never double-run a job).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from .errors import ServiceError, ServiceUnavailableError, error_from_wire
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Thin, dependency-free client: one method per service verb."""
+
+    __slots__ = ("socket_path", "timeout")
+
+    def __init__(self, socket_path: str, *, timeout: float = 30.0) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        connection.settimeout(self.timeout)
+        try:
+            try:
+                connection.connect(self.socket_path)
+            except OSError as error:
+                raise ServiceUnavailableError(
+                    f"cannot reach the job service on {self.socket_path} "
+                    f"({error}); is 'repro service serve' running?"
+                ) from error
+            blob = (json.dumps(request, sort_keys=True) + "\n").encode("utf-8")
+            try:
+                connection.sendall(blob)
+                reply = self._read_line(connection)
+            except (OSError, socket.timeout) as error:
+                raise ServiceUnavailableError(
+                    f"the job service connection failed mid-call ({error}); "
+                    f"the server may have crashed.  Restart it with "
+                    f"'repro service serve' — accepted jobs are journalled "
+                    f"and will recover; resubmit with the same submit_key "
+                    f"and admission stays exactly-once."
+                ) from error
+        finally:
+            connection.close()
+        if not reply:
+            raise ServiceUnavailableError(
+                "the job service closed the connection before replying (it "
+                "crashed or the reply was lost).  The submission may or may "
+                "not have been admitted: resubmit with the same submit_key — "
+                "admission is idempotent on it, so this is safe either way."
+            )
+        try:
+            response = json.loads(reply.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                f"the job service sent an unparseable reply: {error}"
+            ) from error
+        if not isinstance(response, dict):
+            raise ServiceError(
+                f"the job service replied with {type(response).__name__}, "
+                f"expected an object"
+            )
+        if not response.get("ok"):
+            raise error_from_wire(response.get("error"))
+        return response
+
+    @staticmethod
+    def _read_line(connection: socket.socket) -> bytes:
+        chunks: List[bytes] = []
+        while True:
+            chunk = connection.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        return b"".join(chunks)
+
+    # -- verbs -------------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        submit_key: Optional[str] = None,
+        max_retries: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Submit one scenario; returns ``{"job": id, "state": ...}``.
+
+        Pass a ``submit_key`` (any caller-chosen string) to make admission
+        idempotent: a resubmission after a lost reply returns the already
+        admitted job instead of queueing a duplicate.
+        """
+        request: Dict[str, Any] = {
+            "op": "submit",
+            "spec": spec,
+            "tenant": tenant,
+            "priority": priority,
+        }
+        if submit_key is not None:
+            request["submit_key"] = submit_key
+        if max_retries is not None:
+            request["max_retries"] = max_retries
+        if checkpoint_every is not None:
+            request["checkpoint_every"] = checkpoint_every
+        return self._call(request)
+
+    def ls(self) -> List[Dict[str, Any]]:
+        return list(self._call({"op": "ls"})["jobs"])
+
+    def info(self, job_id: str) -> Dict[str, Any]:
+        return dict(self._call({"op": "info", "job": job_id})["info"])
+
+    def logs(self, job_id: str) -> str:
+        return str(self._call({"op": "logs", "job": job_id})["text"])
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._call({"op": "cancel", "job": job_id})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call({"op": "stats"})
+
+    def cleanup(self) -> List[str]:
+        """Purge terminal jobs and their files; returns the purged ids."""
+        return list(self._call({"op": "cleanup"})["purged"])
+
+    def drain(self) -> Dict[str, Any]:
+        """Ask the server to drain gracefully (stop admitting, then exit)."""
+        return self._call({"op": "drain"})
+
+    # -- conveniences ------------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 120.0,
+        poll_interval: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Block until ``job_id`` reaches a terminal state; returns its info.
+
+        Tolerates the service restarting mid-wait (the socket comes and
+        goes); raises :class:`ServiceError` on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        last_unavailable: Optional[ServiceUnavailableError] = None
+        while time.monotonic() < deadline:
+            try:
+                view = self.info(job_id)
+            except ServiceUnavailableError as error:
+                last_unavailable = error
+                time.sleep(poll_interval)
+                continue
+            if view["state"] in ("done", "failed", "cancelled"):
+                return view
+            time.sleep(poll_interval)
+        detail = f" (last transport error: {last_unavailable})" if last_unavailable else ""
+        raise ServiceError(
+            f"job {job_id} did not reach a terminal state within {timeout}s"
+            f"{detail}"
+        )
+
+    def ping(self) -> bool:
+        """Whether a live service answers on the socket."""
+        if not os.path.exists(self.socket_path):
+            return False
+        try:
+            self.stats()
+        except ServiceError:
+            return False
+        return True

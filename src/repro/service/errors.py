@@ -1,0 +1,151 @@
+"""Typed error families for the simulation job service.
+
+The service's headline contract is that **no failure mode is untyped**: every
+way a job, the queue, the journal or the transport can go wrong has a named
+exception class deriving from :class:`~repro.network.errors.ReproError`, so
+the CLI maps the whole family to exit code 2 and callers can catch exactly
+the failures they can handle.
+
+Errors also cross the client/server socket as data: the server serialises
+``{"type": <class name>, "message": <str>}`` and the client rebuilds the
+typed exception through :func:`error_from_wire`, so a remote failure raises
+in the caller exactly like a local one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..network.errors import ReproError
+
+__all__ = [
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceUnavailableError",
+    "JobError",
+    "JobNotFoundError",
+    "JobFailedError",
+    "JournalError",
+    "JournalCorruptError",
+    "error_from_wire",
+    "error_to_wire",
+]
+
+
+class ServiceError(ReproError):
+    """Base class for job-service failures (:mod:`repro.service`).
+
+    Like the checkpoint and sharding families, every service error derives
+    from :class:`ReproError`, so the CLI maps all of them to exit code 2.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when admission control rejects a submission.
+
+    The queue is bounded (``JobService(max_queue_depth=...)``): past the
+    limit the service refuses typed-and-loud instead of growing without
+    bound.  The message names the knob; the client should back off and
+    retry, keeping its ``submit_key`` so the retry stays exactly-once.
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """Raised when the service cannot be reached or is not accepting work.
+
+    Covers a missing/dead socket, a connection that closed before the reply
+    arrived (the server crashed or the response was dropped — resubmit with
+    the same ``submit_key`` for exactly-once admission), and submissions
+    during a graceful drain.
+    """
+
+
+class JobError(ServiceError):
+    """Base class for failures scoped to one job."""
+
+
+class JobNotFoundError(JobError):
+    """Raised when a job id does not exist on the service."""
+
+    def __init__(self, job_id: str, *, message: Optional[str] = None) -> None:
+        self.job_id = job_id
+        super().__init__(
+            message
+            or f"no such job {job_id!r}; run 'repro service ls' to list jobs "
+            f"(terminal jobs may have been purged by cleanup)"
+        )
+
+
+class JobFailedError(JobError):
+    """A job's terminal failure state: its retry budget is exhausted.
+
+    This is the *typed terminal* end of the retry ladder: the supervisor
+    absorbed ``max_retries`` worker failures (crash, lease expiry), each
+    retry resuming from the job's last durable checkpoint, and gave up.
+    The message records the attempt count and the last underlying failure
+    so the state is actionable, not just "failed".
+    """
+
+
+class JournalError(ServiceError):
+    """Base class for job-journal failures (:mod:`repro.service.journal`)."""
+
+
+class JournalCorruptError(JournalError):
+    """Raised when the journal is damaged beyond the torn-tail allowance.
+
+    Damage in any *non-final* segment, or a file that is not a journal
+    segment at all, means bytes were lost in the middle of the log —
+    replaying past it could resurrect stale job states, so the journal
+    refuses rather than guesses.  (A torn or CRC-failing tail in the *final*
+    segment is the expected artifact of ``kill -9`` mid-append and is
+    discarded silently.)
+    """
+
+
+#: Exception classes the wire protocol can name.  Anything not listed
+#: deserialises as plain :class:`ServiceError` (still typed, still exit 2).
+_WIRE_TYPES: Dict[str, Type[ReproError]] = {}
+
+
+def _register_wire_types() -> None:
+    from ..api.specs import SpecError
+    from ..network.errors import ConfigurationError
+
+    for cls in (
+        ServiceError,
+        ServiceOverloadedError,
+        ServiceUnavailableError,
+        JobError,
+        JobFailedError,
+        JournalError,
+        JournalCorruptError,
+        SpecError,
+        ConfigurationError,
+    ):
+        _WIRE_TYPES[cls.__name__] = cls
+
+
+def error_to_wire(error: ReproError) -> Dict[str, str]:
+    """Serialise a typed error for the socket protocol."""
+    payload = {"type": type(error).__name__, "message": str(error)}
+    job_id = getattr(error, "job_id", None)
+    if job_id is not None:
+        payload["job"] = job_id
+    return payload
+
+
+def error_from_wire(payload: Optional[Dict[str, str]]) -> ReproError:
+    """Rebuild the typed exception a server response describes."""
+    if not _WIRE_TYPES:
+        _register_wire_types()
+    if not isinstance(payload, dict):
+        return ServiceError("server reported an error with no detail")
+    name = payload.get("type", "")
+    message = payload.get("message", "unknown service error")
+    if name == "JobNotFoundError":
+        return JobNotFoundError(payload.get("job", "?"), message=message)
+    cls = _WIRE_TYPES.get(name)
+    if cls is None:
+        return ServiceError(f"{name}: {message}" if name else message)
+    return cls(message)

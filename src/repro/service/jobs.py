@@ -1,0 +1,175 @@
+"""Job lifecycle records and the legal state machine.
+
+A job is one accepted :class:`~repro.api.specs.ScenarioSpec` execution.  Its
+lifecycle is a small, closed state machine::
+
+    queued ──────► running ──────► done
+      ▲  │            │  │
+      │  │            │  └───────► failed      (typed: JobFailedError, or the
+      │  │            │                         worker's own ReproError)
+      │  └──► cancelled ◄─────────┘ (cancel verb, from queued or running)
+      │               │
+      └───────────────┘ requeue: worker crash / lease expiry / drain /
+                        stale-lease recovery — resumes from the last
+                        durable checkpoint, never from a stale packet-id
+                        scope (every attempt runs Session.run/resume inside
+                        a fresh scope)
+
+``done``, ``failed`` and ``cancelled`` are terminal.  Every transition is
+journalled before it takes effect in memory (write-ahead), which is what
+lets :meth:`~repro.service.server.JobService.recover` rebuild the exact
+lifecycle state of every job after ``kill -9``.
+
+The module is deliberately deterministic and clock-free: ordering decisions
+belong to :mod:`repro.service.scheduler`, wall-clock leases to the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from .errors import JobError
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "LEGAL_TRANSITIONS",
+    "JobRecord",
+]
+
+#: Every lifecycle state a job can be in.
+JOB_STATES: Tuple[str, ...] = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES: Tuple[str, ...] = ("done", "failed", "cancelled")
+
+#: ``state -> states it may move to``.  Anything else is a server bug and
+#: raises :class:`JobError` rather than silently corrupting the journal.
+LEGAL_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    "queued": ("running", "cancelled", "failed"),
+    "running": ("done", "failed", "cancelled", "queued"),
+    "done": (),
+    "failed": (),
+    "cancelled": (),
+}
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """The server-side state of one accepted job.
+
+    Everything here round-trips through the journal (``to_dict`` /
+    ``from_dict``), so a snapshot record can replace an arbitrary prefix of
+    the log during segment rotation.
+    """
+
+    job_id: str
+    #: Admission order, 0-based.  Also the ``segment`` coordinate service
+    #: fault plans target (see docs/SERVICE.md).
+    index: int
+    tenant: str
+    priority: int
+    spec: Dict[str, Any]
+    submit_key: Optional[str] = None
+    state: str = "queued"
+    #: Worker failures absorbed so far (server crashes do not count — a
+    #: restitched service resumes the job with its budget intact).
+    attempts: int = 0
+    max_retries: int = 3
+    checkpoint_every: int = 20
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    #: Canonical result row (set when ``state == "done"``).
+    result: Optional[Dict[str, Any]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise JobError(
+                f"unknown job state {self.state!r}; expected one of {list(JOB_STATES)}"
+            )
+        if self.priority < 0:
+            raise JobError(
+                f"job priority must be >= 0, got {self.priority!r}"
+            )
+        if self.max_retries < 0:
+            raise JobError(
+                f"job max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.checkpoint_every < 1:
+            raise JobError(
+                f"job checkpoint_every must be >= 1, got {self.checkpoint_every!r}"
+            )
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def advance(
+        self,
+        state: str,
+        *,
+        error_type: Optional[str] = None,
+        error_message: Optional[str] = None,
+        result: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Apply one legal transition (raises :class:`JobError` otherwise)."""
+        if state not in JOB_STATES:
+            raise JobError(
+                f"unknown job state {state!r}; expected one of {list(JOB_STATES)}"
+            )
+        if state not in LEGAL_TRANSITIONS[self.state]:
+            raise JobError(
+                f"illegal transition {self.state!r} -> {state!r} for "
+                f"{self.job_id} (legal: {list(LEGAL_TRANSITIONS[self.state])})"
+            )
+        self.state = state
+        if error_type is not None:
+            self.error_type = error_type
+            self.error_message = error_message
+        if result is not None:
+            self.result = result
+
+    # -- journal round-trip ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "index": self.index,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "spec": self.spec,
+            "submit_key": self.submit_key,
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_retries": self.max_retries,
+            "checkpoint_every": self.checkpoint_every,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobRecord":
+        if not isinstance(payload, dict):
+            raise JobError(
+                f"job record must be a JSON object, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - {
+            "job_id", "index", "tenant", "priority", "spec", "submit_key",
+            "state", "attempts", "max_retries", "checkpoint_every",
+            "error_type", "error_message", "result",
+        }
+        if unknown:
+            raise JobError(f"job record has unknown keys {sorted(unknown)}")
+        for required in ("job_id", "index", "tenant", "priority", "spec"):
+            if required not in payload:
+                raise JobError(f"job record is missing required key {required!r}")
+        return cls(**payload)
+
+    def public_view(self) -> Dict[str, Any]:
+        """The ``info`` / ``ls`` row (everything except the raw spec)."""
+        view = self.to_dict()
+        view["spec_name"] = (self.spec or {}).get("name")
+        del view["spec"]
+        return view

@@ -1,0 +1,267 @@
+"""Durable, append-only job journal with CRC'd records and segment rotation.
+
+This is the crash-safety backbone of :class:`~repro.service.server.JobService`:
+every lifecycle transition is appended (and optionally fsync'd) *before* it
+takes effect in memory, so ``kill -9`` of the server at any instant loses at
+most the record currently being written — and that torn tail is detected and
+discarded on replay, never misread.
+
+File layout (all integers little-endian), one or more segment files
+``journal-<seq>.log`` in the journal directory::
+
+    MAGIC ("REPROJRNL", 9 bytes)
+    u32   format version
+    ...   records: u32 payload length | u32 CRC-32 of payload | payload
+          (payload = canonical JSON, sorted keys, utf-8)
+
+Durability follows the two-phase idiom of :mod:`repro.checkpoint`:
+
+* appends write + flush + fsync the active segment (``fsync=False`` trades
+  power-loss durability for speed; process crashes are still safe because
+  the kernel holds the written bytes),
+* rotation writes the compaction snapshot to a temp file, fsyncs it,
+  atomically renames it into place as the *next* segment, fsyncs the
+  directory entry, and only then unlinks the older segments — a crash at
+  any point leaves either the old segment chain or the complete new one.
+
+Replay tolerates exactly one kind of damage: a truncated or CRC-failing
+record at the *very end of the last segment* (the ``kill -9``-mid-append
+artifact), which is discarded and truncated away on the next open.  Damage
+anywhere else raises the typed
+:class:`~repro.service.errors.JournalCorruptError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import tempfile
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from .errors import JournalCorruptError, JournalError
+
+__all__ = ["Journal", "JOURNAL_MAGIC", "JOURNAL_VERSION"]
+
+JOURNAL_MAGIC = b"REPROJRNL"
+JOURNAL_VERSION = 1
+
+_HEADER = struct.Struct(f"<{len(JOURNAL_MAGIC)}sI")
+_FRAME = struct.Struct("<II")
+_SEGMENT_RE = re.compile(r"^journal-(\d{8})\.log$")
+
+
+def _segment_name(sequence: int) -> str:
+    return f"journal-{sequence:08d}.log"
+
+
+def _encode_record(record: Dict[str, Any]) -> bytes:
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class Journal:
+    """Append-only write-ahead log of JSON records across rotated segments."""
+
+    __slots__ = ("directory", "fsync", "max_segment_bytes", "_sequence",
+                 "_path", "_handle")
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        fsync: bool = True,
+        max_segment_bytes: int = 1 << 20,
+    ) -> None:
+        if max_segment_bytes < 4096:
+            raise JournalError(
+                f"max_segment_bytes must be >= 4096, got {max_segment_bytes}"
+            )
+        self.directory = os.path.abspath(directory)
+        self.fsync = fsync
+        self.max_segment_bytes = max_segment_bytes
+        os.makedirs(self.directory, exist_ok=True)
+        self._sequence, created = self._discover_active()
+        self._path = os.path.join(self.directory, _segment_name(self._sequence))
+        if created:
+            self._write_new_segment(self._path, [])
+        #: Byte offset of the end of the last *valid* record (torn tails are
+        #: truncated away here so appends never land after garbage).
+        self._repair_active_tail()
+        self._handle = open(self._path, "ab")
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def active_path(self) -> str:
+        return self._path
+
+    @property
+    def active_size(self) -> int:
+        return os.path.getsize(self._path)
+
+    def segments(self) -> List[str]:
+        """Every segment path, oldest first."""
+        found: List[Tuple[int, str]] = []
+        for name in os.listdir(self.directory):
+            match = _SEGMENT_RE.match(name)
+            if match:
+                found.append((int(match.group(1)), os.path.join(self.directory, name)))
+        return [path for _, path in sorted(found)]
+
+    # -- the write path ----------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record to the active segment."""
+        blob = _encode_record(record)
+        self._handle.write(blob)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def rotate(self, snapshot_records: List[Dict[str, Any]]) -> None:
+        """Atomically start a new segment seeded with ``snapshot_records``.
+
+        The snapshot must capture everything the older segments said (the
+        server passes one compacted ``{"type": "snapshot", ...}`` record);
+        once the new segment is durable the old ones are unlinked.
+        """
+        old_segments = self.segments()
+        self._handle.close()
+        self._sequence += 1
+        new_path = os.path.join(self.directory, _segment_name(self._sequence))
+        self._write_new_segment(new_path, snapshot_records)
+        self._path = new_path
+        self._handle = open(self._path, "ab")
+        for stale in old_segments:
+            os.unlink(stale)
+
+    def close(self) -> None:
+        self._handle.close()
+
+    # -- the read path -----------------------------------------------------------
+
+    def replay(self) -> List[Dict[str, Any]]:
+        """Every record across all segments, oldest first.
+
+        A torn/CRC-failing record at the tail of the *last* segment is
+        discarded (crash-mid-append); damage anywhere else raises
+        :class:`JournalCorruptError`.
+        """
+        self._handle.flush()
+        records: List[Dict[str, Any]] = []
+        segments = self.segments()
+        for position, path in enumerate(segments):
+            last = position == len(segments) - 1
+            segment_records, valid_end, clean = _read_segment(path)
+            if not clean and not last:
+                raise JournalCorruptError(
+                    f"journal segment {path} is damaged at byte {valid_end} "
+                    f"but is not the final segment — records after the damage "
+                    f"would be lost; restore the journal directory from backup"
+                )
+            records.extend(segment_records)
+        return records
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _fsync_directory(directory: str) -> None:
+        # Best-effort, mirroring repro.checkpoint._atomic_write: directories
+        # cannot be opened for fsync on some platforms.
+        try:
+            directory_fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+
+    def _discover_active(self) -> Tuple[int, bool]:
+        existing = self.segments()
+        if not existing:
+            return 1, True
+        match = _SEGMENT_RE.match(os.path.basename(existing[-1]))
+        assert match is not None
+        return int(match.group(1)), False
+
+    def _write_new_segment(self, path: str, records: List[Dict[str, Any]]) -> None:
+        """Two-phase segment creation: temp file, fsync, rename, dir fsync."""
+        blob = _HEADER.pack(JOURNAL_MAGIC, JOURNAL_VERSION)
+        for record in records:
+            blob += _encode_record(record)
+        descriptor, temp_path = tempfile.mkstemp(prefix=".jrnl-", dir=self.directory)
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+            if self.fsync:
+                self._fsync_directory(self.directory)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    def _repair_active_tail(self) -> None:
+        """Truncate a torn tail left by a crash mid-append."""
+        _, valid_end, clean = _read_segment(self._path)
+        if clean:
+            return
+        with open(self._path, "r+b") as handle:
+            handle.truncate(valid_end)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+
+def _read_segment(path: str) -> Tuple[List[Dict[str, Any]], int, bool]:
+    """Parse one segment; returns ``(records, valid_end_offset, clean)``.
+
+    ``clean`` is False when trailing bytes after ``valid_end_offset`` could
+    not be parsed as a complete, CRC-valid record (the torn-tail case; the
+    caller decides whether that is tolerable).
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < _HEADER.size:
+        raise JournalCorruptError(
+            f"journal segment {path} is shorter than its header "
+            f"({len(data)} < {_HEADER.size} bytes) — not a journal segment"
+        )
+    magic, version = _HEADER.unpack_from(data, 0)
+    if magic != JOURNAL_MAGIC:
+        raise JournalCorruptError(
+            f"journal segment {path} has bad magic {magic!r} — not a journal "
+            f"segment"
+        )
+    if version != JOURNAL_VERSION:
+        raise JournalError(
+            f"journal segment {path} has format version {version}; this "
+            f"library reads version {JOURNAL_VERSION}"
+        )
+    records: List[Dict[str, Any]] = []
+    offset = _HEADER.size
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            return records, offset, False
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > len(data):
+            return records, offset, False
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return records, offset, False
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return records, offset, False
+        records.append(record)
+        offset = end
+    return records, offset, True

@@ -1,0 +1,60 @@
+"""Admission control and fair-share/priority job selection.
+
+Pure, deterministic decision functions — no clocks, no randomness, no I/O —
+so scheduling order is a function of the job table alone and the
+differential crash suite can rely on it: a restarted service that recovers
+the same job table makes the same decisions.
+
+Policy (in tie-break order):
+
+1. **Fair share**: among tenants with runnable jobs, the one holding the
+   fewest running leases goes first — one tenant flooding the queue cannot
+   starve the others.
+2. **Priority**: within a tenant, higher ``priority`` wins.
+3. **FIFO**: within a priority, lower admission index (submission order).
+
+Admission is bounded: past ``max_queue_depth`` queued jobs the service
+rejects with the typed
+:class:`~repro.service.errors.ServiceOverloadedError` instead of growing
+without bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .errors import ServiceOverloadedError
+from .jobs import JobRecord
+
+__all__ = ["check_admission", "select_next"]
+
+
+def check_admission(queued_count: int, max_queue_depth: int) -> None:
+    """Reject (typed, actionable) when the bounded queue is full."""
+    if queued_count >= max_queue_depth:
+        raise ServiceOverloadedError(
+            f"job queue is full ({queued_count}/{max_queue_depth} queued); "
+            f"the service sheds load instead of growing without bound — "
+            f"retry with backoff (keep the same submit_key for exactly-once "
+            f"admission), or raise JobService(max_queue_depth=...)"
+        )
+
+
+def select_next(
+    runnable: Sequence[JobRecord],
+    running_by_tenant: Dict[str, int],
+) -> Optional[JobRecord]:
+    """The next job to lease, or ``None`` when nothing is runnable.
+
+    ``runnable`` is the queued jobs whose retry backoff has elapsed;
+    ``running_by_tenant`` counts currently-leased jobs per tenant (tenants
+    absent from the mapping hold zero leases).
+    """
+    best: Optional[JobRecord] = None
+    best_key = None
+    for job in runnable:
+        key = (running_by_tenant.get(job.tenant, 0), -job.priority, job.index)
+        if best_key is None or key < best_key:
+            best = job
+            best_key = key
+    return best

@@ -196,3 +196,126 @@ class TestBoundsAndFigureCommands:
         output = capsys.readouterr().out
         assert "*" in output
         assert "Segments of 2 -> 13" in output
+
+
+def _case_spec_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"name": "x", "surprise_key": 1}')
+    return ["simulate", "--spec", str(bad)], "unknown key(s)"
+
+
+def _case_repro_error(tmp_path):
+    return (
+        ["simulate", "--algorithm", "pts", "--checkpoint-every", "5"],
+        "--checkpoint-every requires --checkpoint",
+    )
+
+
+def _case_checkpoint_mismatch(tmp_path):
+    ckpt = str(tmp_path / "run.ckpt")
+    assert main(
+        ["simulate", "--algorithm", "pts", "--nodes", "16", "--rounds", "30",
+         "--checkpoint-every", "10", "--checkpoint", ckpt]
+    ) == 0
+    other = tmp_path / "other.json"
+    from repro.api import Scenario
+
+    other.write_text(
+        Scenario.line(16)
+        .algorithm("greedy")
+        .adversary("burst", rho=1.0, sigma=2, rounds=30)
+        .build()
+        .to_json()
+    )
+    return (
+        ["simulate", "--resume", ckpt, "--spec", str(other)],
+        "refusing to mix executions",
+    )
+
+
+def _case_recovery_exhausted(tmp_path):
+    from repro.network.faults import FaultEvent, FaultPlan
+
+    plan = tmp_path / "plan.json"
+    plan.write_text(
+        FaultPlan(events=(FaultEvent(kind="crash", round=2, segment=0),)).to_json()
+    )
+    return (
+        ["simulate", "--algorithm", "pts", "--nodes", "16", "--rounds", "20",
+         "--shards", "2", "--recovery", "restart", "--max-worker-restarts", "0",
+         "--checkpoint-every", "5", "--checkpoint", str(tmp_path / "s.ckpt"),
+         "--faults", str(plan)],
+        "max_worker_restarts=0",
+    )
+
+
+def _case_service_unavailable(tmp_path):
+    return (
+        ["service", "ls", "--data", str(tmp_path / "no-server")],
+        "repro service serve",
+    )
+
+
+def _case_job_not_found(tmp_path):
+    from repro.service import JobService
+
+    service = JobService(
+        str(tmp_path / "svc"), poll_interval=0.05, fsync=False
+    ).start()
+    return (
+        ["service", "info", "job-999999", "--socket", service.socket_path],
+        "service ls",
+        service.stop,
+    )
+
+
+TYPED_ERROR_CASES = {
+    "SpecError": _case_spec_error,
+    "ReproError": _case_repro_error,
+    "CheckpointSpecMismatchError": _case_checkpoint_mismatch,
+    "RecoveryExhaustedError": _case_recovery_exhausted,
+    "ServiceUnavailableError": _case_service_unavailable,
+    "JobNotFoundError": _case_job_not_found,
+}
+
+
+class TestTypedErrorsExitTwo:
+    """Every typed error family surfaces as exit code 2 with an actionable
+    message on stderr — never a traceback, never a bare non-zero."""
+
+    @pytest.mark.parametrize("family", sorted(TYPED_ERROR_CASES))
+    def test_typed_error_maps_to_exit_2(self, tmp_path, capsys, family):
+        case = TYPED_ERROR_CASES[family](tmp_path)
+        argv, fragment = case[0], case[1]
+        cleanup = case[2] if len(case) > 2 else None
+        try:
+            capsys.readouterr()  # drop any setup output
+            assert main(argv) == 2
+            err = capsys.readouterr().err
+            assert fragment in err, f"{family}: {fragment!r} not in {err!r}"
+            assert "Traceback" not in err
+        finally:
+            if cleanup is not None:
+                cleanup()
+
+
+class TestServiceRecoveryTelemetry:
+    def test_sharded_json_row_carries_recovery(self, capsys):
+        import json
+
+        assert main(
+            ["simulate", "--algorithm", "pts", "--nodes", "16", "--rounds",
+             "30", "--shards", "2", "--json"]
+        ) == 0
+        row = json.loads(capsys.readouterr().out)
+        assert "recovery" in row
+        assert row["recovery"]["restarts"] == 0
+
+    def test_single_process_json_row_has_no_recovery_key(self, capsys):
+        import json
+
+        assert main(
+            ["simulate", "--algorithm", "pts", "--nodes", "16", "--rounds",
+             "30", "--json"]
+        ) == 0
+        assert "recovery" not in json.loads(capsys.readouterr().out)

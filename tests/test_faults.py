@@ -14,6 +14,7 @@ from repro.network.errors import ConfigurationError
 from repro.network.faults import (
     FAULT_KINDS,
     FAULT_PHASES,
+    SERVICE_FAULT_PHASES,
     FaultEvent,
     FaultInjector,
     FaultPlan,
@@ -27,12 +28,35 @@ from repro.network.faults import (
 
 def test_event_accepts_every_kind_and_phase():
     for kind in FAULT_KINDS:
-        for phase in FAULT_PHASES:
+        for phase in FAULT_PHASES + SERVICE_FAULT_PHASES:
             event = FaultEvent(
                 kind=kind, round=0, segment=0, phase=phase,
                 delay=0.1 if kind == "slow" else 0.0,
             )
             assert event.kind == kind and event.phase == phase
+
+
+def test_service_phases_are_disjoint_from_engine_phases():
+    # Job-service plans reuse FaultEvent with lifecycle phases; the two
+    # namespaces must never collide or a plan becomes ambiguous.
+    assert set(FAULT_PHASES).isdisjoint(SERVICE_FAULT_PHASES)
+    assert SERVICE_FAULT_PHASES == ("queued", "running", "checkpointing",
+                                    "draining")
+
+
+def test_unknown_phase_error_names_both_phase_lists():
+    with pytest.raises(ConfigurationError) as excinfo:
+        FaultEvent(kind="crash", round=0, segment=0, phase="warmup")
+    message = str(excinfo.value)
+    for phase in FAULT_PHASES + SERVICE_FAULT_PHASES:
+        assert phase in message
+
+
+def test_sample_never_draws_service_phases():
+    # FaultPlan.sample targets the sharded engine; service plans are always
+    # written explicitly (docs/SERVICE.md).
+    plan = FaultPlan.sample(7, rounds=50, shards=4, events=12)
+    assert all(event.phase in FAULT_PHASES for event in plan.events)
 
 
 @pytest.mark.parametrize(

@@ -213,7 +213,8 @@ class TestCli:
         baseline = tmp_path / "baseline.json"
         assert (
             lint_main(
-                [str(root), "--baseline", str(baseline), "--write-baseline"]
+                [str(root), "--baseline", str(baseline), "--write-baseline",
+                 "--justification", "legacy io.py handlers, tracked in #42"]
             )
             == 0
         )
@@ -222,6 +223,48 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "baseline debt: 3" in out
+
+    def test_write_baseline_requires_justification(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        with pytest.raises(SystemExit):
+            lint_main([str(root), "--baseline", str(baseline), "--write-baseline"])
+        assert "--justification" in capsys.readouterr().err
+        assert not baseline.exists()
+
+    def test_blank_justification_is_rejected(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        with pytest.raises(SystemExit):
+            lint_main(
+                [str(root), "--baseline", str(baseline), "--write-baseline",
+                 "--justification", "   "]
+            )
+        assert "empty" in capsys.readouterr().err
+        assert not baseline.exists()
+
+    def test_justification_without_write_baseline_is_rejected(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        with pytest.raises(SystemExit):
+            lint_main([str(root), "--justification", "why not"])
+        assert "--write-baseline" in capsys.readouterr().err
+
+    def test_justification_is_recorded_on_every_entry(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        reason = "inherited from the pre-lint era"
+        assert (
+            lint_main(
+                [str(root), "--baseline", str(baseline), "--write-baseline",
+                 "--justification", reason]
+            )
+            == 0
+        )
+        assert reason in capsys.readouterr().out
+        payload = json.loads(baseline.read_text())
+        entries = payload["entries"] if isinstance(payload, dict) else payload
+        assert len(entries) == 3
+        assert all(entry["justification"] == reason for entry in entries)
 
     def test_unknown_rule_code_rejected(self, tmp_path):
         root = self._tree(tmp_path)

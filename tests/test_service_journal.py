@@ -1,0 +1,123 @@
+"""Unit tests for the durable job journal (repro.service.journal)."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.service.errors import JournalCorruptError, JournalError
+from repro.service.journal import JOURNAL_MAGIC, JOURNAL_VERSION, Journal
+
+HEADER_SIZE = struct.calcsize(f"<{len(JOURNAL_MAGIC)}sI")
+
+
+def make_journal(tmp_path, **kwargs):
+    kwargs.setdefault("fsync", False)
+    return Journal(str(tmp_path / "journal"), **kwargs)
+
+
+class TestRoundTrip:
+    def test_append_then_replay(self, tmp_path):
+        journal = make_journal(tmp_path)
+        records = [{"type": "submit", "n": i} for i in range(5)]
+        for record in records:
+            journal.append(record)
+        assert journal.replay() == records
+        journal.close()
+
+    def test_replay_survives_reopen(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append({"a": 1})
+        journal.append({"b": [1, 2, 3]})
+        journal.close()
+        reopened = make_journal(tmp_path)
+        assert reopened.replay() == [{"a": 1}, {"b": [1, 2, 3]}]
+        reopened.close()
+
+    def test_empty_journal_replays_empty(self, tmp_path):
+        journal = make_journal(tmp_path)
+        assert journal.replay() == []
+        journal.close()
+
+
+class TestTornTail:
+    """kill -9 mid-append damages at most the final record — and only that."""
+
+    def test_truncated_frame_is_discarded_and_repaired(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append({"keep": 1})
+        journal.append({"keep": 2})
+        path = journal.active_path
+        journal.close()
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:  # torn mid-frame: half a record
+            handle.write(blob + b"\x99\x00\x00\x00\x42")
+        reopened = make_journal(tmp_path)
+        assert reopened.replay() == [{"keep": 1}, {"keep": 2}]
+        # the tail was physically truncated, so a new append lands cleanly
+        reopened.append({"keep": 3})
+        assert reopened.replay() == [{"keep": 1}, {"keep": 2}, {"keep": 3}]
+        reopened.close()
+
+    def test_crc_damage_at_tail_is_discarded(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append({"keep": 1})
+        journal.append({"lost": True})
+        path = journal.active_path
+        journal.close()
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF  # flip a byte inside the final record's payload
+        open(path, "wb").write(bytes(blob))
+        reopened = make_journal(tmp_path)
+        assert reopened.replay() == [{"keep": 1}]
+        reopened.close()
+
+    def test_not_a_journal_file_is_typed(self, tmp_path):
+        directory = tmp_path / "journal"
+        directory.mkdir()
+        (directory / "journal-00000001.log").write_bytes(b"garbage")
+        with pytest.raises(JournalCorruptError, match="not a journal segment"):
+            Journal(str(directory), fsync=False)
+
+    def test_future_version_is_typed(self, tmp_path):
+        directory = tmp_path / "journal"
+        directory.mkdir()
+        (directory / "journal-00000001.log").write_bytes(
+            struct.pack(f"<{len(JOURNAL_MAGIC)}sI", JOURNAL_MAGIC, JOURNAL_VERSION + 1)
+        )
+        with pytest.raises(JournalError, match="version"):
+            Journal(str(directory), fsync=False)
+
+
+class TestRotation:
+    def test_rotate_compacts_and_unlinks(self, tmp_path):
+        journal = make_journal(tmp_path)
+        for i in range(10):
+            journal.append({"n": i})
+        old = journal.active_path
+        journal.rotate([{"type": "snapshot", "upto": 9}])
+        assert journal.active_path != old
+        assert journal.segments() == [journal.active_path]
+        journal.append({"n": 10})
+        assert journal.replay() == [{"type": "snapshot", "upto": 9}, {"n": 10}]
+        journal.close()
+
+    def test_damage_in_non_final_segment_is_typed(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append({"n": 0})
+        first = journal.active_path
+        journal.rotate([{"snapshot": True}])
+        # Re-create a damaged older segment next to the rotated one.
+        with open(first, "wb") as handle:
+            handle.write(
+                struct.pack(f"<{len(JOURNAL_MAGIC)}sI", JOURNAL_MAGIC, JOURNAL_VERSION)
+            )
+            handle.write(b"\x05\x00\x00\x00")  # truncated frame mid-log
+        with pytest.raises(JournalCorruptError, match="not the final segment"):
+            journal.replay()
+        journal.close()
+
+    def test_minimum_segment_size_is_validated(self, tmp_path):
+        with pytest.raises(JournalError, match="max_segment_bytes"):
+            Journal(str(tmp_path / "j"), fsync=False, max_segment_bytes=16)

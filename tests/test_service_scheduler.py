@@ -1,0 +1,106 @@
+"""Unit tests for job records and the fair-share scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.errors import JobError, ServiceOverloadedError
+from repro.service.jobs import LEGAL_TRANSITIONS, TERMINAL_STATES, JobRecord
+from repro.service.scheduler import check_admission, select_next
+
+
+def job(index, tenant="t", priority=0, state="queued", **kwargs):
+    return JobRecord(
+        job_id=f"job-{index:06d}", index=index, tenant=tenant,
+        priority=priority, spec={"name": "x"}, state=state, **kwargs
+    )
+
+
+class TestJobRecord:
+    def test_legal_lifecycle(self):
+        record = job(0)
+        record.advance("running")
+        record.advance("queued")   # requeue after a worker failure
+        record.advance("running")
+        record.advance("done", result={"max_occupancy": 2})
+        assert record.terminal
+        assert record.result == {"max_occupancy": 2}
+
+    @pytest.mark.parametrize("terminal", TERMINAL_STATES)
+    def test_terminal_states_are_absorbing(self, terminal):
+        assert LEGAL_TRANSITIONS[terminal] == ()
+
+    def test_illegal_transition_is_typed(self):
+        record = job(0)
+        with pytest.raises(JobError, match="illegal transition"):
+            record.advance("done")  # queued -> done skips running
+
+    def test_unknown_state_is_typed(self):
+        with pytest.raises(JobError, match="unknown job state"):
+            job(0, state="paused")
+
+    def test_dict_round_trip(self):
+        record = job(3, tenant="alice", priority=2, submit_key="k")
+        record.advance("running")
+        clone = JobRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_unknown_keys_rejected(self):
+        payload = job(0).to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(JobError, match="unknown keys"):
+            JobRecord.from_dict(payload)
+
+    def test_public_view_hides_the_raw_spec(self):
+        view = job(0).public_view()
+        assert "spec" not in view
+        assert view["spec_name"] == "x"
+
+    def test_validation_bounds(self):
+        with pytest.raises(JobError, match="priority"):
+            job(0, priority=-1)
+        with pytest.raises(JobError, match="max_retries"):
+            job(0, max_retries=-1)
+        with pytest.raises(JobError, match="checkpoint_every"):
+            job(0, checkpoint_every=0)
+
+
+class TestAdmission:
+    def test_under_the_bound_is_fine(self):
+        check_admission(3, 4)
+
+    def test_at_the_bound_is_typed_and_actionable(self):
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            check_admission(4, 4)
+        message = str(excinfo.value)
+        assert "max_queue_depth" in message     # names the knob
+        assert "submit_key" in message          # names the safe retry recipe
+
+
+class TestSelectNext:
+    def test_empty_is_none(self):
+        assert select_next([], {}) is None
+
+    def test_fifo_within_equal_everything(self):
+        picked = select_next([job(2), job(0), job(1)], {})
+        assert picked.index == 0
+
+    def test_priority_beats_fifo(self):
+        picked = select_next([job(0), job(1, priority=5)], {})
+        assert picked.index == 1
+
+    def test_fair_share_beats_priority(self):
+        # Tenant "hog" already holds two leases; "new" holds none, so even a
+        # high-priority hog job waits behind the newcomer.
+        runnable = [job(0, tenant="hog", priority=9), job(1, tenant="new")]
+        picked = select_next(runnable, {"hog": 2})
+        assert picked.tenant == "new"
+
+    def test_deterministic_given_same_table(self):
+        runnable = [job(i, tenant=f"t{i % 3}", priority=i % 2) for i in range(9)]
+        running = {"t0": 1}
+        first = select_next(runnable, running)
+        assert all(
+            select_next(list(reversed(runnable)), dict(running)) is first
+            for _ in range(3)
+        )

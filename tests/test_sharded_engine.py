@@ -325,7 +325,14 @@ def test_cli_shards_matches_unsharded_row(capsys):
     single_row = json.loads(capsys.readouterr().out)
     main(argv + ["--shards", "3"])
     sharded_row = json.loads(capsys.readouterr().out)
+    # Sharded rows additionally surface the supervisor's recovery telemetry
+    # (a fault-free run reports zero restarts); the result itself must stay
+    # bit-identical to the single-process row.
+    assert sharded_row.pop("recovery") == {
+        "restarts": 0, "recovery_time_s": None
+    }
     assert sharded_row == single_row
+    assert "recovery" not in single_row
 
 
 # ---------------------------------------------------------------------------
@@ -494,7 +501,12 @@ def test_cli_recovery_flags_and_fault_plan(tmp_path, capsys):
         "--heartbeat-timeout", "30", "--faults", str(plan_path),
     ]
     assert main(chaos_argv) in (0, 1)
-    assert json.loads(capsys.readouterr().out) == baseline_row
+    chaos_row = json.loads(capsys.readouterr().out)
+    # The recovery telemetry is exactly what distinguishes the two runs —
+    # one absorbed restart — while the result row stays bit-identical.
+    assert baseline_row.pop("recovery")["restarts"] == 0
+    assert chaos_row.pop("recovery")["restarts"] == 1
+    assert chaos_row == baseline_row
 
 
 def test_cli_exhausted_recovery_budget_exits_2(tmp_path, capsys):
