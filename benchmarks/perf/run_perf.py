@@ -9,7 +9,10 @@ run by hand before/after engine changes):
 * **session cases** time a complete ``Session.run`` (spec resolution,
   simulation, drain, result assembly) and report runs/sec;
 * **stream cases** run the memory-lean path (``history="streaming"`` plus a
-  lazy ``stream=True`` adversary) at larger ``n``.
+  lazy ``stream=True`` adversary) at larger ``n``;
+* **batch cases** time the vectorized batch-round kernel
+  (:mod:`repro.network.batch`) on the batchable line specs, publishing
+  ``speedup_vs_delta`` next to each row's ``engine/`` twin.
 
 Every engine/stream case also reports **peak memory** (tracemalloc, covering
 topology + algorithm construction and the full run), and ``--check`` gates
@@ -318,6 +321,41 @@ def _time_engine(session: Session, spec: ScenarioSpec, repeats: int) -> Dict[str
     }
 
 
+def _time_batch(session: Session, spec: ScenarioSpec, repeats: int) -> Dict[str, Any]:
+    """Time the vectorized batch kernel on the same no-drain round loop.
+
+    Mirrors :func:`_time_engine` (fresh packet-id scope per repeat, best of
+    N) so ``batch/...`` and ``engine/...`` rows for the same spec are
+    directly comparable — their ratio is the kernel's speedup.
+    """
+    from repro.core.packet import packet_id_scope
+    from repro.network.batch import BatchSimulator
+
+    rounds = spec.adversary.rounds
+    elapsed = float("inf")
+    for _ in range(repeats):
+        with packet_id_scope():
+            prepared = session.prepare(spec)
+            simulator = BatchSimulator(
+                prepared.topology, prepared.algorithm, prepared.adversary,
+                history=spec.policy.history,
+            )
+            start = time.perf_counter()
+            simulator.run(rounds, drain=False)
+            elapsed = min(elapsed, time.perf_counter() - start)
+    return {
+        "case": f"batch/{spec.label}",
+        "kind": "batch",
+        "n": prepared.topology.num_nodes,
+        "algorithm": spec.algorithm.name,
+        "topology": spec.topology.kind,
+        "rounds": rounds,
+        "repeats": repeats,
+        "elapsed_sec": elapsed,
+        "rounds_per_sec": rounds / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
 def _time_session(session: Session, spec: ScenarioSpec, repeats: int) -> Dict[str, Any]:
     """Time one complete Session.run (resolution + simulation + drain), best of N."""
     elapsed = float("inf")
@@ -342,7 +380,7 @@ def _time_session(session: Session, spec: ScenarioSpec, repeats: int) -> Dict[st
     }
 
 
-def _measure_peak_memory(spec: ScenarioSpec) -> int:
+def _measure_peak_memory(spec: ScenarioSpec, engine: str = "delta") -> int:
     """Peak tracemalloc bytes for one prepared run (construction included).
 
     Uses an uncached Session so topology construction — the n-proportional
@@ -351,14 +389,16 @@ def _measure_peak_memory(spec: ScenarioSpec) -> int:
     across machines (unlike RSS) and can live in the committed baseline.
     """
     from repro.core.packet import packet_id_scope
+    from repro.network.batch import BatchSimulator
 
+    simulator_cls = BatchSimulator if engine == "batch" else Simulator
     session = Session(cache_topologies=False)
     rounds = spec.adversary.rounds
     tracemalloc.start()
     try:
         with packet_id_scope():
             prepared = session.prepare(spec)
-            simulator = Simulator(
+            simulator = simulator_cls(
                 prepared.topology, prepared.algorithm, prepared.adversary,
                 history=spec.policy.history,
             )
@@ -433,6 +473,32 @@ def run_suite(quick: bool, repeats: int) -> Dict[str, Any]:
             f"({case['normalized_throughput']:.1f} norm, "
             f"{case['peak_mem_bytes'] / 1e6:.1f} MB peak)"
         )
+    # Batch-kernel cases: the vectorized engine on the batchable line specs,
+    # one row per (algorithm, n) next to its engine/ twin so the speedup is
+    # visible in the JSON and the kernel's throughput is gated like any
+    # other case.
+    delta_by_case = {case["case"]: case for case in cases}
+    for n, rounds in sizes:
+        for algorithm in ("pts", "greedy"):
+            spec = _line_spec(algorithm, n, rounds)
+            case = _time_batch(session, spec, repeats)
+            case["normalized_throughput"] = (
+                case["rounds_per_sec"] / (calibration / 1e6)
+            )
+            case["peak_mem_bytes"] = _measure_peak_memory(spec, engine="batch")
+            twin = delta_by_case.get(f"engine/{spec.label}")
+            speedup = (
+                case["rounds_per_sec"] / twin["rounds_per_sec"] if twin else None
+            )
+            if speedup is not None:
+                case["speedup_vs_delta"] = speedup
+            cases.append(case)
+            print(
+                f"{case['case']:<40} {case['rounds_per_sec']:>12.0f} rounds/s "
+                f"({case['normalized_throughput']:.1f} norm, "
+                + (f"{speedup:.1f}x vs engine, " if speedup is not None else "")
+                + f"{case['peak_mem_bytes'] / 1e6:.1f} MB peak)"
+            )
     # Checkpoint round trip on the smallest streaming tier: snapshot size is
     # part of the published surface (resume cost scales with it).
     n_stream, rounds_stream = stream_sizes[0]

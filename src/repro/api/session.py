@@ -477,15 +477,37 @@ class Session:
         checkpoint: Optional["Checkpoint"] = None,
     ) -> RunReport:
         policy = prepared.policy
-        simulator = Simulator(
-            prepared.topology,
-            prepared.algorithm,
-            prepared.adversary,
-            record_history=policy.record_history,
-            record_occupancy_vectors=policy.record_occupancy_vectors,
-            history=policy.history,
-            validate_capacity=policy.validate_capacity,
-        )
+        simulator: Optional[Simulator] = None
+        if policy.engine in ("batch", "auto"):
+            from ..network.batch import BatchSimulator
+            from ..network.errors import UnbatchableScenarioError
+
+            try:
+                simulator = BatchSimulator(
+                    prepared.topology,
+                    prepared.algorithm,
+                    prepared.adversary,
+                    batch_rounds=policy.batch_rounds,
+                    record_history=policy.record_history,
+                    record_occupancy_vectors=policy.record_occupancy_vectors,
+                    history=policy.history,
+                    validate_capacity=policy.validate_capacity,
+                )
+            except UnbatchableScenarioError:
+                if policy.engine == "batch":
+                    raise
+                # engine="auto": the scenario is outside the vectorized
+                # family; the object engine computes the same thing.
+        if simulator is None:
+            simulator = Simulator(
+                prepared.topology,
+                prepared.algorithm,
+                prepared.adversary,
+                record_history=policy.record_history,
+                record_occupancy_vectors=policy.record_occupancy_vectors,
+                history=policy.history,
+                validate_capacity=policy.validate_capacity,
+            )
         if checkpoint is not None:
             from ..checkpoint import restore_into
 

@@ -249,6 +249,21 @@ class RunPolicy(_SpecBase):
     heartbeat_timeout:
         Seconds the coordinator waits for a worker's phase reply before
         declaring it hung (process transport only; ``None`` waits forever).
+    engine:
+        Which round engine executes the run: ``None``/``"delta"`` is the
+        object engine (:class:`repro.network.simulator.Simulator`),
+        ``"batch"`` the vectorized flat-array kernel
+        (:mod:`repro.network.batch`), ``"auto"`` tries the batch kernel and
+        falls back to the object engine when the scenario is refused with
+        :class:`~repro.network.errors.UnbatchableScenarioError`.  The engine
+        never changes what the simulation computes — batch results are
+        bit-identical to the object engine — so, like the checkpoint and
+        sharding fields, both engine fields are excluded from the
+        resume-identity hash.
+    batch_rounds:
+        How many injection rounds the batch kernel advances per array sweep
+        before syncing back to object state (checkpoint cadence clamps a
+        sweep early so saves still land on exact round boundaries).
     """
 
     rounds: Optional[int] = None
@@ -265,6 +280,8 @@ class RunPolicy(_SpecBase):
     recovery: str = "fail"
     max_worker_restarts: int = 3
     heartbeat_timeout: Optional[float] = None
+    engine: Optional[str] = None
+    batch_rounds: int = 64
 
     def __post_init__(self) -> None:
         if self.rounds is not None and (not isinstance(self.rounds, int) or self.rounds < 0):
@@ -324,6 +341,25 @@ class RunPolicy(_SpecBase):
             raise SpecError(
                 f"RunPolicy.heartbeat_timeout must be None or a number > 0 "
                 f"seconds, got {self.heartbeat_timeout!r}"
+            )
+        if self.engine is not None and self.engine not in ("delta", "batch", "auto"):
+            raise SpecError(
+                f"RunPolicy.engine must be None, 'delta', 'batch' or 'auto', "
+                f"got {self.engine!r}"
+            )
+        if (
+            not isinstance(self.batch_rounds, int)
+            or isinstance(self.batch_rounds, bool)
+            or self.batch_rounds < 1
+        ):
+            raise SpecError(
+                f"RunPolicy.batch_rounds must be an int >= 1, "
+                f"got {self.batch_rounds!r}"
+            )
+        if self.engine == "batch" and self.shards is not None and self.shards > 1:
+            raise SpecError(
+                "RunPolicy.engine='batch' cannot be combined with shards > 1; "
+                "use engine='auto' to fall back to the sharded object engine"
             )
         for flag in ("drain", "record_history", "record_occupancy_vectors", "validate_capacity"):
             if not isinstance(getattr(self, flag), bool):

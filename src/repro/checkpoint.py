@@ -156,7 +156,10 @@ def resume_spec_hash(spec: "ScenarioSpec") -> str:
     (``recovery`` / ``max_worker_restarts`` / ``heartbeat_timeout``) are
     normalized to their defaults too: worker supervision only decides how a
     run survives process failures, never what it computes, so a checkpoint
-    taken under one recovery policy resumes under any other.
+    taken under one recovery policy resumes under any other.  ``engine`` /
+    ``batch_rounds`` are likewise cleared — the batch kernel is proven
+    bit-identical to the object engine, so a checkpoint taken by either
+    engine (at any batch cadence) resumes under the other.
     """
     payload = spec.to_dict()
     policy = dict(payload.get("policy") or {})
@@ -166,6 +169,8 @@ def resume_spec_hash(spec: "ScenarioSpec") -> str:
     policy["recovery"] = "fail"
     policy["max_worker_restarts"] = 3
     policy["heartbeat_timeout"] = None
+    policy["engine"] = None
+    policy["batch_rounds"] = 64
     payload["policy"] = policy
     return type(spec).from_dict(payload).spec_hash()
 

@@ -149,6 +149,24 @@ def build_parser() -> argparse.ArgumentParser:
         "only)",
     )
     simulate.add_argument(
+        "--engine",
+        choices=("delta", "batch", "auto"),
+        default=None,
+        help="execution engine: 'delta' is the per-round object engine, "
+        "'batch' the vectorized batch-round kernel (line topologies, "
+        "non-adaptive adversaries and the regular algorithm family only; "
+        "anything else exits with code 2), 'auto' tries the batch kernel "
+        "and silently falls back (results are bit-identical either way)",
+    )
+    simulate.add_argument(
+        "--batch-rounds",
+        type=int,
+        default=None,
+        metavar="K",
+        help="rounds advanced per batch window for --engine batch/auto "
+        "(a sync cadence only — results do not depend on it)",
+    )
+    simulate.add_argument(
         "--recovery",
         choices=("fail", "restart", "fold"),
         default=None,
@@ -437,7 +455,7 @@ def _build_spec(args: argparse.Namespace) -> ScenarioSpec:
 
 
 def _with_checkpoint_policy(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
-    """Fold the checkpoint/sharding/recovery flags into the spec's policy.
+    """Fold the checkpoint/sharding/recovery/engine flags into the spec's policy.
 
     Applied identically to fresh and resumed runs (all of these fields are
     outside the resume-identity hash, so this never trips the spec check).
@@ -454,6 +472,10 @@ def _with_checkpoint_policy(spec: ScenarioSpec, args: argparse.Namespace) -> Sce
         overrides["max_worker_restarts"] = args.max_worker_restarts
     if args.heartbeat_timeout is not None:
         overrides["heartbeat_timeout"] = args.heartbeat_timeout
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    if args.batch_rounds is not None:
+        overrides["batch_rounds"] = args.batch_rounds
     if not overrides:
         return spec
     return Scenario.from_spec(spec).policy(**overrides).build()

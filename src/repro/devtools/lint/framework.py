@@ -132,6 +132,7 @@ class LintConfig:
         "repro/core/indexset.py",
         "repro/core/excess.py",
         "repro/core/hierarchy.py",
+        "repro/network/batch.py",
         "repro/network/events.py",
         "repro/service/jobs.py",
         "repro/service/journal.py",

@@ -24,6 +24,8 @@ __all__ = [
     "ShardingProtocolError",
     "WorkerFailedError",
     "RecoveryExhaustedError",
+    "BatchingError",
+    "UnbatchableScenarioError",
 ]
 
 
@@ -222,6 +224,30 @@ class WorkerFailedError(ShardingProtocolError):
             _rebuild_worker_failed,
             (str(self), self.segment, self.round_number, self.phase),
         )
+
+
+class BatchingError(ReproError):
+    """Base class for batch-engine failures (:mod:`repro.network.batch`).
+
+    Like the checkpoint and sharding families, every batching error derives
+    from :class:`ReproError`, so the CLI maps the whole family to exit code 2.
+    """
+
+
+class UnbatchableScenarioError(BatchingError):
+    """Raised when a scenario cannot run on the vectorized batch kernel.
+
+    Examples: a tree topology (the flat-array layout encodes the line's
+    ``i -> i+1`` structure directly in index arithmetic), an adaptive
+    adversary (its injections observe the global configuration between
+    rounds, which a k-round batch cannot replay), an algorithm outside the
+    regular family the kernel vectorizes (PTS, local, downhill, greedy with
+    a stock policy), or a greedy priority that is not one of the built-in
+    :data:`~repro.baselines.policies.ALL_POLICIES`.
+
+    ``RunPolicy.engine="auto"`` catches this error and falls back to the
+    object engine; ``engine="batch"`` propagates it.
+    """
 
 
 class RecoveryExhaustedError(ShardingError):

@@ -1,0 +1,368 @@
+"""Differential oracle: the batch kernel against the per-round object engine.
+
+Every scenario here runs twice from identical seeds — once on
+:class:`repro.network.simulator.Simulator` (the oracle) and once on
+:class:`repro.network.batch.BatchSimulator` — and the results must be
+*bit-identical*: the full :class:`SimulationResult` (including per-round
+records), the retained packet table (insertion order and every field), and
+the streamed injection log.  The matrix covers the whole vectorized family
+({PTS, local, downhill, greedy} x {trickle, bounded, explicit} x three
+history modes) on both kernel backends, plus the edges that historically
+break lockstep engines: round-0 injections, drain tails, the minimal line,
+and the error paths (invalid routes, wrong destinations).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.generators import (
+    build_explicit_adversary,
+    random_line_adversary,
+    trickle_adversary,
+)
+from repro.baselines.greedy import GreedyForwarding
+from repro.baselines.policies import ALL_POLICIES
+from repro.core.local import DownhillForwarding, LocalThresholdForwarding
+from repro.core.packet import packet_id_scope
+from repro.core.pseudobuffer import QueueDiscipline
+from repro.core.pts import PeakToSink
+from repro.network.batch import BatchSimulator
+from repro.network.errors import (
+    SchedulingError,
+    TopologyError,
+    UnbatchableScenarioError,
+)
+from repro.network.simulator import Simulator
+from repro.network.topology import LineTopology
+
+N = 16
+ROUNDS = 150
+SEED = 23
+
+BACKENDS = ("numpy", "python")
+
+
+# -- scenario construction ---------------------------------------------------------
+
+
+def _make_algorithm(name, topology):
+    n = topology.num_nodes
+    if name == "pts":
+        destination = n if topology.allow_virtual_sink else n - 1
+        return PeakToSink(topology, destination=destination)
+    if name == "local":
+        return LocalThresholdForwarding(topology, 2, destination=n - 1)
+    if name == "downhill":
+        return DownhillForwarding(topology, destination=n - 1)
+    return GreedyForwarding(topology)
+
+
+def _make_topology(name, n=N, adversary="trickle"):
+    # PTS and greedy exercise the virtual sink; local and downhill the
+    # ordinary last-node destination.  The bounded generator always targets
+    # node n-1, so its single-destination runs use a sink-free line.
+    with_sink = name in ("pts", "greedy") and adversary != "bounded"
+    return LineTopology(n, allow_virtual_sink=with_sink)
+
+
+def _destinations(name, topology):
+    n = topology.num_nodes
+    if name == "pts":
+        return [n if topology.allow_virtual_sink else n - 1]
+    if name == "greedy":
+        # Multi-destination: interior nodes plus the virtual sink.
+        return [n // 3, (2 * n) // 3, n]
+    return [n - 1]
+
+
+_EXPLICIT_GREEDY = [
+    # Round-0 burst, interleaved destinations, repeated sources.
+    (0, 0, 5), (0, 0, 10), (0, 3, 5), (1, 2, 16), (1, 4, 10),
+    (3, 0, 16), (3, 1, 5), (3, 3, 10), (3, 3, 16), (8, 9, 10),
+    (8, 14, 16), (20, 0, 16), (20, 5, 10), (21, 6, 16), (40, 15, 16),
+]
+
+
+def _make_adversary(kind, name, topology, rounds=ROUNDS, seed=SEED):
+    destinations = _destinations(name, topology)
+    if kind == "trickle":
+        return trickle_adversary(
+            topology, 0.9, 2.0, rounds, destinations=destinations, seed=seed
+        )
+    if kind == "bounded":
+        return random_line_adversary(
+            topology, 0.8, 3.0, rounds, 1, seed=seed
+        )
+    routes = (
+        _EXPLICIT_GREEDY
+        if name == "greedy"
+        else [
+            (t, s, destinations[0])
+            for (t, s, _w) in _EXPLICIT_GREEDY
+            if s < destinations[0]
+        ]
+    )
+    return build_explicit_adversary(
+        topology, rho=1.0, sigma=4.0, rounds=rounds, routes=routes
+    )
+
+
+HISTORY_MODES = {
+    "summary": {},
+    "full": {"record_history": True, "record_occupancy_vectors": True},
+    "streaming": {"history": "streaming"},
+}
+
+
+def _packet_table(simulator):
+    """Insertion order and every observable field of the packet table."""
+    return [
+        (
+            pid,
+            packet.source,
+            packet.destination,
+            packet.injected_round,
+            packet.location,
+            packet.state.value,
+            packet.accepted_round,
+            packet.delivered_round,
+            packet.hops,
+        )
+        for pid, packet in simulator.packets.items()
+    ]
+
+
+def _stream_log(simulator):
+    store = simulator.packet_store
+    if store is None:
+        return None
+    return (
+        tuple(store.rounds),
+        tuple(store.sources),
+        tuple(store.destinations),
+        tuple(store.packet_ids),
+    )
+
+
+def _run_delta(make, sim_kwargs, run_kwargs):
+    with packet_id_scope():
+        simulator = Simulator(*make(), **sim_kwargs)
+        result = simulator.run(**run_kwargs)
+    return simulator, result
+
+
+def _run_batch(make, backend, sim_kwargs, run_kwargs, batch_rounds=64):
+    with packet_id_scope():
+        simulator = BatchSimulator(
+            *make(), backend=backend, batch_rounds=batch_rounds, **sim_kwargs
+        )
+        result = simulator.run(**run_kwargs)
+    return simulator, result
+
+
+def _assert_identical(make, backend, sim_kwargs=None, run_kwargs=None, **batch_opts):
+    sim_kwargs = dict(sim_kwargs or {})
+    run_kwargs = dict(run_kwargs or {})
+    oracle_sim, oracle = _run_delta(make, sim_kwargs, run_kwargs)
+    batch_sim, result = _run_batch(make, backend, sim_kwargs, run_kwargs, **batch_opts)
+    assert result == oracle
+    assert _packet_table(batch_sim) == _packet_table(oracle_sim)
+    assert _stream_log(batch_sim) == _stream_log(oracle_sim)
+    return oracle
+
+
+# -- the full matrix ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("history", sorted(HISTORY_MODES))
+@pytest.mark.parametrize("adversary", ("trickle", "bounded", "explicit"))
+@pytest.mark.parametrize("algorithm", ("pts", "local", "downhill", "greedy"))
+def test_matrix_bit_identical(algorithm, adversary, history, backend):
+    def make():
+        topology = _make_topology(algorithm, adversary=adversary)
+        return (
+            topology,
+            _make_algorithm(algorithm, topology),
+            _make_adversary(adversary, algorithm, topology),
+        )
+
+    result = _assert_identical(
+        make, backend, sim_kwargs=HISTORY_MODES[history]
+    )
+    assert result.packets_injected > 0
+
+
+# -- edges -------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", ("pts", "local", "downhill", "greedy"))
+def test_minimal_line(algorithm, backend):
+    """n=2 — the smallest LineTopology — with a round-0 burst."""
+
+    def make():
+        topology = _make_topology(algorithm, n=2)
+        destination = _destinations(algorithm, topology)[-1]
+        adversary = build_explicit_adversary(
+            topology,
+            rho=1.0,
+            sigma=3.0,
+            rounds=6,
+            routes=[(0, 0, destination), (0, 0, destination),
+                    (2, 0, destination), (5, 0, destination)],
+        )
+        return topology, _make_algorithm(algorithm, topology), adversary
+
+    _assert_identical(make, backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", ("pts", "local", "downhill", "greedy"))
+def test_no_drain_leaves_identical_flight_state(algorithm, backend):
+    """drain=False: undelivered packets, locations and counters must agree."""
+
+    def make():
+        topology = _make_topology(algorithm)
+        return (
+            topology,
+            _make_algorithm(algorithm, topology),
+            _make_adversary("trickle", algorithm, topology),
+        )
+
+    result = _assert_identical(make, backend, run_kwargs={"drain": False})
+    assert result.packets_undelivered > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_empty_pattern(backend):
+    def make():
+        topology = LineTopology(N)
+        adversary = build_explicit_adversary(
+            topology, rho=1.0, sigma=1.0, rounds=10, routes=[]
+        )
+        return topology, PeakToSink(topology), adversary
+
+    result = _assert_identical(make, backend)
+    assert result.packets_injected == 0
+    assert result.drained
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_window_size_does_not_change_results(backend):
+    def make():
+        topology = _make_topology("pts")
+        return (
+            topology,
+            _make_algorithm("pts", topology),
+            _make_adversary("trickle", "pts", topology),
+        )
+
+    baseline = _run_batch(make, backend, {}, {}, batch_rounds=64)[1]
+    for batch_rounds in (1, 7, 1024):
+        assert (
+            _run_batch(make, backend, {}, {}, batch_rounds=batch_rounds)[1]
+            == baseline
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_variant_knobs(backend):
+    """Work-conserving PTS, FIFO PTS, threshold-1 local, locality-0 local."""
+
+    def pts_wc():
+        topology = LineTopology(N, allow_virtual_sink=True)
+        algorithm = PeakToSink(topology, destination=N, work_conserving=True)
+        return topology, algorithm, _make_adversary("trickle", "pts", topology)
+
+    def pts_fifo():
+        topology = LineTopology(N, allow_virtual_sink=True)
+        algorithm = PeakToSink(
+            topology, destination=N, discipline=QueueDiscipline.FIFO
+        )
+        return topology, algorithm, _make_adversary("trickle", "pts", topology)
+
+    def local_t1():
+        topology = LineTopology(N)
+        algorithm = LocalThresholdForwarding(
+            topology, 3, destination=N - 1, threshold=1
+        )
+        return topology, algorithm, _make_adversary("trickle", "local", topology)
+
+    def local_r0():
+        topology = LineTopology(N)
+        algorithm = LocalThresholdForwarding(topology, 0, destination=N - 1)
+        return topology, algorithm, _make_adversary("trickle", "local", topology)
+
+    for make in (pts_wc, pts_fifo, local_t1, local_r0):
+        _assert_identical(make, backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("policy", sorted(ALL_POLICIES, key=lambda p: p.name),
+                         ids=lambda p: p.name)
+def test_greedy_policies(policy, backend):
+    def make():
+        topology = LineTopology(N, allow_virtual_sink=True)
+        algorithm = GreedyForwarding(topology, policy)
+        return topology, algorithm, _make_adversary("trickle", "greedy", topology)
+
+    _assert_identical(make, backend)
+
+
+# -- error-path parity -------------------------------------------------------------
+
+
+def _raises_identically(make, exc_type, run_kwargs=None):
+    run_kwargs = dict(run_kwargs or {})
+    with packet_id_scope():
+        oracle = Simulator(*make())
+        with pytest.raises(exc_type) as delta_error:
+            oracle.run(**run_kwargs)
+    with packet_id_scope():
+        batch = BatchSimulator(*make(), backend="python")
+        with pytest.raises(exc_type) as batch_error:
+            batch.run(**run_kwargs)
+    assert str(batch_error.value) == str(delta_error.value)
+    assert batch.packets.keys() == oracle.packets.keys()
+
+
+def test_invalid_route_raises_identical_error():
+    def make():
+        topology = LineTopology(N)
+        adversary = build_explicit_adversary(
+            topology, rho=1.0, sigma=2.0, rounds=10,
+            routes=[(0, 0, N - 1), (3, 7, 3)],  # round-3 route goes backward
+        )
+        return topology, PeakToSink(topology), adversary
+
+    _raises_identically(make, TopologyError)
+
+
+def test_wrong_destination_raises_identical_error():
+    def make():
+        topology = LineTopology(N)
+        adversary = build_explicit_adversary(
+            topology, rho=1.0, sigma=2.0, rounds=10,
+            routes=[(0, 0, N - 1), (2, 1, N - 1), (2, 4, 8)],  # 8 != w
+        )
+        return topology, PeakToSink(topology), adversary
+
+    _raises_identically(make, SchedulingError)
+
+
+# -- refusal surface ---------------------------------------------------------------
+
+
+def test_unbatchable_scenarios_refused_before_side_effects():
+    topology = LineTopology(N)
+    adversary = _make_adversary("trickle", "pts", LineTopology(N))
+    from repro.core.hpts import HierarchicalPeakToSink
+
+    with pytest.raises(UnbatchableScenarioError):
+        BatchSimulator(
+            topology,
+            HierarchicalPeakToSink(LineTopology(16), levels=2, rho=0.4),
+            adversary,
+        )
