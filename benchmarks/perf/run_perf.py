@@ -12,7 +12,14 @@ run by hand before/after engine changes):
   lazy ``stream=True`` adversary) at larger ``n``;
 * **batch cases** time the vectorized batch-round kernel
   (:mod:`repro.network.batch`) on the batchable line specs, publishing
-  ``speedup_vs_delta`` next to each row's ``engine/`` twin.
+  ``speedup_vs_delta`` next to each row's ``engine/`` twin;
+* **batch_sharded cases** time the batch kernel split across worker
+  processes (window mode over shared-memory boundary rings) on a heavy
+  n=4096 line/PTS case at 1/2/4 workers, publishing ``speedup_vs_batch``
+  next to the single-process ``batch/`` twin.  These rows record the
+  machine's core count and are gated only where cores >= workers — on a
+  single-core runner the workers timeshare one CPU and wall-clock says
+  nothing about the parallel path.
 
 Every engine/stream case also reports **peak memory** (tracemalloc, covering
 topology + algorithm construction and the full run), and ``--check`` gates
@@ -61,7 +68,7 @@ from repro.api.session import Session  # noqa: E402
 from repro.api.specs import ScenarioSpec  # noqa: E402
 from repro.network.simulator import Simulator  # noqa: E402
 
-SCHEMA = "BENCH_engine/v4"
+SCHEMA = "BENCH_engine/v5"
 
 #: (n, engine rounds) per scale tier.  Rounds shrink as n grows so the seed
 #: engine's O(n) rounds stay measurable in bounded time.
@@ -86,17 +93,28 @@ MEM_GATE_FLOOR_BYTES = 512 * 1024
 TREE_DEPTHS = {64: 5, 256: 7, 1024: 9, 16384: 13}
 
 
-def _calibrate(iterations: int = 300_000, repeats: int = 3) -> float:
-    """Pure-Python ops/sec of this interpreter on this machine, best of N."""
-    best = 0.0
+def _calibrate(iterations: int = 300_000, repeats: int = 3):
+    """Pure-Python ops/sec of this interpreter on this machine, best of N.
+
+    Returns ``(best, spread)`` where ``spread`` is ``(best - worst) / best``
+    over the N samples.  The spread is published in the result JSON: when
+    the ±30% CI gate fires, the first question is whether the *calibration*
+    was stable — a noisy-neighbour burst during calibration rescales every
+    normalized number at once and makes the gate flap with no real
+    regression.  A spread above ~10% means the run should be re-tried, not
+    trusted.
+    """
+    samples = []
     for _ in range(repeats):
         accumulator = 0
         start = time.perf_counter()
         for i in range(iterations):
             accumulator += i & 7
         elapsed = time.perf_counter() - start
-        best = max(best, iterations / elapsed)
-    return best
+        samples.append(iterations / elapsed)
+    best = max(samples)
+    spread = (best - min(samples)) / best if best > 0 else 0.0
+    return best, spread
 
 
 def _line_spec(algorithm: str, n: int, rounds: int) -> ScenarioSpec:
@@ -218,6 +236,77 @@ def _time_sharded(spec: ScenarioSpec, shards: int, repeats: int) -> Dict[str, An
         "elapsed_sec": elapsed,
         "rounds_per_sec": rounds / elapsed if elapsed > 0 else float("inf"),
     }
+
+
+def _batch_sharded_spec(n: int, rounds: int,
+                        extra_policy: Optional[Dict[str, Any]] = None) -> ScenarioSpec:
+    """The batch x shards workload: work-conserving line/PTS under the
+    saturating single adversary (rho=1.0).  Work-conserving mode forwards
+    from *every* non-empty buffer each round, so per-round cost grows with
+    the packets in flight (~n at this rho) — heavy enough that splitting
+    the line across workers buys real wall-clock on a multi-core machine
+    instead of measuring spawn overhead."""
+    policy: Dict[str, Any] = {
+        "seed": 7, "drain": False, "engine": "batch", "batch_rounds": 64,
+    }
+    if extra_policy:
+        policy.update(extra_policy)
+    return ScenarioSpec.from_dict(
+        {
+            "name": f"perf/batch-sharded/pts/n{n}",
+            "topology": {"kind": "line", "params": {"num_nodes": n}},
+            "algorithm": {"name": "pts", "params": {"work_conserving": True}},
+            "adversary": {
+                "name": "single",
+                "rho": 1.0,
+                "sigma": 4.0,
+                "rounds": rounds,
+                "params": {},
+            },
+            "policy": policy,
+        }
+    )
+
+
+def _time_batch_sharded(
+    spec: ScenarioSpec, shards: int, repeats: int,
+    batch_rounds_per_sec: Optional[float],
+) -> Dict[str, Any]:
+    """Time the batch kernel split across worker processes (window mode).
+
+    ``speedup_vs_batch`` compares against the single-process batch kernel
+    on the identical spec.  The row records ``cpus`` because the number is
+    only meaningful as a *parallel* speedup when the machine has at least
+    ``shards`` cores: on fewer cores the workers timeshare one CPU and the
+    ring waits dominate, so :func:`check_regression` skips these rows
+    there (mirroring the sharded smoke's no-wall-clock-gate stance).
+    """
+    from repro.network.sharded import run_sharded
+
+    rounds = spec.adversary.rounds
+    elapsed = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result, extras = run_sharded(spec, shards=shards, transport="processes")
+        elapsed = min(elapsed, time.perf_counter() - start)
+    rounds_per_sec = rounds / elapsed if elapsed > 0 else float("inf")
+    case = {
+        "case": f"batch_sharded{shards}/{spec.label}",
+        "kind": "batch_sharded",
+        "n": result.num_nodes,
+        "algorithm": spec.algorithm.name,
+        "topology": spec.topology.kind,
+        "shards": shards,
+        "cpus": os.cpu_count(),
+        "transport": extras["engine"]["transport"],
+        "rounds": rounds,
+        "repeats": repeats,
+        "elapsed_sec": elapsed,
+        "rounds_per_sec": rounds_per_sec,
+    }
+    if batch_rounds_per_sec:
+        case["speedup_vs_batch"] = rounds_per_sec / batch_rounds_per_sec
+    return case
 
 
 def _time_chaos(n: int, rounds: int, shards: int, repeats: int) -> Dict[str, Any]:
@@ -455,7 +544,12 @@ def _checkpoint_case(spec: ScenarioSpec) -> Dict[str, Any]:
 def run_suite(quick: bool, repeats: int) -> Dict[str, Any]:
     sizes = QUICK_SIZES if quick else FULL_SIZES
     stream_sizes = QUICK_STREAM_SIZES if quick else FULL_STREAM_SIZES
-    calibration = _calibrate()
+    calibration, calibration_spread = _calibrate()
+    print(f"calibration: {calibration / 1e6:.2f} Mops/s "
+          f"(spread {calibration_spread:.1%} over 3 samples)")
+    if calibration_spread > 0.10:
+        print("calibration: WARNING - spread above 10%; normalized numbers "
+              "from this run are unreliable")
     session = Session()
     cases: List[Dict[str, Any]] = []
     timed_specs = [(spec, "engine") for spec in _specs(sizes)]
@@ -499,6 +593,36 @@ def run_suite(quick: bool, repeats: int) -> Dict[str, Any]:
                 + (f"{speedup:.1f}x vs engine, " if speedup is not None else "")
                 + f"{case['peak_mem_bytes'] / 1e6:.1f} MB peak)"
             )
+    # Batch x shards: the window-mode engine (k-round free-running workers
+    # exchanging boundary blocks over shared-memory rings) on the heavy
+    # n=4096 line/PTS case, next to its single-process batch/ twin.  The
+    # 1-worker row isolates the sharding overhead itself.
+    bs_n = 4096
+    # Full mode needs a horizon long enough that per-round compute (the
+    # parallelizable part) dominates worker spawn; quick mode keeps CI fast
+    # and relies on the baseline-relative gate only.
+    bs_rounds = 1024 if quick else 16384
+    bs_spec = _batch_sharded_spec(bs_n, bs_rounds)
+    bs_twin = _time_batch(session, bs_spec, repeats)
+    bs_twin["normalized_throughput"] = bs_twin["rounds_per_sec"] / (calibration / 1e6)
+    cases.append(bs_twin)
+    print(
+        f"{bs_twin['case']:<40} {bs_twin['rounds_per_sec']:>12.0f} rounds/s "
+        f"({bs_twin['normalized_throughput']:.1f} norm, 1 process)"
+    )
+    for shards in (1, 2, 4):
+        case = _time_batch_sharded(
+            bs_spec, shards, repeats, bs_twin["rounds_per_sec"]
+        )
+        case["normalized_throughput"] = case["rounds_per_sec"] / (calibration / 1e6)
+        cases.append(case)
+        speedup = case.get("speedup_vs_batch")
+        print(
+            f"{case['case']:<40} {case['rounds_per_sec']:>12.0f} rounds/s "
+            f"({case['normalized_throughput']:.1f} norm, {shards} workers, "
+            + (f"{speedup:.2f}x vs batch, " if speedup is not None else "")
+            + f"{case['transport']} transport)"
+        )
     # Checkpoint round trip on the smallest streaming tier: snapshot size is
     # part of the published surface (resume cost scales with it).
     n_stream, rounds_stream = stream_sizes[0]
@@ -549,6 +673,8 @@ def run_suite(quick: bool, repeats: int) -> Dict[str, Any]:
         "mode": "quick" if quick else "full",
         "repeats": repeats,
         "calibration_ops_per_sec": calibration,
+        "calibration_spread": calibration_spread,
+        "cpus": os.cpu_count(),
         "cases": cases,
     }
 
@@ -577,6 +703,28 @@ def check_regression(
                   f"(regenerate {baseline_path}?)")
             continue
         matched += 1
+        if case.get("kind") == "batch_sharded":
+            shards = case.get("shards", 1)
+            cpus = case.get("cpus") or 1
+            if cpus < shards:
+                # Fewer cores than workers: the workers timeshare one CPU
+                # and ring waits dominate wall-clock, so neither the
+                # throughput nor the parallel speedup is meaningful.  Same
+                # stance as the sharded smoke (wall-clock is not gated on
+                # single-core containers).
+                print(f"note: skipping gate for {case['case']} "
+                      f"({cpus} cpus < {shards} workers)")
+                continue
+            reference_speedup = reference.get("speedup_vs_batch")
+            current_speedup = case.get("speedup_vs_batch")
+            if reference_speedup is not None and current_speedup is not None:
+                floor = reference_speedup * (1.0 - tolerance)
+                if current_speedup < floor:
+                    failures.append(
+                        f"{case['case']}: speedup_vs_batch "
+                        f"{current_speedup:.2f}x < {floor:.2f}x "
+                        f"(baseline {reference_speedup:.2f}x - {tolerance:.0%})"
+                    )
         reference_throughput = reference.get("normalized_throughput")
         current_throughput = case.get("normalized_throughput")
         if reference_throughput is not None and current_throughput is not None:
@@ -819,6 +967,95 @@ def run_smoke_chaos(limit_mb: float, nodes: int, rounds: int,
     return 0
 
 
+def run_smoke_batch_shards(limit_mb: float, nodes: int = 100_000,
+                           rounds: int = 2_000, shards: int = 2) -> int:
+    """The batch x shards smoke: a streaming n=1e5 line split across batch
+    segment workers, one injected crash mid-window, bit-identical finish.
+
+    Runs the greedy/trickle streaming workload with ``engine="batch"``
+    (window mode over shared-memory rings where the host supports it), then
+    repeats it with a ``crash`` fault landing *inside* a window — not on a
+    checkpoint cut — so recovery has to rewind to the previous cut and
+    re-run the torn window.  Gates: exactly one restart, a recovered result
+    identical to the fault-free run, and the whole-tree peak-RSS estimate
+    (coordinator + ``shards`` x largest worker, as in the sharded smoke)
+    under ``limit_mb``.
+    """
+    import resource
+    import tempfile
+
+    from repro.network.faults import FaultEvent, FaultPlan
+    from repro.network.sharded import run_sharded
+
+    # checkpoint_every=500 and batch_rounds=64: cuts at 500, 1000, ... land
+    # mid-window (500 % 64 != 0) and the crash at round 780 lands mid-window
+    # too ([768, 832) clamped to the cut at 1000), so the torn-window rewind
+    # path is exercised, not just the clean-cut one.
+    crash_round = 780
+    plan = FaultPlan(events=(
+        FaultEvent(kind="crash", round=crash_round, segment=0, phase="begin"),
+    ))
+    with tempfile.TemporaryDirectory() as scratch:
+        spec = _sharded_smoke_spec(nodes, rounds, {
+            "engine": "batch",
+            "batch_rounds": 64,
+            "checkpoint_every": 500,
+            "checkpoint_path": os.path.join(scratch, "batch-shards.ckpt"),
+            "recovery": "restart",
+            "max_worker_restarts": 2,
+        })
+        start = time.perf_counter()
+        baseline, base_extras = run_sharded(
+            spec, shards=shards, transport="processes"
+        )
+        clean_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        result, extras = run_sharded(
+            spec, shards=shards, transport="processes", faults=plan,
+            clock=time.perf_counter,
+        )
+        elapsed = time.perf_counter() - start
+    engine = base_extras["engine"]
+    recovery = extras["recovery"]
+    print(f"batch-shards smoke: n={nodes} rounds={rounds} shards={shards} "
+          f"engine={engine['selected']} transport={engine['transport']}")
+    print(f"batch-shards smoke: injected={baseline.packets_injected} "
+          f"delivered={baseline.packets_delivered} "
+          f"max_occupancy={baseline.max_occupancy}")
+    print(f"batch-shards smoke: clean {clean_elapsed:.1f}s, with 1 kill at "
+          f"round {crash_round} {elapsed:.1f}s "
+          f"(restarts={recovery['restarts']}, "
+          f"recovery {recovery['recovery_time_s']:.2f}s)")
+    if engine["selected"] != "batch":
+        print("SMOKE FAILURE: batch engine was not selected")
+        return 1
+    if recovery["restarts"] != 1:
+        print(f"SMOKE FAILURE: expected exactly 1 worker restart, got "
+              f"{recovery['restarts']}")
+        return 1
+    if result != baseline:
+        print("SMOKE FAILURE: recovered result differs from the fault-free run")
+        return 1
+    print("batch-shards smoke: recovered result is identical to the "
+          "fault-free run")
+
+    rss_divisor = 1024.0 ** 2 if sys.platform == "darwin" else 1024.0
+    peak_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / rss_divisor
+    peak_worker = (
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / rss_divisor
+    )
+    tree_estimate = peak_self + shards * peak_worker
+    print(f"batch-shards smoke: peak RSS coordinator {peak_self:.0f} MB, "
+          f"largest worker {peak_worker:.0f} MB -> whole-tree estimate "
+          f"{tree_estimate:.0f} MB (limit {limit_mb:.0f} MB)")
+    if tree_estimate > limit_mb:
+        print("SMOKE FAILURE: estimated whole-tree peak RSS exceeds the "
+              "documented memory bound")
+        return 1
+    print("smoke ok: batch x shards run stayed within the memory bound")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small n, short horizons (CI)")
@@ -852,11 +1089,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "worker mid-run and require restitch-recovery to "
                              "finish with an identical result inside the same "
                              "RSS budget")
+    parser.add_argument("--smoke-batch-shards", action="store_true",
+                        help="run the batch x shards smoke instead of the case "
+                             "table: an n=1e5 streaming line on 2 batch "
+                             "segment workers with one injected crash "
+                             "mid-window, requiring a bit-identical finish "
+                             "inside the RSS budget (default limit 768 MB; "
+                             "override with --smoke-limit-mb)")
+    parser.add_argument("--min-batch-sharded-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless every 2+-worker batch_sharded case "
+                             "reaches X speedup_vs_batch (skipped, with a "
+                             "note, on machines with fewer cores than "
+                             "workers)")
     parser.add_argument("--smoke-nodes", type=int, default=SMOKE_NODES,
                         help=argparse.SUPPRESS)
     parser.add_argument("--smoke-rounds", type=int, default=SMOKE_ROUNDS,
                         help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
+
+    if args.smoke_batch_shards:
+        limit = args.smoke_limit_mb
+        if limit == parser.get_default("smoke_limit_mb"):
+            limit = 768.0
+        return run_smoke_batch_shards(limit)
 
     if args.smoke_mem:
         if args.smoke_chaos:
@@ -881,6 +1137,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)
     print(f"\nwrote {args.output} ({len(results['cases'])} cases, {results['mode']} mode)")
+
+    if args.min_batch_sharded_speedup is not None:
+        floor = args.min_batch_sharded_speedup
+        for case in results["cases"]:
+            if case.get("kind") != "batch_sharded" or case.get("shards", 1) < 2:
+                continue
+            if (case.get("cpus") or 1) < case["shards"]:
+                print(f"note: {case['case']} speedup floor skipped "
+                      f"({case.get('cpus')} cpus < {case['shards']} workers)")
+                continue
+            speedup = case.get("speedup_vs_batch")
+            if speedup is not None and speedup < floor:
+                print(f"\nPERF REGRESSION: {case['case']} reached only "
+                      f"{speedup:.2f}x vs single-process batch "
+                      f"(floor {floor:.2f}x)")
+                return 1
 
     if args.check:
         failures = check_regression(

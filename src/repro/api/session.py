@@ -74,6 +74,14 @@ class RunReport:
     #: ``--json`` rows so a run that survived faults is distinguishable from
     #: one that never saw any — their results are bit-identical by design.
     recovery: Optional[Dict[str, Any]] = None
+    #: Engine-routing telemetry: which engine the policy requested
+    #: (``"delta"``/``"batch"``/``"auto"``), which one actually ran, the
+    #: refusal message when ``"auto"`` fell back to the object engine, and —
+    #: for sharded runs — which boundary transport carried the supersteps
+    #: (``"shm"``, ``"processes"`` or ``"local"``).  Engines are bit-identical
+    #: by construction, so this exists purely to make silent fallbacks
+    #: diagnosable; surfaced in the CLI's ``--json`` rows.
+    engine: Optional[Dict[str, Any]] = None
 
     @property
     def max_occupancy(self) -> int:
@@ -467,6 +475,14 @@ class Session:
             params=self._report_params(spec, topology),
             spec=spec,
             recovery=extras.get("recovery"),
+            # Same visibility rule as _execute: routing telemetry surfaces
+            # only when the policy actually routed (engine="batch"/"auto");
+            # a plain delta run reports none, sharded or not.
+            engine=(
+                extras.get("engine")
+                if spec.policy.engine in ("batch", "auto")
+                else None
+            ),
         )
 
     def _execute(
@@ -478,10 +494,16 @@ class Session:
     ) -> RunReport:
         policy = prepared.policy
         simulator: Optional[Simulator] = None
+        engine_info: Optional[Dict[str, Any]] = None
         if policy.engine in ("batch", "auto"):
             from ..network.batch import BatchSimulator
             from ..network.errors import UnbatchableScenarioError
 
+            engine_info = {
+                "requested": policy.engine,
+                "selected": "batch",
+                "fallback_reason": None,
+            }
             try:
                 simulator = BatchSimulator(
                     prepared.topology,
@@ -493,11 +515,13 @@ class Session:
                     history=policy.history,
                     validate_capacity=policy.validate_capacity,
                 )
-            except UnbatchableScenarioError:
+            except UnbatchableScenarioError as refusal:
                 if policy.engine == "batch":
                     raise
                 # engine="auto": the scenario is outside the vectorized
                 # family; the object engine computes the same thing.
+                engine_info["selected"] = "delta"
+                engine_info["fallback_reason"] = str(refusal)
         if simulator is None:
             simulator = Simulator(
                 prepared.topology,
@@ -535,6 +559,7 @@ class Session:
             within_bound=within,
             params=dict(prepared.params),
             spec=spec,
+            engine=engine_info,
         )
 
 

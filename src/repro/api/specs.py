@@ -356,11 +356,6 @@ class RunPolicy(_SpecBase):
                 f"RunPolicy.batch_rounds must be an int >= 1, "
                 f"got {self.batch_rounds!r}"
             )
-        if self.engine == "batch" and self.shards is not None and self.shards > 1:
-            raise SpecError(
-                "RunPolicy.engine='batch' cannot be combined with shards > 1; "
-                "use engine='auto' to fall back to the sharded object engine"
-            )
         for flag in ("drain", "record_history", "record_occupancy_vectors", "validate_capacity"):
             if not isinstance(getattr(self, flag), bool):
                 raise SpecError(f"RunPolicy.{flag} must be a bool")

@@ -528,6 +528,12 @@ def _command_simulate(args: argparse.Namespace) -> int:
             # run that survived faults is distinguishable from one that never
             # saw any — the results themselves are bit-identical.
             row["recovery"] = report.recovery
+        if report.engine is not None:
+            # Engine routing telemetry: which engine ran and, for
+            # --engine auto, why a batch refusal fell back to delta — silent
+            # fallbacks otherwise look exactly like batch runs (results are
+            # bit-identical by construction).
+            row["engine"] = report.engine
         print(json.dumps(row, indent=2, sort_keys=True))
     else:
         print(reports_to_table([report], title="Simulation result"))

@@ -133,7 +133,9 @@ class LintConfig:
         "repro/core/excess.py",
         "repro/core/hierarchy.py",
         "repro/network/batch.py",
+        "repro/network/batch_sharded.py",
         "repro/network/events.py",
+        "repro/network/shm.py",
         "repro/service/jobs.py",
         "repro/service/journal.py",
     )
@@ -156,6 +158,10 @@ class LintConfig:
         "drop_next_send",
         "select_next",
         "replay",
+        # Boundary-ring transport: block layout and publish order feed the
+        # hand-off protocol directly (repro/network/shm.py).
+        "send_block",
+        "recv_block",
     )
     #: Modules allowed to call ``print`` (user-facing surfaces).
     print_allowed_modules: Tuple[str, ...] = (

@@ -68,6 +68,7 @@ import os
 import pickle
 import time
 from array import array
+from collections import deque
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -81,15 +82,18 @@ from typing import (
 )
 
 from ..core.packet import Injection, Packet, PacketState, packet_id_scope
+from .batch_sharded import BatchSegmentSimulator
 from .errors import (
     CheckpointError,
     RecoveryExhaustedError,
     ShardingProtocolError,
+    UnbatchableScenarioError,
     UnshardableScenarioError,
     WorkerFailedError,
 )
 from .events import RoundRecord, SimulationResult
 from .faults import FAULT_PHASES, FaultInjector, FaultPlan
+from .shm import BoundaryRing, shared_memory_available
 from .simulator import Simulator, default_max_drain_rounds, quiescence_window
 from .topology import LineTopology
 
@@ -135,6 +139,12 @@ class ExecutionPolicy:
     monotonic time source (e.g. ``time.perf_counter``) used only to measure
     ``recovery_time_s`` for the perf harness; the engine itself never reads
     wall-clock time, so results stay deterministic with or without one.
+
+    ``shm`` governs the batch×shards boundary transport: ``None`` (default)
+    probes shared memory and uses it when available, ``True`` requires it
+    (failing loudly instead of silently degrading), ``False`` forces the
+    pickled-pipe relay path.  Block *contents* are transport-independent, so
+    the knob can never change results — only wall-clock.
     """
 
     shards: int = 1
@@ -143,6 +153,7 @@ class ExecutionPolicy:
     max_retries: int = 2
     retry_backoff: float = 0.01
     clock: Optional[Callable[[], float]] = None
+    shm: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.shards, int) or self.shards < 1:
@@ -178,6 +189,15 @@ class ExecutionPolicy:
             raise UnshardableScenarioError(
                 f"clock must be None or a zero-argument callable returning "
                 f"seconds, got {self.clock!r}"
+            )
+        if self.shm is not None and not isinstance(self.shm, bool):
+            raise UnshardableScenarioError(
+                f"shm must be None (auto), True or False, got {self.shm!r}"
+            )
+        if self.shm is True and self.transport != "processes":
+            raise UnshardableScenarioError(
+                "shm=True requires transport='processes': the in-process "
+                "driver has no worker boundary to put a ring across"
             )
 
 
@@ -425,17 +445,38 @@ class _SegmentWorker:
         policy = spec.policy
         self.spec = spec
         self.base_adversary = prepared.adversary
-        self.simulator = SegmentSimulator(
-            topology,
-            algorithm,
-            adversary,
-            segment_index,
-            segments,
+        engine_kwargs = dict(
             record_history=policy.record_history,
             record_occupancy_vectors=policy.record_occupancy_vectors,
             history=policy.history,
             validate_capacity=policy.validate_capacity,
         )
+        self.engine_selected = "delta"
+        self.engine_fallback: Optional[str] = None
+        self.simulator: SegmentSimulator
+        if policy.engine in ("batch", "auto"):
+            try:
+                self.simulator = BatchSegmentSimulator(
+                    topology,
+                    algorithm,
+                    adversary,
+                    segment_index,
+                    segments,
+                    batch_rounds=policy.batch_rounds,
+                    **engine_kwargs,
+                )
+                self.engine_selected = "batch"
+            except UnbatchableScenarioError as refusal:
+                if policy.engine == "batch":
+                    raise
+                # engine="auto": outside the vectorized family — the object
+                # engine computes the same thing; record why for telemetry.
+                self.engine_fallback = str(refusal)
+        if self.engine_selected != "batch":
+            self.simulator = SegmentSimulator(
+                topology, algorithm, adversary, segment_index, segments,
+                **engine_kwargs,
+            )
         #: Whether an injected crash fault should kill the whole process
         #: (``os._exit``) instead of raising; set by the process transport so
         #: a chaos crash is indistinguishable from a real worker death.
@@ -444,13 +485,29 @@ class _SegmentWorker:
             from ..checkpoint import load_checkpoint, restore_into
 
             restore_into(self.simulator, load_checkpoint(restore_path))
+        if self.engine_selected == "batch":
+            # Load the flat kernel after any checkpoint restore so it
+            # projects the restored object state, not the empty line.
+            self.simulator.ensure_kernel()
+        #: Shared-memory boundary rings attached for window mode, keyed as
+        #: in the coordinator's "rings" payload.
+        self._rings: Dict[str, Any] = {}
 
     def init_info(self) -> Dict[str, Any]:
         algorithm = self.simulator.algorithm
+        simulator = self.simulator
+        batch = self.engine_selected == "batch"
         return {
             "horizon": self.base_adversary.horizon,
-            "needs_carry": algorithm.sharding_needs_carry,
+            # The batch segment engine replays global selection from boundary
+            # views alone; only the object engine threads HPTS-style carries.
+            "needs_carry": algorithm.sharding_needs_carry and not batch,
             "algorithm_name": algorithm.name,
+            "engine": self.engine_selected,
+            "engine_fallback": self.engine_fallback,
+            "needs_reverse_lane": (
+                simulator.needs_reverse_lane if batch else False
+            ),
         }
 
     def dispatch(self, command: str, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -469,19 +526,67 @@ class _SegmentWorker:
             return self.simulator.finish_round(
                 payload["round"], payload["handoff"]
             )
+        if command == "window":
+            return self._run_window(payload)
+        if command == "rings":
+            self._attach_rings(payload["names"])
+            return {"attached": sorted(self._rings)}
+        if command == "truncate":
+            self.simulator.truncate_to(payload["round"])
+            return {"round": payload["round"]}
         if command == "checkpoint":
+            self._sync_batch_state()
             size = self.simulator.save_checkpoint(payload["path"], spec=self.spec)
             return {"bytes": size}
         if command == "status":
             # Queried after a recovery respawn: the restored engines know
             # their pending/staged counts, the (new) coordinator does not.
+            self._sync_batch_state()
             return {
                 "pending": self.simulator._pending(),
                 "staged": self.simulator.algorithm.staged_count(),
             }
         if command == "result":
+            self._sync_batch_state()
             return self._result_payload()
         raise ShardingProtocolError(f"unknown worker command {command!r}")
+
+    def _sync_batch_state(self) -> None:
+        """Project batch kernel state into objects at a round boundary."""
+        if self.engine_selected == "batch":
+            self.simulator.sync_for_snapshot()
+
+    def _attach_rings(self, names: Dict[str, str]) -> None:
+        """Attach the coordinator-created boundary rings this worker uses."""
+        for key, name in names.items():
+            self._rings[key] = BoundaryRing(name=name)
+
+    def _run_window(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Free-run one k-round window over the shared-memory lanes."""
+        rings = self._rings
+        return self.simulator.run_window(
+            payload["t0"],
+            payload["t1"],
+            inject=payload["inject"],
+            left_in=rings.get("left_in"),
+            right_out=rings.get("right_out"),
+            right_in=rings.get("right_in"),
+            left_out=rings.get("left_out"),
+            faults=payload.get("faults"),
+            fault_hook=self._window_fault_hook,
+            ring_timeout=payload.get("ring_timeout", 60.0),
+        )
+
+    def _window_fault_hook(self, fault: Dict[str, Any], round_number: int) -> None:
+        self._apply_fault(fault, f"round {round_number}")
+
+    def close_rings(self) -> None:
+        for ring in self._rings.values():
+            try:
+                ring.close()
+            except (OSError, BufferError):  # pragma: no cover - best-effort
+                pass
+        self._rings = {}
 
     def _apply_fault(self, fault: Dict[str, Any], command: str) -> None:
         """Act out an injected fault directive shipped with a phase command."""
@@ -524,6 +629,10 @@ class _SegmentWorker:
             "algorithm_name": simulator.algorithm.name,
             "algorithm_state": simulator.algorithm.checkpoint_state(),
             "adversary_sigma": getattr(self.base_adversary, "sigma", None),
+            "handoff_trace": (
+                simulator._handoff_trace
+                if self.engine_selected == "batch" else None
+            ),
         }
 
 
@@ -592,6 +701,7 @@ def _process_worker_main(
                     return  # coordinator went away
                 command, payload = message
                 if command == "close":
+                    worker.close_rings()
                     return
                 connection.send(("ok", worker.dispatch(command, payload)))
     except BaseException as error:  # noqa: BLE001 - forwarded to coordinator
@@ -664,7 +774,10 @@ class _ProcessHandle:
                 )
         try:
             status, payload = self._conn.recv()
-        except EOFError:
+        except (EOFError, OSError):
+            # EOFError for a clean hangup, OSError (ECONNRESET) when the
+            # worker died with bytes still in flight — either way the worker
+            # is gone and the supervisor owns what happens next.
             raise WorkerFailedError(
                 f"segment worker {self.segment_index} died without replying "
                 f"(worker process exited; exit code appears in the shutdown "
@@ -785,6 +898,13 @@ class _ShardedCoordinator:
         self.needs_carry = False
         self.max_staged = 0
         self._executed = 0
+        # -- batch×shards state -------------------------------------------------
+        #: Engine telemetry merged into extras["engine"] (None until workers
+        #: report which engine they actually built).
+        self._engine_info: Optional[Dict[str, Any]] = None
+        #: Coordinator ends of the shared-memory boundary rings (window mode).
+        self._rings: List[BoundaryRing] = []
+        self._ring_timeout = 60.0
         # -- supervisor configuration ------------------------------------------
         policy = spec.policy
         self._recovery_mode = policy.recovery
@@ -840,8 +960,28 @@ class _ShardedCoordinator:
                 raise ShardingProtocolError(
                     "segment workers disagree on the adversary horizon"
                 )
+        engines = {info.get("engine", "delta") for info in infos}
+        if len(engines) != 1:
+            raise ShardingProtocolError(
+                f"segment workers disagree on the engine: {sorted(engines)}"
+            )
+        engine = engines.pop()
+        self._engine_info = {
+            "requested": policy.engine if policy.engine is not None else "delta",
+            "selected": engine,
+            "fallback_reason": infos[0].get("engine_fallback"),
+        }
         self.needs_carry = any(info["needs_carry"] for info in infos)
         num_rounds = policy.rounds if policy.rounds is not None else horizon
+        window_mode = (
+            engine == "batch"
+            and self.execution.transport == "processes"
+            and self.execution.shm is not False
+            and self._setup_rings(infos, policy)
+        )
+        self._engine_info["transport"] = (
+            "shm" if window_mode else self.execution.transport
+        )
 
         start_round = self._resume_round
         pending = 0
@@ -854,18 +994,25 @@ class _ShardedCoordinator:
             status = self._broadcast("status", {}, start_round)
             pending = sum(reply["pending"] for reply in status)
             staged = sum(reply["staged"] for reply in status)
-        for round_number in range(start_round, num_rounds):
-            _forwarded, staged, pending = self._superstep(
-                round_number, inject=True
+        if window_mode:
+            pending = self._run_windows(start_round, num_rounds, policy, pending)
+            drained = (
+                self._drain_windows(num_rounds, pending, policy)
+                if policy.drain else pending == 0
             )
-            if (
-                policy.checkpoint_every is not None
-                and (round_number + 1) % policy.checkpoint_every == 0
-            ):
-                self._checkpoint(policy.checkpoint_path, round_number + 1)
-        drained = self._drain(
-            num_rounds, pending, staged, policy
-        ) if policy.drain else pending == 0
+        else:
+            for round_number in range(start_round, num_rounds):
+                _forwarded, staged, pending = self._superstep(
+                    round_number, inject=True
+                )
+                if (
+                    policy.checkpoint_every is not None
+                    and (round_number + 1) % policy.checkpoint_every == 0
+                ):
+                    self._checkpoint(policy.checkpoint_path, round_number + 1)
+            drained = self._drain(
+                num_rounds, pending, staged, policy
+            ) if policy.drain else pending == 0
         result, extras = self._collect(drained)
         # Success path: a worker that crashed or hung at shutdown invalidates
         # the clean-run claim, so close diagnostics escalate.
@@ -879,6 +1026,7 @@ class _ShardedCoordinator:
             if problem:
                 problems.append(problem)
         self.handles = []
+        self._release_rings()
         if strict and problems:
             raise ShardingProtocolError(
                 "worker shutdown failed after a completed run: "
@@ -891,6 +1039,309 @@ class _ShardedCoordinator:
         for handle in self.handles:
             handle.kill()
         self.handles = []
+        self._release_rings()
+
+    # -- batch×shards window mode -------------------------------------------------
+
+    def _release_rings(self) -> None:
+        for ring in self._rings:
+            ring.destroy()
+        self._rings = []
+
+    def _setup_rings(self, infos: List[Dict[str, Any]], policy) -> bool:
+        """Create the boundary rings and ship their names to the workers.
+
+        Returns ``False`` (degrading to the pipe relay path) when shared
+        memory is unavailable and the policy did not *require* it.  One
+        left-to-right ring per segment boundary; the right-to-left lane only
+        when some algorithm decision reads suffix facts (downhill's
+        neighbour load, work-conserving PTS's any-bad flag).
+        """
+        required = self.execution.shm is True
+        boundaries = len(self.handles) - 1
+        if boundaries > 0 and not required and not shared_memory_available():
+            return False
+        needs_reverse = any(
+            info.get("needs_reverse_lane") for info in infos
+        )
+        # Capacity covers the maximum producer/consumer skew: two outstanding
+        # windows of batch_rounds rounds each, one block per round per lane.
+        capacity = 2 * policy.batch_rounds + 8
+        forward: List[Optional[BoundaryRing]] = []
+        reverse: List[Optional[BoundaryRing]] = []
+        try:
+            for _ in range(boundaries):
+                forward.append(BoundaryRing(capacity=capacity))
+                reverse.append(
+                    BoundaryRing(capacity=capacity) if needs_reverse else None
+                )
+        except Exception as error:
+            for ring in forward + reverse:
+                if ring is not None:
+                    ring.destroy()
+            if required:
+                raise UnshardableScenarioError(
+                    f"ExecutionPolicy.shm=True but shared memory is "
+                    f"unavailable: {error}"
+                ) from error
+            return False
+        self._rings = [
+            ring for ring in forward + reverse if ring is not None
+        ]
+        self._ring_timeout = (
+            60.0 if self._heartbeat_timeout is None
+            else max(5.0, self._heartbeat_timeout * 4)
+        )
+        for index, handle in enumerate(self.handles):
+            names: Dict[str, str] = {}
+            if index > 0:
+                names["left_in"] = forward[index - 1].name
+                if needs_reverse:
+                    names["left_out"] = reverse[index - 1].name
+            if index < boundaries:
+                names["right_out"] = forward[index].name
+                if needs_reverse:
+                    names["right_in"] = reverse[index].name
+            self._send(handle, "rings", {"names": names}, 0)
+        for handle in self.handles:
+            self._recv(handle, "rings", 0)
+        return True
+
+    def _window_faults(
+        self, t0: int, t1: int, segment: int
+    ) -> Optional[Dict[int, Dict[str, Any]]]:
+        """Collapse per-phase fault directives into per-round window faults.
+
+        Window mode has no per-round coordinator messages to piggyback
+        directives on, so the rounds' begin/select/finish directives merge
+        into one directive applied at the start of the round inside the
+        worker: delays add up, a crash in any phase crashes the round.
+        """
+        if self._injector is None:
+            return None
+        merged: Dict[int, Dict[str, Any]] = {}
+        for round_number in range(t0, t1):
+            crash = False
+            delay = 0.0
+            for phase in ("begin", "select", "finish"):
+                directive = self._injector.directives_for(
+                    round_number, segment, phase
+                )
+                if directive is not None:
+                    crash = crash or directive.get("crash", False)
+                    delay += directive.get("delay", 0.0)
+            if crash or delay > 0:
+                merged[round_number] = {"crash": crash, "delay": delay}
+        return merged or None
+
+    def _window_drops(self, t0: int, t1: int, segment: int) -> None:
+        """Consume drop tokens for the window's phases, with the same bounded
+        retry-with-backoff semantics the per-phase relay path applies."""
+        if self._injector is None:
+            return
+        for round_number in range(t0, t1):
+            for phase in ("begin", "select", "finish"):
+                attempts = 0
+                while self._injector.drop_next_send(
+                    round_number, segment, phase
+                ):
+                    attempts += 1
+                    if attempts > self.execution.max_retries:
+                        raise WorkerFailedError(
+                            f"send of {phase!r} to segment worker {segment} "
+                            f"(round {round_number}) still failing after "
+                            f"{self.execution.max_retries} retries",
+                            segment=segment,
+                            round_number=round_number,
+                            phase=phase,
+                        )
+                    if self.execution.retry_backoff > 0:
+                        time.sleep(self.execution.retry_backoff * attempts)
+
+    def _send_window(self, t0: int, t1: int, *, inject: bool) -> None:
+        for handle in self.handles:
+            self._window_drops(t0, t1, handle.segment_index)
+            payload: Dict[str, Any] = {
+                "t0": t0,
+                "t1": t1,
+                "inject": inject,
+                "ring_timeout": self._ring_timeout,
+            }
+            faults = self._window_faults(t0, t1, handle.segment_index)
+            if faults is not None:
+                payload["faults"] = faults
+            self._send(handle, "window", payload, t0)
+
+    def _window_replies(self, t0: int) -> List[Dict[str, Any]]:
+        """Collect one window reply per worker, blaming failures precisely.
+
+        Workers finish a window in line order but stall on each other's
+        rings, so a crashed worker starves its neighbours too.  Receiving in
+        fixed order would blame whichever innocent neighbour happens to be
+        polled first; instead sweep all pipes and, when nothing progresses,
+        look for an actually-dead worker process before declaring a hang.
+        """
+        count = len(self.handles)
+        replies: List[Optional[Dict[str, Any]]] = [None] * count
+        waiting = list(range(count))
+        # Clock-free supervision: charge each not-ready poll its nominal
+        # blocking time against the heartbeat budget instead of reading a
+        # wall clock (RPR001 scope).  The effective timeout is a floor on
+        # time actually spent blocked, which is exactly what "the worker
+        # sent nothing while we waited" means.
+        budget = self._heartbeat_timeout
+        while waiting:
+            progressed = False
+            for index in list(waiting):
+                handle = self.handles[index]
+                connection = getattr(handle, "_conn", None)
+                if connection is not None:
+                    try:
+                        ready = connection.poll(0.02)
+                    except (OSError, EOFError):
+                        ready = True  # dead pipe: let _recv classify it
+                    if not ready:
+                        if budget is not None:
+                            budget -= 0.02
+                        continue
+                replies[index] = self._recv(handle, "window", t0)
+                waiting.remove(index)
+                progressed = True
+            if progressed or not waiting:
+                continue
+            for index in waiting:
+                process = getattr(self.handles[index], "_process", None)
+                if process is not None and not process.is_alive():
+                    raise WorkerFailedError(
+                        f"segment worker {index} died mid-window at round "
+                        f"{t0} (worker process exited)",
+                        segment=index,
+                        round_number=t0,
+                        phase="window",
+                    )
+            if budget is not None and budget <= 0:
+                index = waiting[0]
+                raise WorkerFailedError(
+                    f"segment worker {index} sent no window reply within "
+                    f"heartbeat_timeout={self._heartbeat_timeout:g}s; "
+                    f"treating it as hung",
+                    segment=index,
+                    round_number=t0,
+                    phase="window",
+                )
+        return replies  # type: ignore[return-value]
+
+    def _collect_window(self, t0: int, t1: int) -> Tuple[int, List[int], List[int]]:
+        """Await one window from every worker; return global per-round sums."""
+        replies = self._window_replies(t0)
+        width = t1 - t0
+        for index, reply in enumerate(replies):
+            if len(reply["forwarded"]) != width:
+                raise ShardingProtocolError(
+                    f"segment worker {index} executed "
+                    f"{len(reply['forwarded'])} rounds of window "
+                    f"[{t0}, {t1})"
+                )
+        forwarded = [
+            sum(reply["forwarded"][j] for reply in replies)
+            for j in range(width)
+        ]
+        stored = [
+            sum(reply["stored"][j] for reply in replies)
+            for j in range(width)
+        ]
+        self._executed = t1
+        pending = stored[-1] if stored else 0
+        return pending, forwarded, stored
+
+    def _truncate(self, to_round: int) -> None:
+        """Rewind every worker's drain overshoot to ``to_round``."""
+        for handle in self.handles:
+            self._send(handle, "truncate", {"round": to_round}, to_round)
+        for handle in self.handles:
+            self._recv(handle, "truncate", to_round)
+        self._executed = to_round
+
+    def _run_windows(
+        self, start_round: int, num_rounds: int, policy, pending: int
+    ) -> int:
+        """The injection loop in k-round windows, pipelined two deep.
+
+        Windows are clamped to checkpoint cuts, and a cut drains the
+        pipeline (a checkpoint needs every worker parked at the same round
+        boundary) before the per-segment snapshot protocol runs unchanged.
+        """
+        every = policy.checkpoint_every
+        windows: List[Tuple[int, int]] = []
+        t = start_round
+        while t < num_rounds:
+            t1 = min(num_rounds, t + policy.batch_rounds)
+            if every is not None:
+                t1 = min(t1, (t // every + 1) * every)
+            windows.append((t, t1))
+            t = t1
+        outstanding: deque = deque()
+        for t0, t1 in windows:
+            self._send_window(t0, t1, inject=True)
+            outstanding.append((t0, t1))
+            cut = every is not None and t1 % every == 0
+            while outstanding and (cut or len(outstanding) >= 2):
+                pending, _forwarded, _stored = self._collect_window(
+                    *outstanding.popleft()
+                )
+            if cut:
+                self._checkpoint(policy.checkpoint_path, t1)
+        while outstanding:
+            pending, _forwarded, _stored = self._collect_window(
+                *outstanding.popleft()
+            )
+        return pending
+
+    def _drain_windows(self, start_round: int, pending: int, policy) -> bool:
+        """Window-mode drain: free-run, then replay the global stop rule.
+
+        Workers cannot evaluate the stop conditions (they see only their
+        segment), so each drain window runs to completion and the
+        coordinator replays :meth:`_drain`'s exact loop over the summed
+        per-round counters; a mid-window stop truncates the workers'
+        overshoot, which is provably side-effect-free (module docstring of
+        :mod:`repro.network.batch_sharded`).  The batch family never stages
+        packets, so the relay path's ``staged == previous_staged`` clause is
+        vacuously true and quiescence degenerates to ``forwarded == 0``.
+        """
+        max_drain_rounds = policy.max_drain_rounds
+        if max_drain_rounds is None:
+            max_drain_rounds = default_max_drain_rounds(self.num_nodes, pending)
+        window = quiescence_window(self.num_nodes)
+        quiet_rounds = 0
+        rounds_drained = 0
+        t = start_round
+        while pending > 0 and rounds_drained < max_drain_rounds:
+            width = min(policy.batch_rounds, max_drain_rounds - rounds_drained)
+            self._send_window(t, t + width, inject=False)
+            _last, forwarded, stored = self._collect_window(t, t + width)
+            executed = 0
+            stop = False
+            for j in range(width):
+                pending = stored[j]
+                executed += 1
+                rounds_drained += 1
+                if forwarded[j] == 0:
+                    quiet_rounds += 1
+                    if quiet_rounds >= window:
+                        stop = True
+                        break
+                else:
+                    quiet_rounds = 0
+                if pending == 0:
+                    stop = True
+                    break
+            if executed < width:
+                self._truncate(t + executed)
+            t += executed
+            if stop and (pending == 0 or quiet_rounds >= window):
+                break
+        return pending == 0
 
     # -- recovery ----------------------------------------------------------------
 
@@ -1299,6 +1750,10 @@ class _ShardedCoordinator:
                     self._recovery_seconds if self._clock is not None else None
                 ),
             },
+            "engine": self._engine_info,
+            "handoff_traces": [
+                reply.get("handoff_trace") for reply in replies
+            ],
         }
         return result, extras
 
@@ -1310,6 +1765,7 @@ def run_sharded(
     transport: str = "processes",
     faults: Optional[FaultPlan] = None,
     clock: Optional[Callable[[], float]] = None,
+    shm: Optional[bool] = None,
 ) -> Tuple[SimulationResult, Dict[str, Any]]:
     """Execute ``spec`` sharded across segment workers.
 
@@ -1333,6 +1789,7 @@ def run_sharded(
             f"run_sharded() needs shards >= 1, got {shards!r}"
         )
     execution = ExecutionPolicy(
-        shards=shards, transport=transport, faults=faults, clock=clock
+        shards=shards, transport=transport, faults=faults, clock=clock,
+        shm=shm,
     )
     return _ShardedCoordinator(spec, execution).run()
